@@ -1,0 +1,89 @@
+// Command minicvm compiles a MiniC program to bytecode and runs it
+// concretely on the register VM — the "release binary" workflow.
+//
+// Usage:
+//
+//	minicvm [-O level] [-input text] file.c
+//	minicvm [-O level] [-input text] -prog echo
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"overify/internal/core"
+	"overify/internal/coreutils"
+	"overify/internal/pipeline"
+	"overify/internal/vm"
+)
+
+func main() {
+	level := flag.String("O", "-O3", "optimization level")
+	input := flag.String("input", "", "program input (also determines len)")
+	progName := flag.String("prog", "", "run a bundled corpus program")
+	entry := flag.String("entry", "umain", "entry function")
+	flag.Parse()
+
+	lvl, err := pipeline.ParseLevel(*level)
+	if err != nil {
+		fatal(err)
+	}
+	var name, src string
+	switch {
+	case *progName != "":
+		p, ok := coreutils.Get(*progName)
+		if !ok {
+			fatal(fmt.Errorf("unknown corpus program %q", *progName))
+		}
+		name, src = p.Name, p.Src
+		if *input == "" {
+			*input = p.Sample
+		}
+	case flag.NArg() == 1:
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		name, src = flag.Arg(0), string(data)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: minicvm [-O level] [-input text] file.c | -prog name")
+		os.Exit(2)
+	}
+
+	c, err := core.CompileSource(name, src, lvl, core.DefaultLibc(lvl))
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := vm.Compile(c.Mod)
+	if err != nil {
+		fatal(err)
+	}
+	m := vm.NewMachine(prog)
+	buf := vm.ByteObject("input", append([]byte(*input), 0))
+	ret, err := m.Call(*entry, vm.PtrValue(buf, 0), vm.IntValue(32, uint64(len(*input))))
+	if err != nil {
+		fatal(err)
+	}
+	if out, ok := m.GlobalData("OUT"); ok {
+		if outn, ok2 := m.GlobalData("OUTN"); ok2 && len(outn) > 0 {
+			n := int(outn[0])
+			if n > len(out) {
+				n = len(out)
+			}
+			bytes := make([]byte, n)
+			for i := 0; i < n; i++ {
+				bytes[i] = byte(out[i])
+			}
+			if n > 0 {
+				fmt.Printf("output: %q\n", string(bytes))
+			}
+		}
+	}
+	fmt.Printf("exit: %d (%d vm instructions)\n", int32(ret.Bits), m.Stats.Instrs)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "minicvm:", err)
+	os.Exit(1)
+}

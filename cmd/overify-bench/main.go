@@ -1,0 +1,72 @@
+// Command overify-bench regenerates the paper's tables and figures:
+//
+//	overify-bench -table1 [-n 10] [-words 50000]
+//	overify-bench -table2 [-n 3]
+//	overify-bench -table3
+//	overify-bench -figure4 [-n 5] [-timeout 10s]
+//	overify-bench -all
+//
+// Output is the text rendering recorded in EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"overify/internal/bench"
+)
+
+func main() {
+	t1 := flag.Bool("table1", false, "run the wc micro-benchmark (Table 1)")
+	t2 := flag.Bool("table2", false, "run the per-transformation ablation (Table 2)")
+	t3 := flag.Bool("table3", false, "run the corpus pass statistics (Table 3)")
+	f4 := flag.Bool("figure4", false, "run the corpus verification study (Figure 4)")
+	all := flag.Bool("all", false, "run everything")
+	n := flag.Int("n", 0, "symbolic input bytes (0 = per-experiment default)")
+	words := flag.Int("words", 0, "t_run word count for Table 1")
+	timeout := flag.Duration("timeout", 0, "per-run budget for Figure 4 / Table 1 verification")
+	flag.Parse()
+
+	if !(*t1 || *t2 || *t3 || *f4 || *all) {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *all {
+		*t1, *t2, *t3, *f4 = true, true, true, true
+	}
+
+	if *t1 {
+		opts := bench.Table1Options{InputBytes: *n, RunWords: *words, VerifyTimeout: *timeout}
+		rows, err := bench.Table1(opts)
+		check(err)
+		fmt.Println(bench.RenderTable1(rows, opts))
+	}
+	if *t2 {
+		opts := bench.Table2Options{InputBytes: *n}
+		rows, err := bench.Table2(opts)
+		check(err)
+		fmt.Println(bench.RenderTable2(rows))
+	}
+	if *t3 {
+		rows, err := bench.Table3()
+		check(err)
+		fmt.Println(bench.RenderTable3(rows))
+	}
+	if *f4 {
+		opts := bench.Figure4Options{InputBytes: *n, Timeout: *timeout}
+		start := time.Now()
+		rows, summary, err := bench.Figure4(opts)
+		check(err)
+		fmt.Println(bench.RenderFigure4(rows, summary, opts))
+		fmt.Printf("(figure 4 harness wall time: %s)\n", time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "overify-bench:", err)
+		os.Exit(1)
+	}
+}

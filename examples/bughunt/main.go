@@ -1,0 +1,77 @@
+// Bughunt demonstrates the verification payoff: a utility with three
+// seeded bugs (an off-by-one buffer write, a division that can see zero,
+// and a violated assertion). Symbolic execution at -OVERIFY finds all
+// of them and emits a concrete reproducing input for each — the paper's
+// "bugs are found closer to their root cause" argument.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"overify"
+)
+
+const src = `
+int umain(unsigned char *input, int len) {
+	unsigned char field[4];
+	int n = 0;
+	int i = 0;
+	// Bug 1: off-by-one — accepts 5 bytes into a 4-byte buffer when the
+	// input starts with ':'.
+	while (input[i] != 0 && n <= 4) {
+		if (input[i] == ':') {
+			field[n] = input[i];   // n can be 4 here: out of bounds
+			n = n + 1;
+		}
+		i = i + 1;
+	}
+	// Bug 2: divides by a byte that can be zero... minus itself.
+	int divisor = (int)input[0] - (int)input[1];
+	int scaled = 0;
+	if (len >= 2 && input[0] != 0) {
+		scaled = 100 / divisor;    // input[0] == input[1] crashes
+	}
+	// Bug 3: a precondition that does not actually hold for all inputs.
+	assert(n < 4 || scaled != 0);
+	return n + scaled;
+}
+`
+
+func main() {
+	c, err := overify.Compile("fieldparse", src, overify.OVerify)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := c.Verify("umain", overify.VerifyOptions{InputBytes: 6})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("explored %d paths (%d ended in errors) in %s\n",
+		rep.Stats.TotalPaths(), rep.Stats.ErrorPaths, rep.Stats.Elapsed)
+	if len(rep.Bugs) == 0 {
+		fmt.Println("no bugs found (unexpected — this program has three!)")
+		return
+	}
+	fmt.Printf("found %d distinct bugs:\n", len(rep.Bugs))
+	for _, b := range rep.Bugs {
+		fmt.Printf("  [%s] %s\n", b.Kind, b.Msg)
+		if b.Input != nil {
+			fmt.Printf("      reproduce with input: %q\n", string(b.Input))
+		}
+	}
+
+	// The same bugs are found at -O0 — optimization levels change the
+	// cost of verification, not its verdicts (§4: "all bugs discovered
+	// ... with -O0 and -O3 are also found with -OSYMBEX").
+	c0, err := overify.Compile("fieldparse", src, overify.O0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep0, err := c0.Verify("umain", overify.VerifyOptions{InputBytes: 6})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nat -O0: %d bugs in %s (vs %s at -OVERIFY)\n",
+		len(rep0.Bugs), rep0.Stats.Elapsed, rep.Stats.Elapsed)
+}

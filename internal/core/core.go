@@ -1,0 +1,159 @@
+// Package core is the facade tying the tool chain together: parse MiniC,
+// link a libc variant, optimize at a level (the -OVERIFY switch lives
+// here), then execute concretely or verify symbolically. The public root
+// package overify re-exports this API.
+package core
+
+import (
+	"fmt"
+
+	"overify/internal/coreutils"
+	"overify/internal/frontend"
+	"overify/internal/interp"
+	"overify/internal/ir"
+	"overify/internal/lang"
+	"overify/internal/libc"
+	"overify/internal/passes"
+	"overify/internal/pipeline"
+	"overify/internal/symex"
+)
+
+// Compiled is a program compiled at a specific optimization level with a
+// specific libc variant.
+type Compiled struct {
+	Name   string
+	Mod    *ir.Module
+	Level  pipeline.Level
+	Libc   libc.Kind
+	Result *pipeline.Result
+}
+
+// DefaultLibc returns the library variant a level links by default:
+// -OVERIFY ships its own verification-friendly libc (§3), everything
+// else uses the uclibc-style baseline (as KLEE does).
+func DefaultLibc(level pipeline.Level) libc.Kind {
+	if level == pipeline.OVerify {
+		return libc.Verified
+	}
+	return libc.Uclibc
+}
+
+// CompileSource parses src, links the libc variant, and optimizes at the
+// given level.
+func CompileSource(name, src string, level pipeline.Level, lk libc.Kind) (*Compiled, error) {
+	cfg := pipeline.LevelConfig(level)
+	return CompileWithConfig(name, src, cfg, lk)
+}
+
+// CompileWithConfig is CompileSource with an explicit pipeline config
+// (custom cost models, checks toggles, per-pass verification).
+func CompileWithConfig(name, src string, cfg pipeline.Config, lk libc.Kind) (*Compiled, error) {
+	progFile, err := lang.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("parse %s: %w", name, err)
+	}
+	libFile, err := libc.Parse(lk)
+	if err != nil {
+		return nil, fmt.Errorf("parse %s: %w", lk, err)
+	}
+	mod, err := frontend.LowerFiles(name, libFile, progFile)
+	if err != nil {
+		return nil, fmt.Errorf("lower %s: %w", name, err)
+	}
+	res, err := pipeline.Optimize(mod, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("optimize %s at %s: %w", name, cfg.Level, err)
+	}
+	return &Compiled{Name: name, Mod: mod, Level: cfg.Level, Libc: lk, Result: res}, nil
+}
+
+// CompileWithPasses compiles src + libc and then runs an explicit pass
+// list under the given cost model (used by the Table 2 ablation).
+func CompileWithPasses(name, src string, lk libc.Kind, cost passes.CostModel, seq []passes.Pass) (*Compiled, error) {
+	progFile, err := lang.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("parse %s: %w", name, err)
+	}
+	libFile, err := libc.Parse(lk)
+	if err != nil {
+		return nil, fmt.Errorf("parse %s: %w", lk, err)
+	}
+	mod, err := frontend.LowerFiles(name, libFile, progFile)
+	if err != nil {
+		return nil, fmt.Errorf("lower %s: %w", name, err)
+	}
+	res, err := pipeline.OptimizeWithPasses(mod, cost, seq)
+	if err != nil {
+		return nil, fmt.Errorf("optimize %s: %w", name, err)
+	}
+	return &Compiled{Name: name, Mod: mod, Libc: lk, Result: res}, nil
+}
+
+// CompileProgram compiles a corpus program with the level's default libc.
+func CompileProgram(p coreutils.Program, level pipeline.Level) (*Compiled, error) {
+	return CompileSource(p.Name, p.Src, level, DefaultLibc(level))
+}
+
+// RunResult is the outcome of one concrete execution.
+type RunResult struct {
+	Exit   int64
+	Output []byte
+	Stats  interp.Stats
+}
+
+// Run executes fn(input, len(input)) concretely on the reference
+// interpreter and collects the bytes written to the libc OUT sink.
+func (c *Compiled) Run(fn string, input []byte) (*RunResult, error) {
+	m := interp.NewMachine(c.Mod, interp.Options{})
+	buf := interp.ByteObject("input", append(append([]byte{}, input...), 0))
+	ret, err := m.Call(fn,
+		interp.PtrVal(buf, 0),
+		interp.IntVal(ir.I32, uint64(len(input))))
+	if err != nil {
+		return nil, err
+	}
+	rr := &RunResult{Exit: ir.SignExtend(32, ret.Bits), Stats: m.Stats}
+	rr.Output = readOut(m)
+	return rr, nil
+}
+
+// readOut extracts the libc output sink contents from a machine.
+func readOut(m *interp.Machine) []byte {
+	outn, ok1 := m.GlobalData("OUTN")
+	out, ok2 := m.GlobalData("OUT")
+	if !ok1 || !ok2 || len(outn) == 0 {
+		return nil
+	}
+	n := int(ir.SignExtend(32, outn[0]))
+	if n < 0 {
+		n = 0
+	}
+	if n > len(out) {
+		n = len(out)
+	}
+	res := make([]byte, n)
+	for i := 0; i < n; i++ {
+		res[i] = byte(out[i])
+	}
+	return res
+}
+
+// VerifyOptions configure symbolic verification.
+type VerifyOptions struct {
+	// InputBytes is the symbolic input size (the paper uses 2–10).
+	InputBytes int
+	// Engine options (timeouts, limits, search strategy).
+	Engine symex.Options
+}
+
+// Verify explores fn(input, n) exhaustively with an n-byte symbolic
+// NUL-terminated input, the KLEE coreutils setup of §4.
+func (c *Compiled) Verify(fn string, opts VerifyOptions) (*symex.Report, error) {
+	if opts.InputBytes <= 0 {
+		opts.InputBytes = 4
+	}
+	eng := symex.NewEngine(c.Mod, opts.Engine)
+	buf := eng.SymbolicBuffer("input", opts.InputBytes, true)
+	length := eng.IntArg(ir.I32, uint64(opts.InputBytes))
+	return eng.Run(fn, []symex.SymVal{buf, length}, nil)
+}

@@ -1,0 +1,90 @@
+package core_test
+
+import (
+	"bytes"
+	"testing"
+
+	"overify/internal/core"
+	"overify/internal/coreutils"
+	"overify/internal/libc"
+	"overify/internal/pipeline"
+)
+
+var allLevels = []pipeline.Level{
+	pipeline.O0, pipeline.O1, pipeline.O2, pipeline.O3, pipeline.OVerify,
+}
+
+// TestCorpusCompilesEverywhere compiles every corpus program at every
+// level with both libc variants; any pass bug that breaks the IR
+// verifier fails here.
+func TestCorpusCompilesEverywhere(t *testing.T) {
+	for _, p := range coreutils.All() {
+		for _, level := range allLevels {
+			for _, lk := range []libc.Kind{libc.Uclibc, libc.Verified} {
+				if _, err := core.CompileSource(p.Name, p.Src, level, lk); err != nil {
+					t.Errorf("%s at %s with %s: %v", p.Name, level, lk, err)
+				}
+			}
+		}
+	}
+}
+
+// TestCorpusDifferential is the §2.3 equivalence argument as a test:
+// every program, on its sample input, must produce the same exit code
+// and output at every optimization level and with both libc variants.
+func TestCorpusDifferential(t *testing.T) {
+	for _, p := range coreutils.All() {
+		var wantExit int64
+		var wantOut []byte
+		first := true
+		for _, level := range allLevels {
+			for _, lk := range []libc.Kind{libc.Uclibc, libc.Verified} {
+				c, err := core.CompileSource(p.Name, p.Src, level, lk)
+				if err != nil {
+					t.Fatalf("%s at %s/%s: compile: %v", p.Name, level, lk, err)
+				}
+				rr, err := c.Run("umain", []byte(p.Sample))
+				if err != nil {
+					t.Errorf("%s at %s/%s: run: %v", p.Name, level, lk, err)
+					continue
+				}
+				if first {
+					wantExit, wantOut, first = rr.Exit, rr.Output, false
+					continue
+				}
+				if rr.Exit != wantExit {
+					t.Errorf("%s at %s/%s: exit = %d, want %d", p.Name, level, lk, rr.Exit, wantExit)
+				}
+				if !bytes.Equal(rr.Output, wantOut) {
+					t.Errorf("%s at %s/%s: output = %q, want %q", p.Name, level, lk, rr.Output, wantOut)
+				}
+			}
+		}
+	}
+}
+
+// TestCorpusVerifySmall runs exhaustive symbolic execution with 2 input
+// bytes on every program at -OVERIFY; nothing should report bugs (the
+// corpus is believed correct) and nothing should time out.
+func TestCorpusVerifySmall(t *testing.T) {
+	for _, p := range coreutils.All() {
+		c, err := core.CompileProgram(p, pipeline.OVerify)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		rep, err := c.Verify("umain", core.VerifyOptions{InputBytes: 2})
+		if err != nil {
+			t.Errorf("%s: verify: %v", p.Name, err)
+			continue
+		}
+		if rep.Stats.TimedOut {
+			t.Errorf("%s: timed out", p.Name)
+		}
+		if len(rep.Bugs) != 0 {
+			t.Errorf("%s: unexpected bugs: %v", p.Name, rep.Bugs)
+		}
+		if rep.Stats.Paths == 0 {
+			t.Errorf("%s: no paths completed", p.Name)
+		}
+	}
+}

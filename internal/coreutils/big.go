@@ -1,0 +1,243 @@
+package coreutils
+
+// Utilities with larger internal structure: helper functions above the
+// CPU pipeline's inline threshold (but below -OVERIFY's), call chains
+// deeper than the CPU pipeline's inline rounds, and mode loops bigger
+// than its unswitch budget. These are the shapes that produce the
+// paper's Table 3 gap between -O3 and -OSYMBEX on real coreutils.
+func init() {
+	register(Program{
+		Name: "numfmt", Desc: "format each byte as padded decimal via a large helper", Sample: "pAB",
+		Src: `
+void emit3(int v, int pad) {
+	int h = (v / 100) % 10;
+	int t = (v / 10) % 10;
+	int u = v % 10;
+	if (pad) {
+		putch('0' + h);
+		putch('0' + t);
+		putch('0' + u);
+	} else {
+		if (h != 0) {
+			putch('0' + h);
+			putch('0' + t);
+			putch('0' + u);
+		} else if (t != 0) {
+			putch('0' + t);
+			putch('0' + u);
+		} else {
+			putch('0' + u);
+		}
+	}
+	putch(' ');
+}
+
+int umain(unsigned char *input, int len) {
+	if (len < 1) {
+		return 1;
+	}
+	int pad = input[0] == 'p';
+	int i = 1;
+	while (input[i] != 0) {
+		emit3((int)input[i], pad);
+		i = i + 1;
+	}
+	return i - 1;
+}
+`})
+
+	register(Program{
+		Name: "stat", Desc: "per-byte class census through a call chain", Sample: "a1 B!",
+		Src: `
+int classify1(int c) {
+	if (isalpha(c)) {
+		return 1;
+	}
+	return 0;
+}
+int classify2(int c) {
+	if (classify1(c)) {
+		return 1;
+	}
+	if (isdigit(c)) {
+		return 2;
+	}
+	return 0;
+}
+int classify3(int c) {
+	int k = classify2(c);
+	if (k != 0) {
+		return k;
+	}
+	if (isspace(c)) {
+		return 3;
+	}
+	return 0;
+}
+int classify4(int c) {
+	int k = classify3(c);
+	if (k != 0) {
+		return k;
+	}
+	if (ispunct(c)) {
+		return 4;
+	}
+	return 5;
+}
+int classify5(int c) {
+	int k = classify4(c);
+	if (k == 5 && c == 0) {
+		return 0;
+	}
+	return k;
+}
+
+int umain(unsigned char *input, int len) {
+	int alpha = 0;
+	int digit = 0;
+	int space = 0;
+	int punct = 0;
+	int other = 0;
+	int i = 0;
+	while (input[i] != 0) {
+		int k = classify5((int)input[i]);
+		if (k == 1) {
+			alpha = alpha + 1;
+		} else if (k == 2) {
+			digit = digit + 1;
+		} else if (k == 3) {
+			space = space + 1;
+		} else if (k == 4) {
+			punct = punct + 1;
+		} else {
+			other = other + 1;
+		}
+		i = i + 1;
+	}
+	return alpha * 16 + digit * 8 + space * 4 + punct * 2 + other;
+}
+`})
+
+	register(Program{
+		Name: "pr", Desc: "page formatter: wide flag loop with many output sites", Sample: "hln one\ntwo",
+		Src: `
+int umain(unsigned char *input, int len) {
+	if (len < 3) {
+		return 1;
+	}
+	int header = input[0] == 'h';
+	int lnum = input[1] == 'l';
+	int nflag = input[2] == 'n';
+	int line = 1;
+	int at_start = 1;
+	int i = 3;
+	if (header) {
+		putch('=');
+		putch('=');
+		putch('\n');
+	}
+	while (input[i] != 0) {
+		int c = (int)input[i];
+		if (at_start) {
+			if (header) {
+				putch('|');
+				putch(' ');
+			}
+			if (lnum) {
+				putch('0' + line / 10 % 10);
+				putch('0' + line % 10);
+				putch(':');
+				putch(' ');
+			}
+			at_start = 0;
+		}
+		if (nflag) {
+			if (c == '\n') {
+				putch('$');
+				putch('\n');
+			} else {
+				putch(c);
+			}
+		} else {
+			putch(c);
+		}
+		if (c == '\n') {
+			line = line + 1;
+			at_start = 1;
+		}
+		i = i + 1;
+	}
+	return line;
+}
+`})
+
+	register(Program{
+		Name: "csplit", Desc: "split stream at marker with big per-section helper", Sample: ";ab;cd",
+		Src: `
+void section(int idx, int first, int last) {
+	putch('[');
+	if (idx >= 10) {
+		putch('0' + idx / 10 % 10);
+	}
+	putch('0' + idx % 10);
+	putch(']');
+	if (first) {
+		putch('^');
+	}
+	if (last) {
+		putch('$');
+	}
+	putch(' ');
+}
+
+int umain(unsigned char *input, int len) {
+	if (len < 1) {
+		return 1;
+	}
+	int marker = (int)input[0];
+	int idx = 0;
+	int i = 1;
+	int started = 0;
+	while (input[i] != 0) {
+		int c = (int)input[i];
+		if (c == marker) {
+			idx = idx + 1;
+			started = 0;
+		} else {
+			if (!started) {
+				section(idx, idx == 0, input[i + 1] == 0);
+				started = 1;
+			}
+			putch(c);
+		}
+		i = i + 1;
+	}
+	return idx;
+}
+`})
+
+	register(Program{
+		Name: "checksum64", Desc: "64-round avalanche over the input", Sample: "avalanche",
+		Src: `
+unsigned int mixround(unsigned int h, unsigned int k) {
+	h = h ^ (k * 0x9E37);
+	h = (h << 3) ^ (h >> 5);
+	return h & 0xFFFFFF;
+}
+
+int umain(unsigned char *input, int len) {
+	unsigned int h = 0xABCDEF;
+	int i = 0;
+	while (input[i] != 0) {
+		h = h ^ (unsigned int)(int)input[i];
+		int r = 0;
+		while (r < 48) {
+			h = mixround(h, (unsigned int)r);
+			r = r + 1;
+		}
+		i = i + 1;
+	}
+	return (int)(h & 0xFF);
+}
+`})
+}

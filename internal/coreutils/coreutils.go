@@ -1,0 +1,833 @@
+// Package coreutils is the reproduction's stand-in for the Coreutils
+// 6.10 suite the paper evaluates (§4): a corpus of small text utilities
+// written in MiniC against the internal/libc contract. Each program has
+// the driver signature
+//
+//	int umain(unsigned char *input, int len)
+//
+// where input is a NUL-terminated buffer (symbolic during verification,
+// concrete during timing runs) and len its length. Programs read flags
+// and data out of the buffer — mirroring how the KLEE coreutils study
+// passes symbolic command-line arguments — write results through the
+// libc OUT sink, and return an exit code.
+package coreutils
+
+import "sort"
+
+// Program is one corpus entry.
+type Program struct {
+	Name   string
+	Desc   string
+	Src    string
+	Sample string // concrete input for timing and differential runs
+}
+
+var registry = map[string]Program{}
+
+func register(p Program) {
+	if _, dup := registry[p.Name]; dup {
+		panic("coreutils: duplicate program " + p.Name)
+	}
+	registry[p.Name] = p
+}
+
+// All returns the corpus sorted by name.
+func All() []Program {
+	out := make([]Program, 0, len(registry))
+	for _, p := range registry {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Names returns the sorted program names.
+func Names() []string {
+	ps := All()
+	names := make([]string, len(ps))
+	for i, p := range ps {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// Get returns the named program.
+func Get(name string) (Program, bool) {
+	p, ok := registry[name]
+	return p, ok
+}
+
+func init() {
+	register(Program{
+		Name: "true", Desc: "exit successfully", Sample: "x",
+		Src: `
+int umain(unsigned char *input, int len) {
+	return 0;
+}
+`})
+
+	register(Program{
+		Name: "false", Desc: "exit unsuccessfully", Sample: "x",
+		Src: `
+int umain(unsigned char *input, int len) {
+	return 1;
+}
+`})
+
+	register(Program{
+		Name: "echo", Desc: "copy input to output", Sample: "hello world",
+		Src: `
+int umain(unsigned char *input, int len) {
+	int i = 0;
+	while (i < len) {
+		putch((int)input[i]);
+		i = i + 1;
+	}
+	putch('\n');
+	return 0;
+}
+`})
+
+	register(Program{
+		Name: "cat", Desc: "copy input until NUL", Sample: "some text\nlines",
+		Src: `
+int umain(unsigned char *input, int len) {
+	int i = 0;
+	while (input[i] != 0) {
+		putch((int)input[i]);
+		i = i + 1;
+	}
+	return i;
+}
+`})
+
+	register(Program{
+		Name: "wc", Desc: "count words separated by whitespace", Sample: "two  words here",
+		Src: `
+int umain(unsigned char *input, int len) {
+	int res = 0;
+	int new_word = 1;
+	int i = 0;
+	while (input[i] != 0) {
+		if (isspace((int)input[i])) {
+			new_word = 1;
+		} else {
+			if (new_word) {
+				res = res + 1;
+				new_word = 0;
+			}
+		}
+		i = i + 1;
+	}
+	return res;
+}
+`})
+
+	register(Program{
+		Name: "wc-l", Desc: "count newline characters", Sample: "a\nb\nc\n",
+		Src: `
+int umain(unsigned char *input, int len) {
+	int lines = 0;
+	int i = 0;
+	while (input[i] != 0) {
+		if (input[i] == '\n') {
+			lines = lines + 1;
+		}
+		i = i + 1;
+	}
+	return lines;
+}
+`})
+
+	register(Program{
+		Name: "wc-c", Desc: "count bytes until NUL", Sample: "abcdef",
+		Src: `
+int umain(unsigned char *input, int len) {
+	return strlen_(input);
+}
+`})
+
+	register(Program{
+		Name: "basename", Desc: "strip directory prefix", Sample: "usr/bin/tool",
+		Src: `
+int umain(unsigned char *input, int len) {
+	int slash = strrchr_(input, '/');
+	int i = slash + 1;
+	while (input[i] != 0) {
+		putch((int)input[i]);
+		i = i + 1;
+	}
+	return i - slash - 1;
+}
+`})
+
+	register(Program{
+		Name: "dirname", Desc: "strip trailing path component", Sample: "usr/bin/tool",
+		Src: `
+int umain(unsigned char *input, int len) {
+	int slash = strrchr_(input, '/');
+	if (slash < 0) {
+		putch('.');
+		return 0;
+	}
+	int i = 0;
+	while (i < slash) {
+		putch((int)input[i]);
+		i = i + 1;
+	}
+	return slash;
+}
+`})
+
+	register(Program{
+		Name: "head", Desc: "first k bytes, k from leading byte", Sample: "4abcdefgh",
+		Src: `
+int umain(unsigned char *input, int len) {
+	if (len < 1) {
+		return 1;
+	}
+	int k = (int)input[0] % 8;
+	int i = 1;
+	while (i <= k && input[i] != 0) {
+		putch((int)input[i]);
+		i = i + 1;
+	}
+	return i - 1;
+}
+`})
+
+	register(Program{
+		Name: "tail", Desc: "last k bytes, k from leading byte", Sample: "3abcdefgh",
+		Src: `
+int umain(unsigned char *input, int len) {
+	if (len < 1) {
+		return 1;
+	}
+	int k = (int)input[0] % 8;
+	int n = strlen_(input);
+	int i = n - k;
+	if (i < 1) {
+		i = 1;
+	}
+	while (input[i] != 0) {
+		putch((int)input[i]);
+		i = i + 1;
+	}
+	return 0;
+}
+`})
+
+	register(Program{
+		Name: "tr", Desc: "translate byte a to byte b", Sample: "ablah blah",
+		Src: `
+int umain(unsigned char *input, int len) {
+	if (len < 2) {
+		return 1;
+	}
+	int from = (int)input[0];
+	int to = (int)input[1];
+	int i = 2;
+	while (input[i] != 0) {
+		int c = (int)input[i];
+		if (c == from) {
+			putch(to);
+		} else {
+			putch(c);
+		}
+		i = i + 1;
+	}
+	return 0;
+}
+`})
+
+	register(Program{
+		Name: "tr-d", Desc: "delete occurrences of a byte", Sample: "lhello world",
+		Src: `
+int umain(unsigned char *input, int len) {
+	if (len < 1) {
+		return 1;
+	}
+	int del = (int)input[0];
+	int kept = 0;
+	int i = 1;
+	while (input[i] != 0) {
+		int c = (int)input[i];
+		if (c != del) {
+			putch(c);
+			kept = kept + 1;
+		}
+		i = i + 1;
+	}
+	return kept;
+}
+`})
+
+	register(Program{
+		Name: "cut", Desc: "print field k of ':'-separated input", Sample: "1aa:bb:cc",
+		Src: `
+int umain(unsigned char *input, int len) {
+	if (len < 1) {
+		return 1;
+	}
+	int want = (int)input[0] % 4;
+	int field = 0;
+	int i = 1;
+	while (input[i] != 0) {
+		int c = (int)input[i];
+		if (c == ':') {
+			field = field + 1;
+		} else if (field == want) {
+			putch(c);
+		}
+		i = i + 1;
+	}
+	if (field < want) {
+		return 1;
+	}
+	return 0;
+}
+`})
+
+	register(Program{
+		Name: "expand", Desc: "tabs to two spaces", Sample: "a\tb\tc",
+		Src: `
+int umain(unsigned char *input, int len) {
+	int i = 0;
+	while (input[i] != 0) {
+		if (input[i] == '\t') {
+			putch(' ');
+			putch(' ');
+		} else {
+			putch((int)input[i]);
+		}
+		i = i + 1;
+	}
+	return 0;
+}
+`})
+
+	register(Program{
+		Name: "unexpand", Desc: "double spaces to tabs", Sample: "a  b  c",
+		Src: `
+int umain(unsigned char *input, int len) {
+	int i = 0;
+	while (input[i] != 0) {
+		if (input[i] == ' ' && input[i + 1] == ' ') {
+			putch('\t');
+			i = i + 2;
+		} else {
+			putch((int)input[i]);
+			i = i + 1;
+		}
+	}
+	return 0;
+}
+`})
+
+	register(Program{
+		Name: "fold", Desc: "newline every k bytes", Sample: "3abcdefghij",
+		Src: `
+int umain(unsigned char *input, int len) {
+	if (len < 1) {
+		return 1;
+	}
+	int w = (int)input[0] % 8;
+	if (w == 0) {
+		w = 1;
+	}
+	int col = 0;
+	int i = 1;
+	while (input[i] != 0) {
+		putch((int)input[i]);
+		col = col + 1;
+		if (col == w) {
+			putch('\n');
+			col = 0;
+		}
+		i = i + 1;
+	}
+	return 0;
+}
+`})
+
+	register(Program{
+		Name: "nl", Desc: "number lines", Sample: "aa\nbb\ncc",
+		Src: `
+int umain(unsigned char *input, int len) {
+	int line = 1;
+	int at_start = 1;
+	int i = 0;
+	while (input[i] != 0) {
+		if (at_start) {
+			putch('0' + line % 10);
+			putch(' ');
+			at_start = 0;
+		}
+		putch((int)input[i]);
+		if (input[i] == '\n') {
+			line = line + 1;
+			at_start = 1;
+		}
+		i = i + 1;
+	}
+	return line;
+}
+`})
+
+	register(Program{
+		Name: "rev", Desc: "reverse the input bytes", Sample: "abcdef",
+		Src: `
+int umain(unsigned char *input, int len) {
+	int n = strlen_(input);
+	int i = n - 1;
+	while (i >= 0) {
+		putch((int)input[i]);
+		i = i - 1;
+	}
+	return n;
+}
+`})
+
+	register(Program{
+		Name: "tac", Desc: "lines in reverse order", Sample: "a\nbb\nc",
+		Src: `
+int umain(unsigned char *input, int len) {
+	int n = strlen_(input);
+	int end = n;
+	int i = n - 1;
+	while (i >= 0) {
+		if (input[i] == '\n' || i == 0) {
+			int start = i;
+			if (input[i] == '\n') {
+				start = i + 1;
+			}
+			int j = start;
+			while (j < end) {
+				putch((int)input[j]);
+				j = j + 1;
+			}
+			putch('\n');
+			end = i;
+		}
+		i = i - 1;
+	}
+	return n;
+}
+`})
+
+	register(Program{
+		Name: "sum", Desc: "BSD rotating checksum", Sample: "checksum me",
+		Src: `
+int umain(unsigned char *input, int len) {
+	int ck = 0;
+	int i = 0;
+	while (input[i] != 0) {
+		ck = (ck >> 1) + ((ck & 1) << 15);
+		ck = ck + (int)input[i];
+		ck = ck & 0xFFFF;
+		i = i + 1;
+	}
+	return ck;
+}
+`})
+
+	register(Program{
+		Name: "cksum", Desc: "shift-xor checksum", Sample: "crc input",
+		Src: `
+int umain(unsigned char *input, int len) {
+	unsigned int crc = 0;
+	int i = 0;
+	while (input[i] != 0) {
+		crc = crc ^ ((unsigned int)(int)input[i] << 8);
+		int k = 0;
+		while (k < 8) {
+			if (crc & 0x8000) {
+				crc = (crc << 1) ^ 0x1021;
+			} else {
+				crc = crc << 1;
+			}
+			crc = crc & 0xFFFF;
+			k = k + 1;
+		}
+		i = i + 1;
+	}
+	return (int)crc;
+}
+`})
+
+	register(Program{
+		Name: "uniq", Desc: "squeeze repeated bytes", Sample: "aabbbcdd",
+		Src: `
+int umain(unsigned char *input, int len) {
+	int prev = -1;
+	int out = 0;
+	int i = 0;
+	while (input[i] != 0) {
+		int c = (int)input[i];
+		if (c != prev) {
+			putch(c);
+			out = out + 1;
+		}
+		prev = c;
+		i = i + 1;
+	}
+	return out;
+}
+`})
+
+	register(Program{
+		Name: "sort", Desc: "sort bytes ascending (insertion sort)", Sample: "dcba",
+		Src: `
+int umain(unsigned char *input, int len) {
+	unsigned char buf[16];
+	int n = 0;
+	while (n < 15 && input[n] != 0) {
+		buf[n] = input[n];
+		n = n + 1;
+	}
+	int i = 1;
+	while (i < n) {
+		int j = i;
+		while (j > 0 && (int)buf[j - 1] > (int)buf[j]) {
+			int t = (int)buf[j];
+			buf[j] = buf[j - 1];
+			buf[j - 1] = (unsigned char)t;
+			j = j - 1;
+		}
+		i = i + 1;
+	}
+	int k = 0;
+	while (k < n) {
+		putch((int)buf[k]);
+		k = k + 1;
+	}
+	return n;
+}
+`})
+
+	register(Program{
+		Name: "comm", Desc: "compare two halves byte-wise", Sample: "abcabd",
+		Src: `
+int umain(unsigned char *input, int len) {
+	int n = strlen_(input);
+	int half = n / 2;
+	int same = 0;
+	int i = 0;
+	while (i < half) {
+		if (input[i] == input[half + i]) {
+			same = same + 1;
+		}
+		i = i + 1;
+	}
+	return same;
+}
+`})
+
+	register(Program{
+		Name: "paste", Desc: "interleave two halves", Sample: "abc123",
+		Src: `
+int umain(unsigned char *input, int len) {
+	int n = strlen_(input);
+	int half = n / 2;
+	int i = 0;
+	while (i < half) {
+		putch((int)input[i]);
+		putch((int)input[half + i]);
+		i = i + 1;
+	}
+	return half;
+}
+`})
+
+	register(Program{
+		Name: "od", Desc: "octal dump", Sample: "AB",
+		Src: `
+int umain(unsigned char *input, int len) {
+	int i = 0;
+	while (input[i] != 0) {
+		int c = (int)input[i];
+		putch('0' + ((c >> 6) & 7));
+		putch('0' + ((c >> 3) & 7));
+		putch('0' + (c & 7));
+		putch(' ');
+		i = i + 1;
+	}
+	return i;
+}
+`})
+
+	register(Program{
+		Name: "base32", Desc: "5-bit group encoding", Sample: "data!",
+		Src: `
+int umain(unsigned char *input, int len) {
+	int acc = 0;
+	int nbits = 0;
+	int i = 0;
+	while (input[i] != 0) {
+		acc = (acc << 8) | (int)input[i];
+		nbits = nbits + 8;
+		while (nbits >= 5) {
+			int v = (acc >> (nbits - 5)) & 31;
+			if (v < 26) {
+				putch('A' + v);
+			} else {
+				putch('2' + v - 26);
+			}
+			nbits = nbits - 5;
+		}
+		i = i + 1;
+	}
+	if (nbits > 0) {
+		int v = (acc << (5 - nbits)) & 31;
+		if (v < 26) {
+			putch('A' + v);
+		} else {
+			putch('2' + v - 26);
+		}
+	}
+	return i;
+}
+`})
+
+	register(Program{
+		Name: "yes", Desc: "emit y bounded by input length", Sample: "xxxx",
+		Src: `
+int umain(unsigned char *input, int len) {
+	int i = 0;
+	while (i < len) {
+		putch('y');
+		putch('\n');
+		i = i + 1;
+	}
+	return 0;
+}
+`})
+
+	register(Program{
+		Name: "seq", Desc: "digits 1..k, k from leading byte", Sample: "5",
+		Src: `
+int umain(unsigned char *input, int len) {
+	if (len < 1) {
+		return 1;
+	}
+	int k = (int)input[0] % 8;
+	int i = 1;
+	while (i <= k) {
+		putch('0' + i);
+		putch('\n');
+		i = i + 1;
+	}
+	return k;
+}
+`})
+
+	register(Program{
+		Name: "test", Desc: "tiny [ expression: equality of two halves", Sample: "ab=ab",
+		Src: `
+int umain(unsigned char *input, int len) {
+	int eq = strchr_(input, '=');
+	if (eq < 0) {
+		return 2;
+	}
+	int i = 0;
+	int j = eq + 1;
+	while (i < eq && input[j] != 0) {
+		if (input[i] != input[j]) {
+			return 1;
+		}
+		i = i + 1;
+		j = j + 1;
+	}
+	if (i == eq && input[j] == 0) {
+		return 0;
+	}
+	return 1;
+}
+`})
+
+	register(Program{
+		Name: "printf", Desc: "format: %c consumes next byte, %% literal", Sample: "a%cb!",
+		Src: `
+int umain(unsigned char *input, int len) {
+	int i = 0;
+	while (input[i] != 0) {
+		int c = (int)input[i];
+		if (c == '%' && input[i + 1] != 0) {
+			int d = (int)input[i + 1];
+			if (d == '%') {
+				putch('%');
+				i = i + 2;
+			} else if (d == 'c' && input[i + 2] != 0) {
+				putch((int)input[i + 2]);
+				i = i + 3;
+			} else {
+				putch(d);
+				i = i + 2;
+			}
+		} else {
+			putch(c);
+			i = i + 1;
+		}
+	}
+	return 0;
+}
+`})
+
+	register(Program{
+		Name: "factor", Desc: "count prime factors of leading byte", Sample: "<",
+		Src: `
+int umain(unsigned char *input, int len) {
+	if (len < 1) {
+		return 1;
+	}
+	int n = (int)input[0];
+	if (n < 2) {
+		return 0;
+	}
+	int count = 0;
+	int d = 2;
+	while (d * d <= n) {
+		while (n % d == 0) {
+			n = n / d;
+			count = count + 1;
+			putch('0' + d % 10);
+		}
+		d = d + 1;
+	}
+	if (n > 1) {
+		count = count + 1;
+		putch('0' + n % 10);
+	}
+	return count;
+}
+`})
+
+	register(Program{
+		Name: "cmp", Desc: "index of first difference of two halves", Sample: "abcaXc",
+		Src: `
+int umain(unsigned char *input, int len) {
+	int n = strlen_(input);
+	int half = n / 2;
+	int i = 0;
+	while (i < half) {
+		if (input[i] != input[half + i]) {
+			return i + 1;
+		}
+		i = i + 1;
+	}
+	return 0;
+}
+`})
+
+	register(Program{
+		Name: "toupper", Desc: "uppercase the input", Sample: "MiXeD cAsE",
+		Src: `
+int umain(unsigned char *input, int len) {
+	int i = 0;
+	while (input[i] != 0) {
+		putch(toupper((int)input[i]));
+		i = i + 1;
+	}
+	return i;
+}
+`})
+
+	register(Program{
+		Name: "tolower", Desc: "lowercase the input", Sample: "MiXeD cAsE",
+		Src: `
+int umain(unsigned char *input, int len) {
+	int i = 0;
+	while (input[i] != 0) {
+		putch(tolower((int)input[i]));
+		i = i + 1;
+	}
+	return i;
+}
+`})
+
+	register(Program{
+		Name: "strings", Desc: "runs of >=3 printable bytes", Sample: "ab\x01cdef\x02g",
+		Src: `
+int umain(unsigned char *input, int len) {
+	int run = 0;
+	int found = 0;
+	int i = 0;
+	while (input[i] != 0) {
+		int c = (int)input[i];
+		int printable = isalnum(c) | ispunct(c) | (c == ' ');
+		if (printable) {
+			run = run + 1;
+			if (run == 3) {
+				found = found + 1;
+			}
+		} else {
+			run = 0;
+		}
+		i = i + 1;
+	}
+	return found;
+}
+`})
+
+	register(Program{
+		Name: "expr", Desc: "single-digit addition: a+b", Sample: "3+4",
+		Src: `
+int umain(unsigned char *input, int len) {
+	if (len < 3) {
+		return 255;
+	}
+	if (!isdigit((int)input[0]) || !isdigit((int)input[2])) {
+		return 255;
+	}
+	int a = (int)input[0] - '0';
+	int b = (int)input[2] - '0';
+	int op = (int)input[1];
+	if (op == '+') {
+		return a + b;
+	}
+	if (op == '-') {
+		return abs_(a - b);
+	}
+	if (op == '*') {
+		return a * b;
+	}
+	if (op == '/') {
+		if (b == 0) {
+			return 255;
+		}
+		return a / b;
+	}
+	return 255;
+}
+`})
+
+	register(Program{
+		Name: "join", Desc: "emit common prefix of two halves", Sample: "abcabd",
+		Src: `
+int umain(unsigned char *input, int len) {
+	int n = strlen_(input);
+	int half = n / 2;
+	int i = 0;
+	while (i < half && input[i] == input[half + i]) {
+		putch((int)input[i]);
+		i = i + 1;
+	}
+	return i;
+}
+`})
+
+	register(Program{
+		Name: "shuf", Desc: "deterministic byte shuffle (xor fold)", Sample: "shuffle",
+		Src: `
+int umain(unsigned char *input, int len) {
+	int n = strlen_(input);
+	int i = 0;
+	while (i < n) {
+		int j = (i * 7 + 3) % n;
+		putch((int)input[j]);
+		i = i + 1;
+	}
+	return n;
+}
+`})
+}

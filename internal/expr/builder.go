@@ -1,0 +1,385 @@
+package expr
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"overify/internal/ir"
+)
+
+// Builder interns expression nodes and applies canonicalizing
+// simplifications on construction. All expressions flowing through one
+// symbolic-execution run must come from one Builder.
+type Builder struct {
+	cache  map[string]*Expr
+	nextID int64
+
+	// NodesBuilt counts interning misses, a proxy for symbolic work.
+	NodesBuilt int64
+	// CacheHits counts interning hits (structural sharing).
+	CacheHits int64
+}
+
+// NewBuilder returns an empty builder.
+func NewBuilder() *Builder {
+	return &Builder{cache: make(map[string]*Expr)}
+}
+
+func (b *Builder) intern(key string, mk func() *Expr) *Expr {
+	if e, ok := b.cache[key]; ok {
+		b.CacheHits++
+		return e
+	}
+	e := mk()
+	b.nextID++
+	e.id = b.nextID
+	b.cache[key] = e
+	b.NodesBuilt++
+	return e
+}
+
+// Const builds a constant of the given width.
+func (b *Builder) Const(bits int, v uint64) *Expr {
+	v = ir.Mask(bits, v)
+	key := "c" + strconv.Itoa(bits) + ":" + strconv.FormatUint(v, 10)
+	return b.intern(key, func() *Expr {
+		return &Expr{Kind: KConst, Bits: bits, Val: v}
+	})
+}
+
+// True is the 1-bit constant 1.
+func (b *Builder) True() *Expr { return b.Const(1, 1) }
+
+// False is the 1-bit constant 0.
+func (b *Builder) False() *Expr { return b.Const(1, 0) }
+
+// Bool converts a Go bool to a 1-bit constant.
+func (b *Builder) Bool(v bool) *Expr {
+	if v {
+		return b.True()
+	}
+	return b.False()
+}
+
+// Var builds (or returns) the node for a symbolic variable.
+func (b *Builder) Var(v *Var) *Expr {
+	key := "v" + v.Name
+	return b.intern(key, func() *Expr {
+		return &Expr{Kind: KVar, Bits: v.Bits, V: v}
+	})
+}
+
+func argKey(args ...*Expr) string {
+	var sb strings.Builder
+	for _, a := range args {
+		sb.WriteByte(',')
+		sb.WriteString(strconv.FormatInt(a.id, 10))
+	}
+	return sb.String()
+}
+
+// Bin builds a binary arithmetic/bitwise node with on-the-fly folding.
+func (b *Builder) Bin(op ir.Op, x, y *Expr) *Expr {
+	if x.Bits != y.Bits {
+		panic(fmt.Sprintf("expr: %s width mismatch %d vs %d", op, x.Bits, y.Bits))
+	}
+	bits := x.Bits
+	// Constant folding (division by zero stays symbolic: the engine
+	// checks it before building).
+	if xc, ok := x.IsConst(); ok {
+		if yc, ok2 := y.IsConst(); ok2 {
+			if r, okDiv := ir.EvalBin(op, bits, xc, yc); okDiv {
+				return b.Const(bits, r)
+			}
+		}
+	}
+	// Canonicalize: constant on the right for commutative ops; otherwise
+	// order operands by node id for interning stability.
+	if op.IsCommutative() {
+		_, xConst := x.IsConst()
+		_, yConst := y.IsConst()
+		switch {
+		case xConst && !yConst:
+			x, y = y, x
+		case !xConst && !yConst && x.id > y.id:
+			x, y = y, x
+		}
+	}
+	if e := simplifyBin(b, op, x, y); e != nil {
+		return e
+	}
+	key := "b" + strconv.Itoa(int(op)) + ":" + strconv.Itoa(bits) + argKey(x, y)
+	return b.intern(key, func() *Expr {
+		return &Expr{Kind: KBin, Bits: bits, Op: op, Args: []*Expr{x, y}}
+	})
+}
+
+func simplifyBin(b *Builder, op ir.Op, x, y *Expr) *Expr {
+	yc, yConst := y.IsConst()
+	bits := x.Bits
+	allOnes := ir.Mask(bits, ^uint64(0))
+	switch op {
+	case ir.OpAdd:
+		if yConst && yc == 0 {
+			return x
+		}
+	case ir.OpSub:
+		if yConst && yc == 0 {
+			return x
+		}
+		if x == y {
+			return b.Const(bits, 0)
+		}
+	case ir.OpMul:
+		if yConst && yc == 0 {
+			return b.Const(bits, 0)
+		}
+		if yConst && yc == 1 {
+			return x
+		}
+	case ir.OpAnd:
+		if yConst && yc == 0 {
+			return b.Const(bits, 0)
+		}
+		if yConst && yc == allOnes {
+			return x
+		}
+		if x == y {
+			return x
+		}
+	case ir.OpOr:
+		if yConst && yc == 0 {
+			return x
+		}
+		if yConst && yc == allOnes {
+			return b.Const(bits, allOnes)
+		}
+		if x == y {
+			return x
+		}
+	case ir.OpXor:
+		if yConst && yc == 0 {
+			return x
+		}
+		if x == y {
+			return b.Const(bits, 0)
+		}
+		// Double negation: xor(xor(e, c1), c2) -> xor(e, c1^c2).
+		if x.Kind == KBin && x.Op == ir.OpXor && yConst {
+			if c1, ok := x.Args[1].IsConst(); ok {
+				return b.Bin(ir.OpXor, x.Args[0], b.Const(bits, c1^yc))
+			}
+		}
+	case ir.OpShl, ir.OpLShr, ir.OpAShr:
+		if yConst && yc == 0 {
+			return x
+		}
+	case ir.OpUDiv, ir.OpSDiv:
+		if yConst && yc == 1 {
+			return x
+		}
+	case ir.OpURem:
+		if yConst && yc == 1 {
+			return b.Const(bits, 0)
+		}
+	}
+	return nil
+}
+
+// Not negates a 1-bit expression.
+func (b *Builder) Not(x *Expr) *Expr {
+	if x.Bits != 1 {
+		panic("expr: Not on non-boolean")
+	}
+	return b.Bin(ir.OpXor, x, b.True())
+}
+
+// Cmp builds a comparison node (1-bit result) with folding.
+func (b *Builder) Cmp(op ir.Op, x, y *Expr) *Expr {
+	if x.Bits != y.Bits {
+		panic(fmt.Sprintf("expr: %s width mismatch %d vs %d", op, x.Bits, y.Bits))
+	}
+	if xc, ok := x.IsConst(); ok {
+		if yc, ok2 := y.IsConst(); ok2 {
+			return b.Bool(ir.EvalCmp(op, x.Bits, xc, yc))
+		}
+	}
+	if x == y {
+		switch op {
+		case ir.OpEq, ir.OpULe, ir.OpUGe, ir.OpSLe, ir.OpSGe:
+			return b.True()
+		default:
+			return b.False()
+		}
+	}
+	// Boolean-typed comparisons collapse: (x:i1 == 1) -> x, etc.
+	if x.Bits == 1 {
+		if yc, ok := y.IsConst(); ok {
+			switch {
+			case op == ir.OpEq && yc == 1, op == ir.OpNe && yc == 0:
+				return x
+			case op == ir.OpEq && yc == 0, op == ir.OpNe && yc == 1:
+				return b.Not(x)
+			}
+		}
+	}
+	// (zext e1 to N) cmp const: compare at the source width when the
+	// constant fits (this keeps solver terms small).
+	if x.Kind == KCast && x.Op == ir.OpZExt {
+		src := x.Args[0]
+		if yc, ok := y.IsConst(); ok && yc <= ir.Mask(src.Bits, ^uint64(0)) {
+			switch op {
+			case ir.OpEq, ir.OpNe, ir.OpULt, ir.OpULe, ir.OpUGt, ir.OpUGe:
+				return b.Cmp(op, src, b.Const(src.Bits, yc))
+			}
+		}
+		// zext(x) == const that does not fit: statically false.
+		if yc, ok := y.IsConst(); ok && yc > ir.Mask(src.Bits, ^uint64(0)) {
+			switch op {
+			case ir.OpEq:
+				return b.False()
+			case ir.OpNe:
+				return b.True()
+			}
+		}
+	}
+	// ite(c, k1, k2) cmp const folds into c or !c when arms are consts.
+	if x.Kind == KSelect {
+		t, tOk := x.Args[1].IsConst()
+		f, fOk := x.Args[2].IsConst()
+		if tOk && fOk {
+			if yc, ok := y.IsConst(); ok {
+				tr := ir.EvalCmp(op, x.Bits, t, yc)
+				fr := ir.EvalCmp(op, x.Bits, f, yc)
+				switch {
+				case tr && fr:
+					return b.True()
+				case !tr && !fr:
+					return b.False()
+				case tr && !fr:
+					return x.Args[0]
+				default:
+					return b.Not(x.Args[0])
+				}
+			}
+		}
+	}
+	key := "p" + strconv.Itoa(int(op)) + ":" + strconv.Itoa(x.Bits) + argKey(x, y)
+	return b.intern(key, func() *Expr {
+		return &Expr{Kind: KCmp, Bits: 1, Op: op, Args: []*Expr{x, y}}
+	})
+}
+
+// Select builds ite(c, t, f).
+func (b *Builder) Select(c, t, f *Expr) *Expr {
+	if c.Bits != 1 {
+		panic("expr: select cond must be 1 bit")
+	}
+	if t.Bits != f.Bits {
+		panic("expr: select arm width mismatch")
+	}
+	if c.IsTrue() {
+		return t
+	}
+	if c.IsFalse() {
+		return f
+	}
+	if t == f {
+		return t
+	}
+	// Boolean select is logic: ite(c, 1, 0) = c; ite(c, 0, 1) = !c;
+	// ite(c, x, 0) = c & x; ite(c, 1, x) = c | x; etc.
+	if t.Bits == 1 {
+		if t.IsTrue() && f.IsFalse() {
+			return c
+		}
+		if t.IsFalse() && f.IsTrue() {
+			return b.Not(c)
+		}
+		if f.IsFalse() {
+			return b.Bin(ir.OpAnd, c, t)
+		}
+		if t.IsTrue() {
+			return b.Bin(ir.OpOr, c, f)
+		}
+		if t.IsFalse() {
+			return b.Bin(ir.OpAnd, b.Not(c), f)
+		}
+		if f.IsTrue() {
+			return b.Bin(ir.OpOr, b.Not(c), t)
+		}
+	}
+	key := "s" + strconv.Itoa(t.Bits) + argKey(c, t, f)
+	return b.intern(key, func() *Expr {
+		return &Expr{Kind: KSelect, Bits: t.Bits, Args: []*Expr{c, t, f}}
+	})
+}
+
+// Cast builds zext/sext/trunc of x to toBits.
+func (b *Builder) Cast(op ir.Op, x *Expr, toBits int) *Expr {
+	if xc, ok := x.IsConst(); ok {
+		return b.Const(toBits, ir.EvalCast(op, x.Bits, toBits, xc))
+	}
+	if x.Bits == toBits {
+		return x
+	}
+	// Collapse cast chains mirroring the IR simplifier.
+	if x.Kind == KCast {
+		inner := x.Args[0]
+		switch {
+		case op == ir.OpTrunc && (x.Op == ir.OpZExt || x.Op == ir.OpSExt):
+			if inner.Bits == toBits {
+				return inner
+			}
+			if inner.Bits > toBits {
+				return b.Cast(ir.OpTrunc, inner, toBits)
+			}
+			return b.Cast(x.Op, inner, toBits)
+		case op == ir.OpZExt && x.Op == ir.OpZExt:
+			return b.Cast(ir.OpZExt, inner, toBits)
+		case op == ir.OpSExt && x.Op == ir.OpSExt:
+			return b.Cast(ir.OpSExt, inner, toBits)
+		case op == ir.OpSExt && x.Op == ir.OpZExt:
+			return b.Cast(ir.OpZExt, inner, toBits)
+		}
+	}
+	// Push casts through selects with constant arms.
+	if x.Kind == KSelect {
+		_, tOk := x.Args[1].IsConst()
+		_, fOk := x.Args[2].IsConst()
+		if tOk && fOk {
+			return b.Select(x.Args[0],
+				b.Cast(op, x.Args[1], toBits), b.Cast(op, x.Args[2], toBits))
+		}
+	}
+	key := "x" + strconv.Itoa(int(op)) + ":" + strconv.Itoa(toBits) + argKey(x)
+	return b.intern(key, func() *Expr {
+		return &Expr{Kind: KCast, Bits: toBits, Op: op, Args: []*Expr{x}}
+	})
+}
+
+// Read builds table[idx] over a concrete table. The table slice must not
+// be mutated afterwards (callers snapshot writable memory).
+func (b *Builder) Read(table []uint64, bits int, idx *Expr) *Expr {
+	if ic, ok := idx.IsConst(); ok {
+		if ic < uint64(len(table)) {
+			return b.Const(bits, table[ic])
+		}
+		// Out-of-range constant read: the engine reports the bug before
+		// building; return 0 defensively.
+		return b.Const(bits, 0)
+	}
+	// Key on table contents: different snapshots intern separately.
+	var sb strings.Builder
+	sb.WriteByte('r')
+	sb.WriteString(strconv.Itoa(bits))
+	for _, v := range table {
+		sb.WriteByte(':')
+		sb.WriteString(strconv.FormatUint(v, 36))
+	}
+	sb.WriteString(argKey(idx))
+	return b.intern(sb.String(), func() *Expr {
+		return &Expr{Kind: KRead, Bits: bits, Args: []*Expr{idx}, Table: table}
+	})
+}

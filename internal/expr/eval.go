@@ -1,0 +1,279 @@
+package expr
+
+import "overify/internal/ir"
+
+// Eval evaluates e under a complete assignment of its variables, using
+// the shared ir scalar semantics. Missing variables evaluate to zero.
+func Eval(e *Expr, asn map[*Var]uint64) uint64 {
+	memo := make(map[*Expr]uint64)
+	return evalMemo(e, asn, memo)
+}
+
+func evalMemo(e *Expr, asn map[*Var]uint64, memo map[*Expr]uint64) uint64 {
+	if v, ok := memo[e]; ok {
+		return v
+	}
+	var r uint64
+	switch e.Kind {
+	case KConst:
+		r = e.Val
+	case KVar:
+		r = ir.Mask(e.Bits, asn[e.V])
+	case KBin:
+		a := evalMemo(e.Args[0], asn, memo)
+		b := evalMemo(e.Args[1], asn, memo)
+		// Division by zero evaluates to 0 here; the engine checks the
+		// denominator before ever building the expression.
+		res, ok := ir.EvalBin(e.Op, e.Bits, a, b)
+		if !ok {
+			res = 0
+		}
+		r = res
+	case KCmp:
+		a := evalMemo(e.Args[0], asn, memo)
+		b := evalMemo(e.Args[1], asn, memo)
+		if ir.EvalCmp(e.Op, e.Args[0].Bits, a, b) {
+			r = 1
+		}
+	case KSelect:
+		if evalMemo(e.Args[0], asn, memo) != 0 {
+			r = evalMemo(e.Args[1], asn, memo)
+		} else {
+			r = evalMemo(e.Args[2], asn, memo)
+		}
+	case KCast:
+		r = ir.EvalCast(e.Op, e.Args[0].Bits, e.Bits, evalMemo(e.Args[0], asn, memo))
+	case KRead:
+		idx := evalMemo(e.Args[0], asn, memo)
+		if idx < uint64(len(e.Table)) {
+			r = e.Table[idx]
+		}
+	}
+	r = ir.Mask(e.Bits, r)
+	memo[e] = r
+	return r
+}
+
+// PartialResult is a three-valued evaluation outcome.
+type PartialResult struct {
+	Known bool
+	Val   uint64
+}
+
+// PartialEvaluator evaluates expressions under a mutable partial
+// assignment without per-call allocation: results are memoized with a
+// generation stamp, and Reset (after any assignment change) invalidates
+// the memo in O(1).
+type PartialEvaluator struct {
+	Asn  map[*Var]uint64
+	memo map[*Expr]stampedResult
+	gen  uint32
+	// Work counts node visits since construction; callers use it to
+	// enforce time budgets.
+	Work int64
+}
+
+type stampedResult struct {
+	gen uint32
+	res PartialResult
+}
+
+// NewPartialEvaluator returns an evaluator over the given assignment
+// map (which the caller may mutate between Reset calls).
+func NewPartialEvaluator(asn map[*Var]uint64) *PartialEvaluator {
+	return &PartialEvaluator{Asn: asn, memo: make(map[*Expr]stampedResult, 256), gen: 1}
+}
+
+// Reset invalidates memoized results; call after changing Asn.
+func (pe *PartialEvaluator) Reset() { pe.gen++ }
+
+// Eval evaluates e under the current partial assignment.
+func (pe *PartialEvaluator) Eval(e *Expr) PartialResult {
+	if s, ok := pe.memo[e]; ok && s.gen == pe.gen {
+		return s.res
+	}
+	pe.Work++
+	res := pe.eval(e)
+	if res.Known {
+		res.Val = ir.Mask(e.Bits, res.Val)
+	}
+	pe.memo[e] = stampedResult{gen: pe.gen, res: res}
+	return res
+}
+
+func (pe *PartialEvaluator) eval(e *Expr) PartialResult {
+	unknown := PartialResult{}
+	switch e.Kind {
+	case KConst:
+		return PartialResult{Known: true, Val: e.Val}
+	case KVar:
+		if v, ok := pe.Asn[e.V]; ok {
+			return PartialResult{Known: true, Val: ir.Mask(e.Bits, v)}
+		}
+		return unknown
+	case KBin:
+		a := pe.Eval(e.Args[0])
+		b := pe.Eval(e.Args[1])
+		if a.Known && b.Known {
+			r, ok := ir.EvalBin(e.Op, e.Bits, a.Val, b.Val)
+			if !ok {
+				r = 0
+			}
+			return PartialResult{Known: true, Val: r}
+		}
+		switch e.Op {
+		case ir.OpAnd:
+			if (a.Known && a.Val == 0) || (b.Known && b.Val == 0) {
+				return PartialResult{Known: true, Val: 0}
+			}
+		case ir.OpOr:
+			ones := ir.Mask(e.Bits, ^uint64(0))
+			if (a.Known && a.Val == ones) || (b.Known && b.Val == ones) {
+				return PartialResult{Known: true, Val: ones}
+			}
+		case ir.OpMul:
+			if (a.Known && a.Val == 0) || (b.Known && b.Val == 0) {
+				return PartialResult{Known: true, Val: 0}
+			}
+		}
+		return unknown
+	case KCmp:
+		a := pe.Eval(e.Args[0])
+		b := pe.Eval(e.Args[1])
+		if a.Known && b.Known {
+			if ir.EvalCmp(e.Op, e.Args[0].Bits, a.Val, b.Val) {
+				return PartialResult{Known: true, Val: 1}
+			}
+			return PartialResult{Known: true, Val: 0}
+		}
+		return unknown
+	case KSelect:
+		c := pe.Eval(e.Args[0])
+		if c.Known {
+			if c.Val != 0 {
+				return pe.Eval(e.Args[1])
+			}
+			return pe.Eval(e.Args[2])
+		}
+		t := pe.Eval(e.Args[1])
+		f := pe.Eval(e.Args[2])
+		if t.Known && f.Known && t.Val == f.Val {
+			return t
+		}
+		return unknown
+	case KCast:
+		a := pe.Eval(e.Args[0])
+		if a.Known {
+			return PartialResult{Known: true, Val: ir.EvalCast(e.Op, e.Args[0].Bits, e.Bits, a.Val)}
+		}
+		return unknown
+	case KRead:
+		a := pe.Eval(e.Args[0])
+		if a.Known {
+			if a.Val < uint64(len(e.Table)) {
+				return PartialResult{Known: true, Val: e.Table[a.Val]}
+			}
+			return PartialResult{Known: true, Val: 0}
+		}
+		return unknown
+	}
+	return unknown
+}
+
+// EvalPartial evaluates e under a partial assignment: variables present
+// in asn are fixed, others unknown. Known short-circuits (x*0, and-with-
+// false, or-with-true, select with known condition) are applied, which
+// is what gives the solver its pruning power.
+func EvalPartial(e *Expr, asn map[*Var]uint64, memo map[*Expr]PartialResult) PartialResult {
+	if v, ok := memo[e]; ok {
+		return v
+	}
+	res := evalPartial(e, asn, memo)
+	if res.Known {
+		res.Val = ir.Mask(e.Bits, res.Val)
+	}
+	memo[e] = res
+	return res
+}
+
+func evalPartial(e *Expr, asn map[*Var]uint64, memo map[*Expr]PartialResult) PartialResult {
+	unknown := PartialResult{}
+	switch e.Kind {
+	case KConst:
+		return PartialResult{Known: true, Val: e.Val}
+	case KVar:
+		if v, ok := asn[e.V]; ok {
+			return PartialResult{Known: true, Val: ir.Mask(e.Bits, v)}
+		}
+		return unknown
+	case KBin:
+		a := EvalPartial(e.Args[0], asn, memo)
+		b := EvalPartial(e.Args[1], asn, memo)
+		if a.Known && b.Known {
+			r, ok := ir.EvalBin(e.Op, e.Bits, a.Val, b.Val)
+			if !ok {
+				r = 0
+			}
+			return PartialResult{Known: true, Val: r}
+		}
+		// Short-circuits with one known side.
+		switch e.Op {
+		case ir.OpAnd:
+			if (a.Known && a.Val == 0) || (b.Known && b.Val == 0) {
+				return PartialResult{Known: true, Val: 0}
+			}
+		case ir.OpOr:
+			ones := ir.Mask(e.Bits, ^uint64(0))
+			if (a.Known && a.Val == ones) || (b.Known && b.Val == ones) {
+				return PartialResult{Known: true, Val: ones}
+			}
+		case ir.OpMul:
+			if (a.Known && a.Val == 0) || (b.Known && b.Val == 0) {
+				return PartialResult{Known: true, Val: 0}
+			}
+		}
+		return unknown
+	case KCmp:
+		a := EvalPartial(e.Args[0], asn, memo)
+		b := EvalPartial(e.Args[1], asn, memo)
+		if a.Known && b.Known {
+			if ir.EvalCmp(e.Op, e.Args[0].Bits, a.Val, b.Val) {
+				return PartialResult{Known: true, Val: 1}
+			}
+			return PartialResult{Known: true, Val: 0}
+		}
+		return unknown
+	case KSelect:
+		c := EvalPartial(e.Args[0], asn, memo)
+		if c.Known {
+			if c.Val != 0 {
+				return EvalPartial(e.Args[1], asn, memo)
+			}
+			return EvalPartial(e.Args[2], asn, memo)
+		}
+		// Unknown condition, but if both arms agree and are known, the
+		// result is known anyway.
+		t := EvalPartial(e.Args[1], asn, memo)
+		f := EvalPartial(e.Args[2], asn, memo)
+		if t.Known && f.Known && t.Val == f.Val {
+			return t
+		}
+		return unknown
+	case KCast:
+		a := EvalPartial(e.Args[0], asn, memo)
+		if a.Known {
+			return PartialResult{Known: true, Val: ir.EvalCast(e.Op, e.Args[0].Bits, e.Bits, a.Val)}
+		}
+		return unknown
+	case KRead:
+		a := EvalPartial(e.Args[0], asn, memo)
+		if a.Known {
+			if a.Val < uint64(len(e.Table)) {
+				return PartialResult{Known: true, Val: e.Table[a.Val]}
+			}
+			return PartialResult{Known: true, Val: 0}
+		}
+		return unknown
+	}
+	return unknown
+}

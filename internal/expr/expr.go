@@ -1,0 +1,134 @@
+// Package expr implements the hash-consed bitvector expression DAG that
+// the symbolic executor builds and the solver decides. Expressions are
+// immutable and deduplicated: structurally identical terms are the same
+// pointer, so DAG sharing across forked states is free and equality
+// tests are O(1).
+//
+// The expression language mirrors the IR's scalar semantics exactly
+// (the same ir.EvalBin/EvalCmp/EvalCast functions evaluate both), which
+// is what makes "the verifier and the CPU agree" testable.
+package expr
+
+import (
+	"fmt"
+
+	"overify/internal/ir"
+)
+
+// Kind classifies an expression node.
+type Kind int
+
+// Expression node kinds.
+const (
+	KConst Kind = iota
+	KVar
+	KBin    // ir binary op
+	KCmp    // ir comparison (1-bit result)
+	KSelect // ite(cond, a, b)
+	KCast   // zext/sext/trunc
+	KRead   // table[idx]: read of a concrete array at a symbolic index
+)
+
+// Var is a symbolic variable: one byte of program input.
+type Var struct {
+	Name string
+	Bits int
+	Idx  int // position in the input buffer
+}
+
+// Expr is an immutable, hash-consed expression node. Two structurally
+// equal expressions built by the same Builder are pointer-equal.
+type Expr struct {
+	Kind Kind
+	Bits int // result width in bits
+
+	Op    ir.Op    // KBin, KCmp, KCast
+	Val   uint64   // KConst
+	V     *Var     // KVar
+	Args  []*Expr  // operands (KBin: 2, KCmp: 2, KSelect: 3, KCast: 1, KRead: 1)
+	Table []uint64 // KRead: the concrete cell values (masked to Bits)
+
+	id int64 // unique per Builder; used for canonical cache keys
+}
+
+// ID returns the node's builder-unique id.
+func (e *Expr) ID() int64 { return e.id }
+
+// IsConst reports whether e is a constant, returning its value.
+func (e *Expr) IsConst() (uint64, bool) {
+	if e.Kind == KConst {
+		return e.Val, true
+	}
+	return 0, false
+}
+
+// IsTrue reports whether e is the constant 1 of width 1.
+func (e *Expr) IsTrue() bool { return e.Kind == KConst && e.Bits == 1 && e.Val == 1 }
+
+// IsFalse reports whether e is the constant 0 of width 1.
+func (e *Expr) IsFalse() bool { return e.Kind == KConst && e.Bits == 1 && e.Val == 0 }
+
+// String renders the expression tree (shared nodes are re-printed).
+func (e *Expr) String() string {
+	switch e.Kind {
+	case KConst:
+		return fmt.Sprintf("%d:i%d", e.Val, e.Bits)
+	case KVar:
+		return e.V.Name
+	case KBin, KCmp:
+		return fmt.Sprintf("(%s %s %s)", e.Op, e.Args[0], e.Args[1])
+	case KSelect:
+		return fmt.Sprintf("(ite %s %s %s)", e.Args[0], e.Args[1], e.Args[2])
+	case KCast:
+		return fmt.Sprintf("(%s %s to i%d)", e.Op, e.Args[0], e.Bits)
+	case KRead:
+		return fmt.Sprintf("(read[%d] %s)", len(e.Table), e.Args[0])
+	}
+	return "?"
+}
+
+// Vars appends the distinct variables of e to out (deduplicated via seen).
+func (e *Expr) Vars(seen map[*Var]bool, visited map[*Expr]bool) {
+	if visited[e] {
+		return
+	}
+	visited[e] = true
+	if e.Kind == KVar {
+		seen[e.V] = true
+		return
+	}
+	for _, a := range e.Args {
+		a.Vars(seen, visited)
+	}
+}
+
+// VarsOf returns the distinct variables appearing in the expressions.
+func VarsOf(es ...*Expr) []*Var {
+	seen := make(map[*Var]bool)
+	visited := make(map[*Expr]bool)
+	for _, e := range es {
+		e.Vars(seen, visited)
+	}
+	out := make([]*Var, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	return out
+}
+
+// Size returns the number of distinct DAG nodes reachable from e.
+func (e *Expr) Size() int {
+	visited := make(map[*Expr]bool)
+	var walk func(x *Expr)
+	walk = func(x *Expr) {
+		if visited[x] {
+			return
+		}
+		visited[x] = true
+		for _, a := range x.Args {
+			walk(a)
+		}
+	}
+	walk(e)
+	return len(visited)
+}

@@ -1,0 +1,201 @@
+package expr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"overify/internal/ir"
+)
+
+func TestHashConsing(t *testing.T) {
+	b := NewBuilder()
+	v := &Var{Name: "x", Bits: 8}
+	x1 := b.Var(v)
+	x2 := b.Var(v)
+	if x1 != x2 {
+		t.Error("same var interned twice")
+	}
+	a := b.Bin(ir.OpAdd, b.Cast(ir.OpZExt, x1, 32), b.Const(32, 5))
+	c := b.Bin(ir.OpAdd, b.Cast(ir.OpZExt, x2, 32), b.Const(32, 5))
+	if a != c {
+		t.Error("structurally equal expressions must be pointer-equal")
+	}
+}
+
+func TestBuilderFolding(t *testing.T) {
+	b := NewBuilder()
+	if v, ok := b.Bin(ir.OpAdd, b.Const(32, 2), b.Const(32, 3)).IsConst(); !ok || v != 5 {
+		t.Error("2+3 must fold")
+	}
+	v := b.Var(&Var{Name: "x", Bits: 8})
+	x := b.Cast(ir.OpZExt, v, 32)
+	if b.Bin(ir.OpAdd, x, b.Const(32, 0)) != x {
+		t.Error("x+0 must simplify to x")
+	}
+	if got, ok := b.Bin(ir.OpMul, x, b.Const(32, 0)).IsConst(); !ok || got != 0 {
+		t.Error("x*0 must fold to 0")
+	}
+	if b.Bin(ir.OpXor, x, x).Kind != KConst {
+		t.Error("x^x must fold to 0")
+	}
+	// Double negation of a boolean.
+	c := b.Cmp(ir.OpEq, x, b.Const(32, 7))
+	if b.Not(b.Not(c)) != c {
+		t.Error("!!c must be c")
+	}
+	// Select with boolean arms.
+	if b.Select(c, b.True(), b.False()) != c {
+		t.Error("ite(c,1,0) must be c")
+	}
+	// Comparison narrowing through zext.
+	n := b.Cmp(ir.OpEq, x, b.Const(32, 300))
+	if !n.IsFalse() {
+		t.Errorf("zext8 == 300 must be false, got %s", n)
+	}
+}
+
+func TestCastChains(t *testing.T) {
+	b := NewBuilder()
+	v := b.Var(&Var{Name: "x", Bits: 8})
+	z32 := b.Cast(ir.OpZExt, v, 32)
+	back := b.Cast(ir.OpTrunc, z32, 8)
+	if back != v {
+		t.Error("trunc(zext(x)) to original width must be x")
+	}
+	z64 := b.Cast(ir.OpZExt, z32, 64)
+	if z64.Kind != KCast || z64.Args[0] != v {
+		t.Error("zext(zext(x)) must collapse to one zext from the source")
+	}
+}
+
+// randomExpr builds a random expression over the given vars.
+func randomExpr(r *rand.Rand, b *Builder, vars []*Var, depth int) *Expr {
+	if depth <= 0 || r.Intn(4) == 0 {
+		if r.Intn(2) == 0 {
+			return b.Cast(ir.OpZExt, b.Var(vars[r.Intn(len(vars))]), 32)
+		}
+		return b.Const(32, uint64(r.Intn(512)))
+	}
+	x := randomExpr(r, b, vars, depth-1)
+	y := randomExpr(r, b, vars, depth-1)
+	ops := []ir.Op{ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpShl, ir.OpLShr}
+	switch r.Intn(3) {
+	case 0:
+		c := b.Cmp(ir.OpULt, x, y)
+		return b.Cast(ir.OpZExt, c, 32)
+	case 1:
+		c := b.Cmp(ir.OpEq, x, b.Const(32, uint64(r.Intn(256))))
+		return b.Select(c, x, y)
+	default:
+		return b.Bin(ops[r.Intn(len(ops))], x, y)
+	}
+}
+
+// TestSimplifierSoundness: whatever the builder's on-the-fly
+// simplifications do, evaluating the built expression must equal
+// evaluating the unsimplified semantics. We check by comparing two
+// differently-associated constructions of the same semantic value.
+func TestSimplifierSoundness(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	vars := []*Var{
+		{Name: "a", Bits: 8}, {Name: "b", Bits: 8}, {Name: "c", Bits: 8},
+	}
+	for trial := 0; trial < 2000; trial++ {
+		b := NewBuilder()
+		e := randomExpr(r, b, vars, 4)
+		asn := map[*Var]uint64{}
+		for _, v := range vars {
+			asn[v] = uint64(r.Intn(256))
+		}
+		got := Eval(e, asn)
+		// An independent evaluator: partial evaluation with a full
+		// assignment must agree with Eval.
+		pe := NewPartialEvaluator(asn)
+		res := pe.Eval(e)
+		if !res.Known || res.Val != got {
+			t.Fatalf("trial %d: Eval=%d PartialEval=%+v for %s", trial, got, res, e)
+		}
+	}
+}
+
+// TestPartialEvalConservative: with a partial assignment, a Known result
+// must match the full evaluation for every completion of the assignment.
+func TestPartialEvalConservative(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	vars := []*Var{
+		{Name: "a", Bits: 8}, {Name: "b", Bits: 8},
+	}
+	for trial := 0; trial < 500; trial++ {
+		b := NewBuilder()
+		e := randomExpr(r, b, vars, 3)
+		partial := map[*Var]uint64{vars[0]: uint64(r.Intn(256))}
+		pe := NewPartialEvaluator(partial)
+		res := pe.Eval(e)
+		if !res.Known {
+			continue
+		}
+		// Try several completions; all must agree with the partial value.
+		for k := 0; k < 16; k++ {
+			full := map[*Var]uint64{vars[0]: partial[vars[0]], vars[1]: uint64(r.Intn(256))}
+			if got := Eval(e, full); got != res.Val {
+				t.Fatalf("trial %d: partial said %d but completion gives %d for %s",
+					trial, res.Val, got, e)
+			}
+		}
+	}
+}
+
+func TestReadNode(t *testing.T) {
+	b := NewBuilder()
+	table := []uint64{10, 20, 30, 40}
+	v := &Var{Name: "i", Bits: 8}
+	idx := b.Cast(ir.OpZExt, b.Var(v), 64)
+	e := b.Read(table, 8, idx)
+	if e.Kind != KRead {
+		t.Fatalf("kind = %v", e.Kind)
+	}
+	if got := Eval(e, map[*Var]uint64{v: 2}); got != 30 {
+		t.Errorf("read[2] = %d", got)
+	}
+	// Constant index folds at build time.
+	c := b.Read(table, 8, b.Const(64, 1))
+	if got, ok := c.IsConst(); !ok || got != 20 {
+		t.Errorf("read const idx = %v %v", got, ok)
+	}
+}
+
+func TestVarsOf(t *testing.T) {
+	b := NewBuilder()
+	va := &Var{Name: "a", Bits: 8}
+	vb := &Var{Name: "b", Bits: 8}
+	e := b.Bin(ir.OpAdd,
+		b.Cast(ir.OpZExt, b.Var(va), 32),
+		b.Cast(ir.OpZExt, b.Var(vb), 32))
+	vars := VarsOf(e)
+	if len(vars) != 2 {
+		t.Errorf("got %d vars", len(vars))
+	}
+}
+
+// TestEvalMatchesIRSemantics cross-checks expr evaluation against the
+// shared ir.EvalBin on random values (they use the same code, so this
+// is a regression guard on the wiring, not the math).
+func TestEvalMatchesIRSemantics(t *testing.T) {
+	prop := func(a, b uint64) bool {
+		bld := NewBuilder()
+		x := bld.Const(32, a)
+		y := bld.Const(32, b)
+		for _, op := range []ir.Op{ir.OpAdd, ir.OpMul, ir.OpAnd, ir.OpLShr} {
+			e := bld.Bin(op, x, y)
+			want, _ := ir.EvalBin(op, 32, a, b)
+			if got, ok := e.IsConst(); !ok || got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

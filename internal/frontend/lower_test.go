@@ -1,0 +1,88 @@
+package frontend_test
+
+import (
+	"testing"
+
+	"overify/internal/frontend"
+	"overify/internal/interp"
+	"overify/internal/ir"
+)
+
+// wcSrc is Listing 1 from the paper, with the libc calls defined inline.
+const wcSrc = `
+int isspace(int c) {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == 11 || c == 12;
+}
+int isalpha(int c) {
+	return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z');
+}
+int wc(unsigned char *str, int any) {
+	int res = 0;
+	int new_word = 1;
+	for (unsigned char *p = str; *p; ++p) {
+		if (isspace(*p) || (any && !isalpha(*p))) {
+			new_word = 1;
+		} else {
+			if (new_word) {
+				++res;
+				new_word = 0;
+			}
+		}
+	}
+	return res;
+}
+`
+
+func runWc(t *testing.T, input string, any int64) int64 {
+	t.Helper()
+	mod, err := frontend.Lower("wc", wcSrc)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	m := interp.NewMachine(mod, interp.Options{})
+	buf := interp.ByteObject("input", append([]byte(input), 0))
+	ret, err := m.Call("wc",
+		interp.PtrVal(buf, 0),
+		interp.IntVal(ir.I32, uint64(any)))
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return ir.SignExtend(32, ret.Bits)
+}
+
+func TestWcCountsWords(t *testing.T) {
+	tests := []struct {
+		in   string
+		any  int64
+		want int64
+	}{
+		{"", 0, 0},
+		{"hello", 0, 1},
+		{"hello world", 0, 2},
+		{"  leading and   trailing  ", 0, 3},
+		{"tab\tsep\nlines", 0, 3},
+		{"a,b,c", 0, 1}, // commas are not spaces
+		{"a,b,c", 1, 3}, // any!=0: non-alpha separates
+		{"x1y", 1, 2},   // digits split words when any!=0
+		{"...", 1, 0},
+		{"one", 1, 1},
+	}
+	for _, tt := range tests {
+		if got := runWc(t, tt.in, tt.any); got != tt.want {
+			t.Errorf("wc(%q, %d) = %d, want %d", tt.in, tt.any, got, tt.want)
+		}
+	}
+}
+
+func TestLowerVerifies(t *testing.T) {
+	mod, err := frontend.Lower("wc", wcSrc)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	if err := ir.VerifyModule(mod); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if mod.Func("wc") == nil || mod.Func("isspace") == nil {
+		t.Fatal("missing functions in module")
+	}
+}

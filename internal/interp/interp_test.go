@@ -1,0 +1,202 @@
+package interp_test
+
+import (
+	"errors"
+	"testing"
+
+	"overify/internal/frontend"
+	"overify/internal/interp"
+	"overify/internal/ir"
+)
+
+func runSrc(t *testing.T, src, fn string, args ...interp.Value) (interp.Value, error) {
+	t.Helper()
+	mod, err := frontend.Lower("t", src)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	m := interp.NewMachine(mod, interp.Options{})
+	return m.Call(fn, args...)
+}
+
+func i32v(v int64) interp.Value { return interp.IntVal(ir.I32, uint64(v)) }
+
+func TestArithmetic(t *testing.T) {
+	src := `
+	int f(int a, int b) {
+		return (a + b) * 3 - a / (b + 1) + a % 7;
+	}`
+	ret, err := runSrc(t, src, "f", i32v(20), i32v(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64((20+4)*3 - 20/5 + 20%7)
+	if got := ir.SignExtend(32, ret.Bits); got != want {
+		t.Errorf("got %d, want %d", got, want)
+	}
+}
+
+func TestSignedNegatives(t *testing.T) {
+	src := `
+	int f(int a) {
+		if (a < 0) { return -a / 2; }
+		return a * -1;
+	}`
+	ret, err := runSrc(t, src, "f", i32v(-10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ir.SignExtend(32, ret.Bits); got != 5 {
+		t.Errorf("f(-10) = %d, want 5", got)
+	}
+	ret, _ = runSrc(t, src, "f", i32v(7))
+	if got := ir.SignExtend(32, ret.Bits); got != -7 {
+		t.Errorf("f(7) = %d, want -7", got)
+	}
+}
+
+func TestTrapDivByZero(t *testing.T) {
+	_, err := runSrc(t, `int f(int a) { return 1 / a; }`, "f", i32v(0))
+	var tr *interp.Trap
+	if !errors.As(err, &tr) || tr.Kind != interp.TrapDivByZero {
+		t.Errorf("err = %v, want div-by-zero trap", err)
+	}
+}
+
+func TestTrapOutOfBounds(t *testing.T) {
+	_, err := runSrc(t, `int f(int i) { int a[3]; return a[i]; }`, "f", i32v(5))
+	var tr *interp.Trap
+	if !errors.As(err, &tr) || tr.Kind != interp.TrapOutOfBounds {
+		t.Errorf("err = %v, want out-of-bounds trap", err)
+	}
+}
+
+func TestTrapNullDeref(t *testing.T) {
+	src := `
+	int deref(int *p) { return *p; }
+	int f(void) { return deref((int*)0); }`
+	_, err := runSrc(t, src, "f")
+	var tr *interp.Trap
+	if !errors.As(err, &tr) || tr.Kind != interp.TrapNullDeref {
+		t.Errorf("err = %v, want null-deref trap", err)
+	}
+}
+
+func TestTrapStoreToConst(t *testing.T) {
+	src := `
+	const char tab[2] = {1, 2};
+	void f(void) { tab[0] = 9; }`
+	mod, err := frontend.Lower("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := interp.NewMachine(mod, interp.Options{})
+	_, err = m.Call("f")
+	var tr *interp.Trap
+	if !errors.As(err, &tr) || tr.Kind != interp.TrapStoreConst {
+		t.Errorf("err = %v, want store-const trap", err)
+	}
+}
+
+func TestRecursionAndDepthLimit(t *testing.T) {
+	src := `
+	int fib(int n) {
+		if (n < 2) { return n; }
+		return fib(n - 1) + fib(n - 2);
+	}
+	int inf(int n) { return inf(n + 1); }`
+	ret, err := runSrc(t, src, "fib", i32v(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ret.Bits != 610 {
+		t.Errorf("fib(15) = %d", ret.Bits)
+	}
+	_, err = runSrc(t, src, "inf", i32v(0))
+	var tr *interp.Trap
+	if !errors.As(err, &tr) || tr.Kind != interp.TrapLimit {
+		t.Errorf("err = %v, want limit trap", err)
+	}
+}
+
+func TestStepBudget(t *testing.T) {
+	src := `int f(void) { int i = 0; while (1) { i++; } return i; }`
+	mod, err := frontend.Lower("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := interp.NewMachine(mod, interp.Options{MaxSteps: 10_000})
+	_, err = m.Call("f")
+	var tr *interp.Trap
+	if !errors.As(err, &tr) || tr.Kind != interp.TrapLimit {
+		t.Errorf("err = %v, want step-limit trap", err)
+	}
+}
+
+func TestPointerIdioms(t *testing.T) {
+	src := `
+	int f(unsigned char *s) {
+		unsigned char *p = s;
+		while (*p) { p++; }
+		return (int)(p - s);
+	}`
+	mod, err := frontend.Lower("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := interp.NewMachine(mod, interp.Options{})
+	buf := interp.ByteObject("s", []byte("hello\x00"))
+	ret, err := m.Call("f", interp.PtrVal(buf, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ret.Bits != 5 {
+		t.Errorf("strlen via ptrdiff = %d", ret.Bits)
+	}
+}
+
+func TestGlobalState(t *testing.T) {
+	src := `
+	int counter;
+	int bump(void) { counter += 1; return counter; }
+	int f(void) { bump(); bump(); return bump(); }`
+	ret, err := runSrc(t, src, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ret.Bits != 3 {
+		t.Errorf("counter = %d, want 3", ret.Bits)
+	}
+}
+
+func TestCharWrapping(t *testing.T) {
+	// unsigned char arithmetic wraps at 256 via truncation on store.
+	src := `
+	int f(void) {
+		unsigned char c = 200;
+		c = (unsigned char)(c + 100);
+		return (int)c;
+	}`
+	ret, err := runSrc(t, src, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ret.Bits != 44 {
+		t.Errorf("got %d, want 44 (300 mod 256)", ret.Bits)
+	}
+}
+
+func TestStats(t *testing.T) {
+	src := `int f(int n) { int s = 0; for (int i = 0; i < n; i++) { s += i; } return s; }`
+	mod, err := frontend.Lower("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := interp.NewMachine(mod, interp.Options{})
+	if _, err := m.Call("f", i32v(10)); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats.Instrs == 0 || m.Stats.Branches == 0 || m.Stats.Stores == 0 {
+		t.Errorf("stats not collected: %+v", m.Stats)
+	}
+}

@@ -1,0 +1,229 @@
+package ir
+
+import "fmt"
+
+// Builder provides a convenient API for emitting instructions at the end
+// of a current block, with result-type inference and light validation.
+type Builder struct {
+	Fn  *Function
+	Cur *Block
+}
+
+// NewBuilder returns a builder positioned at b.
+func NewBuilder(fn *Function, b *Block) *Builder {
+	return &Builder{Fn: fn, Cur: b}
+}
+
+// SetBlock repositions the builder.
+func (bd *Builder) SetBlock(b *Block) { bd.Cur = b }
+
+// Closed reports whether the current block already has a terminator, in
+// which case further emission is a frontend bug.
+func (bd *Builder) Closed() bool { return bd.Cur.Term() != nil }
+
+func (bd *Builder) emit(in *Instr) *Instr {
+	if bd.Closed() {
+		panic(fmt.Sprintf("ir: emit %s into closed block %s", in.Op, bd.Cur.Name))
+	}
+	return bd.Cur.Append(in)
+}
+
+func intOf(v Value, op Op) IntType {
+	it, ok := v.Type().(IntType)
+	if !ok {
+		panic(fmt.Sprintf("ir: %s: integer operand required, got %s", op, v.Type()))
+	}
+	return it
+}
+
+// Bin emits a binary arithmetic/bitwise instruction.
+func (bd *Builder) Bin(op Op, a, b Value) *Instr {
+	if !op.IsBinary() {
+		panic("ir: Bin: " + op.String() + " is not binary")
+	}
+	at := intOf(a, op)
+	bt := intOf(b, op)
+	if at.Bits != bt.Bits {
+		panic(fmt.Sprintf("ir: %s: width mismatch %s vs %s", op, at, bt))
+	}
+	return bd.emit(&Instr{Op: op, Typ: at, Args: []Value{a, b}})
+}
+
+// Cmp emits an integer or pointer comparison producing i1. Pointer
+// comparisons use the unsigned predicates plus eq/ne.
+func (bd *Builder) Cmp(op Op, a, b Value) *Instr {
+	if !op.IsCmp() {
+		panic("ir: Cmp: " + op.String() + " is not a comparison")
+	}
+	if _, aPtr := a.Type().(PtrType); aPtr {
+		if !SameType(a.Type(), b.Type()) {
+			panic(fmt.Sprintf("ir: %s: pointer type mismatch %s vs %s", op, a.Type(), b.Type()))
+		}
+		switch op {
+		case OpEq, OpNe, OpULt, OpULe, OpUGt, OpUGe:
+		default:
+			panic("ir: " + op.String() + " not valid on pointers")
+		}
+		return bd.emit(&Instr{Op: op, Typ: I1, Args: []Value{a, b}})
+	}
+	at := intOf(a, op)
+	bt := intOf(b, op)
+	if at.Bits != bt.Bits {
+		panic(fmt.Sprintf("ir: %s: width mismatch %s vs %s", op, at, bt))
+	}
+	return bd.emit(&Instr{Op: op, Typ: I1, Args: []Value{a, b}})
+}
+
+// PtrDiff emits the i64 element distance between two pointers of the same
+// type into the same object.
+func (bd *Builder) PtrDiff(a, b Value) *Instr {
+	if !SameType(a.Type(), b.Type()) {
+		panic("ir: ptrdiff: operand type mismatch")
+	}
+	if _, ok := a.Type().(PtrType); !ok {
+		panic("ir: ptrdiff: pointer operands required")
+	}
+	return bd.emit(&Instr{Op: OpPtrDiff, Typ: I64, Args: []Value{a, b}})
+}
+
+// Select emits select(cond, t, f).
+func (bd *Builder) Select(cond, t, f Value) *Instr {
+	if !SameType(cond.Type(), I1) {
+		panic("ir: select: cond must be i1")
+	}
+	if !SameType(t.Type(), f.Type()) {
+		panic("ir: select: arm type mismatch")
+	}
+	return bd.emit(&Instr{Op: OpSelect, Typ: t.Type(), Args: []Value{cond, t, f}})
+}
+
+// ZExt zero-extends v to type to.
+func (bd *Builder) ZExt(v Value, to IntType) *Instr {
+	return bd.emit(&Instr{Op: OpZExt, Typ: to, Args: []Value{v}})
+}
+
+// SExt sign-extends v to type to.
+func (bd *Builder) SExt(v Value, to IntType) *Instr {
+	return bd.emit(&Instr{Op: OpSExt, Typ: to, Args: []Value{v}})
+}
+
+// Trunc truncates v to type to.
+func (bd *Builder) Trunc(v Value, to IntType) *Instr {
+	return bd.emit(&Instr{Op: OpTrunc, Typ: to, Args: []Value{v}})
+}
+
+// IntCast converts v to integer type to, zero- or sign-extending when
+// widening and truncating when narrowing. Same-width is the identity.
+func (bd *Builder) IntCast(v Value, to IntType, signed bool) Value {
+	from := intOf(v, OpZExt)
+	switch {
+	case from.Bits == to.Bits:
+		return v
+	case from.Bits > to.Bits:
+		return bd.Trunc(v, to)
+	case signed:
+		return bd.SExt(v, to)
+	default:
+		return bd.ZExt(v, to)
+	}
+}
+
+// Alloca allocates count elements of elem in the frame.
+func (bd *Builder) Alloca(elem Type, count int64) *Instr {
+	return bd.emit(&Instr{Op: OpAlloca, Typ: PtrTo(elem), Allocated: elem, Count: count})
+}
+
+// Load reads the element pointed to by ptr.
+func (bd *Builder) Load(ptr Value) *Instr {
+	pt, ok := ptr.Type().(PtrType)
+	if !ok {
+		panic("ir: load: pointer operand required")
+	}
+	return bd.emit(&Instr{Op: OpLoad, Typ: pt.Elem, Args: []Value{ptr}})
+}
+
+// Store writes val through ptr.
+func (bd *Builder) Store(val, ptr Value) *Instr {
+	pt, ok := ptr.Type().(PtrType)
+	if !ok {
+		panic("ir: store: pointer operand required")
+	}
+	if !SameType(pt.Elem, val.Type()) {
+		panic(fmt.Sprintf("ir: store: %s into %s", val.Type(), ptr.Type()))
+	}
+	return bd.emit(&Instr{Op: OpStore, Typ: Void, Args: []Value{val, ptr}})
+}
+
+// GEP computes &base[index]; index must be i64.
+func (bd *Builder) GEP(base, index Value) *Instr {
+	if _, ok := base.Type().(PtrType); !ok {
+		panic("ir: gep: pointer operand required")
+	}
+	if it, ok := index.Type().(IntType); !ok || it.Bits != 64 {
+		panic("ir: gep: index must be i64")
+	}
+	return bd.emit(&Instr{Op: OpGEP, Typ: base.Type(), Args: []Value{base, index}})
+}
+
+// Call emits a direct call.
+func (bd *Builder) Call(callee *Function, args ...Value) *Instr {
+	if len(args) != len(callee.Sig.Params) {
+		panic(fmt.Sprintf("ir: call %s: %d args, want %d", callee.Name, len(args), len(callee.Sig.Params)))
+	}
+	for i, a := range args {
+		if !SameType(a.Type(), callee.Sig.Params[i]) {
+			panic(fmt.Sprintf("ir: call %s: arg %d is %s, want %s",
+				callee.Name, i, a.Type(), callee.Sig.Params[i]))
+		}
+	}
+	return bd.emit(&Instr{Op: OpCall, Typ: callee.Sig.Ret, Callee: callee, Args: args})
+}
+
+// Phi emits an empty phi of type t at the top of the current block;
+// incoming edges are added with SetPhiIncoming.
+func (bd *Builder) Phi(t Type) *Instr {
+	in := &Instr{Op: OpPhi, Typ: t}
+	in.Blk = bd.Cur
+	bd.Fn.ClaimID(in)
+	// Phis must stay grouped at the block head.
+	pos := bd.Cur.FirstNonPhi()
+	bd.Cur.Instrs = append(bd.Cur.Instrs, nil)
+	copy(bd.Cur.Instrs[pos+1:], bd.Cur.Instrs[pos:])
+	bd.Cur.Instrs[pos] = in
+	return in
+}
+
+// Check emits a runtime check that cond holds.
+func (bd *Builder) Check(kind CheckKind, cond Value, msg string) *Instr {
+	if !SameType(cond.Type(), I1) {
+		panic("ir: check: cond must be i1")
+	}
+	return bd.emit(&Instr{Op: OpCheck, Typ: Void, Kind: kind, Args: []Value{cond}, Msg: msg})
+}
+
+// Br emits an unconditional branch to dst and closes the block.
+func (bd *Builder) Br(dst *Block) *Instr {
+	return bd.emit(&Instr{Op: OpBr, Typ: Void, Succs: []*Block{dst}})
+}
+
+// CondBr branches to then when cond is true, otherwise to els.
+func (bd *Builder) CondBr(cond Value, then, els *Block) *Instr {
+	if !SameType(cond.Type(), I1) {
+		panic("ir: condbr: cond must be i1")
+	}
+	return bd.emit(&Instr{Op: OpCondBr, Typ: Void, Args: []Value{cond}, Succs: []*Block{then, els}})
+}
+
+// Ret emits a return; v may be nil for void functions.
+func (bd *Builder) Ret(v Value) *Instr {
+	in := &Instr{Op: OpRet, Typ: Void}
+	if v != nil {
+		in.Args = []Value{v}
+	}
+	return bd.emit(in)
+}
+
+// Unreachable marks the end of a block control cannot reach.
+func (bd *Builder) Unreachable() *Instr {
+	return bd.emit(&Instr{Op: OpUnreachable, Typ: Void})
+}

@@ -1,0 +1,99 @@
+package ir
+
+// ValueMap maps original values to their clones during region duplication.
+type ValueMap map[Value]Value
+
+// Lookup returns the mapping for v, defaulting to v itself (constants,
+// globals and values defined outside the cloned region map to themselves).
+func (vm ValueMap) Lookup(v Value) Value {
+	if nv, ok := vm[v]; ok {
+		return nv
+	}
+	return v
+}
+
+// CloneBlocks duplicates the given blocks into f, remapping operands and
+// successor edges that point inside the region. Values defined outside the
+// region (and blocks outside it) are left as-is. The returned map extends
+// vm with old-block→new-block and old-instr→new-instr entries.
+//
+// The caller provides vm pre-seeded with any additional substitutions
+// (e.g. parameter→argument for inlining); pass nil for none.
+func CloneBlocks(f *Function, region []*Block, vm ValueMap) (map[*Block]*Block, ValueMap) {
+	if vm == nil {
+		vm = make(ValueMap)
+	}
+	blockMap := make(map[*Block]*Block, len(region))
+	// First create empty clones so intra-region branches can be remapped.
+	for _, b := range region {
+		nb := &Block{Name: b.Name}
+		f.AdoptBlock(nb)
+		blockMap[b] = nb
+	}
+	// Clone instructions.
+	for _, b := range region {
+		nb := blockMap[b]
+		for _, in := range b.Instrs {
+			ni := &Instr{
+				Op:        in.Op,
+				Typ:       in.Typ,
+				Callee:    in.Callee,
+				Allocated: in.Allocated,
+				Count:     in.Count,
+				Kind:      in.Kind,
+				Msg:       in.Msg,
+			}
+			if in.Meta != nil {
+				m := *in.Meta
+				ni.Meta = &m
+			}
+			ni.Args = make([]Value, len(in.Args))
+			copy(ni.Args, in.Args) // remapped below
+			if in.Succs != nil {
+				ni.Succs = make([]*Block, len(in.Succs))
+				for i, s := range in.Succs {
+					if ns, ok := blockMap[s]; ok {
+						ni.Succs[i] = ns
+					} else {
+						ni.Succs[i] = s
+					}
+				}
+			}
+			if in.Incoming != nil {
+				ni.Incoming = make([]*Block, len(in.Incoming))
+				copy(ni.Incoming, in.Incoming) // remapped below
+			}
+			f.ClaimID(ni)
+			ni.Blk = nb
+			nb.Instrs = append(nb.Instrs, ni)
+			vm[in] = ni
+		}
+	}
+	// Remap operands and phi incoming blocks.
+	for _, b := range region {
+		for i, in := range b.Instrs {
+			ni := blockMap[b].Instrs[i]
+			for j, a := range ni.Args {
+				ni.Args[j] = vm.Lookup(a)
+			}
+			for j, ib := range ni.Incoming {
+				if nib, ok := blockMap[ib]; ok {
+					ni.Incoming[j] = nib
+				}
+			}
+			_ = in
+		}
+	}
+	return blockMap, vm
+}
+
+// CloneFunctionBody clones all blocks of src into dst, substituting
+// src's parameters with the given argument values. Returns the block map
+// and value map for the caller to wire up entry/exit.
+func CloneFunctionBody(dst *Function, src *Function, args []Value) (map[*Block]*Block, ValueMap) {
+	vm := make(ValueMap, len(args))
+	for i, p := range src.Params {
+		vm[p] = args[i]
+	}
+	return CloneBlocks(dst, src.Blocks, vm)
+}

@@ -1,0 +1,199 @@
+package ir
+
+// DomTree holds immediate-dominator information for a function's CFG,
+// computed with the Cooper–Harvey–Kennedy iterative algorithm.
+type DomTree struct {
+	fn    *Function
+	idom  map[*Block]*Block
+	order map[*Block]int // reverse postorder index; unreachable blocks absent
+	rpo   []*Block
+}
+
+// ReversePostorder returns the function's reachable blocks in reverse
+// postorder (entry first).
+func ReversePostorder(f *Function) []*Block {
+	seen := make(map[*Block]bool, len(f.Blocks))
+	var post []*Block
+	var visit func(b *Block)
+	visit = func(b *Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.Succs() {
+			visit(s)
+		}
+		post = append(post, b)
+	}
+	if e := f.Entry(); e != nil {
+		visit(e)
+	}
+	// Reverse in place.
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	return post
+}
+
+// ComputeDom builds the dominator tree of f's reachable CFG.
+func ComputeDom(f *Function) *DomTree {
+	dt := &DomTree{
+		fn:    f,
+		idom:  make(map[*Block]*Block),
+		order: make(map[*Block]int),
+	}
+	dt.rpo = ReversePostorder(f)
+	for i, b := range dt.rpo {
+		dt.order[b] = i
+	}
+	entry := f.Entry()
+	if entry == nil {
+		return dt
+	}
+	preds := f.Preds()
+	dt.idom[entry] = entry
+	for changed := true; changed; {
+		changed = false
+		for _, b := range dt.rpo {
+			if b == entry {
+				continue
+			}
+			var newIdom *Block
+			for _, p := range preds[b] {
+				if dt.idom[p] == nil {
+					continue // not yet processed or unreachable
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = dt.intersect(p, newIdom)
+				}
+			}
+			if newIdom != nil && dt.idom[b] != newIdom {
+				dt.idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	return dt
+}
+
+func (dt *DomTree) intersect(a, b *Block) *Block {
+	for a != b {
+		for dt.order[a] > dt.order[b] {
+			a = dt.idom[a]
+		}
+		for dt.order[b] > dt.order[a] {
+			b = dt.idom[b]
+		}
+	}
+	return a
+}
+
+// Idom returns the immediate dominator of b (entry's idom is entry itself);
+// nil for unreachable blocks.
+func (dt *DomTree) Idom(b *Block) *Block { return dt.idom[b] }
+
+// Reachable reports whether b is reachable from the entry.
+func (dt *DomTree) Reachable(b *Block) bool {
+	_, ok := dt.order[b]
+	return ok
+}
+
+// Dominates reports whether a dominates b (reflexively).
+func (dt *DomTree) Dominates(a, b *Block) bool {
+	if !dt.Reachable(a) || !dt.Reachable(b) {
+		return false
+	}
+	for {
+		if a == b {
+			return true
+		}
+		next := dt.idom[b]
+		if next == nil || next == b {
+			return false
+		}
+		b = next
+	}
+}
+
+// RPO returns the blocks in reverse postorder.
+func (dt *DomTree) RPO() []*Block { return dt.rpo }
+
+// Children returns the dominator-tree children of each block.
+func (dt *DomTree) Children() map[*Block][]*Block {
+	ch := make(map[*Block][]*Block)
+	for _, b := range dt.rpo {
+		if b == dt.fn.Entry() {
+			continue
+		}
+		id := dt.idom[b]
+		if id != nil {
+			ch[id] = append(ch[id], b)
+		}
+	}
+	return ch
+}
+
+// DominanceFrontiers computes the dominance frontier of every reachable
+// block (Cytron et al.), used for pruned-SSA phi placement in mem2reg.
+func (dt *DomTree) DominanceFrontiers() map[*Block][]*Block {
+	df := make(map[*Block][]*Block)
+	preds := dt.fn.Preds()
+	for _, b := range dt.rpo {
+		if len(preds[b]) < 2 {
+			continue
+		}
+		for _, p := range preds[b] {
+			if !dt.Reachable(p) {
+				continue
+			}
+			runner := p
+			for runner != dt.idom[b] {
+				found := false
+				for _, x := range df[runner] {
+					if x == b {
+						found = true
+						break
+					}
+				}
+				if !found {
+					df[runner] = append(df[runner], b)
+				}
+				next := dt.idom[runner]
+				if next == nil || next == runner {
+					break
+				}
+				runner = next
+			}
+		}
+	}
+	return df
+}
+
+// InstrDominates reports whether def is available at the point of use.
+// Both must belong to the same function; phi uses are considered to occur
+// at the end of the corresponding incoming block.
+func (dt *DomTree) InstrDominates(def *Instr, use *Instr, useOperand int) bool {
+	defB := def.Blk
+	useB := use.Blk
+	if use.Op == OpPhi {
+		useB = use.Incoming[useOperand]
+		if defB != useB {
+			return dt.Dominates(defB, useB)
+		}
+		return true // def in the incoming block dominates its end
+	}
+	if defB != useB {
+		return dt.Dominates(defB, useB)
+	}
+	for _, in := range defB.Instrs {
+		if in == def {
+			return true
+		}
+		if in == use {
+			return false
+		}
+	}
+	return false
+}

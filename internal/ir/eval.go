@@ -1,0 +1,123 @@
+package ir
+
+// This file centralizes the scalar semantics of the IR. Constant folding,
+// the concrete interpreter, the bytecode VM and the symbolic executor all
+// evaluate operations through these helpers, so a value computed four
+// different ways is guaranteed to agree bit-for-bit.
+
+// EvalBin evaluates a binary op on width-masked operands, returning the
+// masked result. ok is false exactly when the operation traps (division
+// or remainder by zero).
+func EvalBin(op Op, bits int, a, b uint64) (res uint64, ok bool) {
+	a = Mask(bits, a)
+	b = Mask(bits, b)
+	switch op {
+	case OpAdd:
+		return Mask(bits, a+b), true
+	case OpSub:
+		return Mask(bits, a-b), true
+	case OpMul:
+		return Mask(bits, a*b), true
+	case OpUDiv:
+		if b == 0 {
+			return 0, false
+		}
+		return Mask(bits, a/b), true
+	case OpSDiv:
+		if b == 0 {
+			return 0, false
+		}
+		sa, sb := SignExtend(bits, a), SignExtend(bits, b)
+		// Overflow case INT_MIN / -1 wraps (two's complement), like LLVM
+		// at the machine level; MiniC defines it as wrapping.
+		if sb == -1 {
+			return Mask(bits, uint64(-sa)), true
+		}
+		return Mask(bits, uint64(sa/sb)), true
+	case OpURem:
+		if b == 0 {
+			return 0, false
+		}
+		return Mask(bits, a%b), true
+	case OpSRem:
+		if b == 0 {
+			return 0, false
+		}
+		sa, sb := SignExtend(bits, a), SignExtend(bits, b)
+		if sb == -1 {
+			return 0, true
+		}
+		return Mask(bits, uint64(sa%sb)), true
+	case OpAnd:
+		return a & b, true
+	case OpOr:
+		return a | b, true
+	case OpXor:
+		return a ^ b, true
+	case OpShl:
+		if b >= uint64(bits) {
+			return 0, true
+		}
+		return Mask(bits, a<<b), true
+	case OpLShr:
+		if b >= uint64(bits) {
+			return 0, true
+		}
+		return a >> b, true
+	case OpAShr:
+		sa := SignExtend(bits, a)
+		if b >= uint64(bits) {
+			if sa < 0 {
+				return Mask(bits, ^uint64(0)), true
+			}
+			return 0, true
+		}
+		return Mask(bits, uint64(sa>>b)), true
+	}
+	panic("ir: EvalBin: not a binary op: " + op.String())
+}
+
+// EvalCmp evaluates an integer comparison on width-masked operands.
+func EvalCmp(op Op, bits int, a, b uint64) bool {
+	a = Mask(bits, a)
+	b = Mask(bits, b)
+	switch op {
+	case OpEq:
+		return a == b
+	case OpNe:
+		return a != b
+	case OpULt:
+		return a < b
+	case OpULe:
+		return a <= b
+	case OpUGt:
+		return a > b
+	case OpUGe:
+		return a >= b
+	}
+	sa, sb := SignExtend(bits, a), SignExtend(bits, b)
+	switch op {
+	case OpSLt:
+		return sa < sb
+	case OpSLe:
+		return sa <= sb
+	case OpSGt:
+		return sa > sb
+	case OpSGe:
+		return sa >= sb
+	}
+	panic("ir: EvalCmp: not a comparison: " + op.String())
+}
+
+// EvalCast evaluates zext/sext/trunc from fromBits to toBits.
+func EvalCast(op Op, fromBits, toBits int, v uint64) uint64 {
+	switch op {
+	case OpZExt:
+		return Mask(fromBits, v)
+	case OpSExt:
+		return Mask(toBits, uint64(SignExtend(fromBits, v)))
+	case OpTrunc:
+		return Mask(toBits, v)
+	}
+	panic("ir: EvalCast: not a cast: " + op.String())
+}

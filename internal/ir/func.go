@@ -1,0 +1,275 @@
+package ir
+
+import "fmt"
+
+// Block is a basic block: a straight-line sequence of instructions ending
+// in exactly one terminator.
+type Block struct {
+	Name   string
+	Fn     *Function
+	Instrs []*Instr
+}
+
+// Term returns the block's terminator, or nil if the block is still open.
+func (b *Block) Term() *Instr {
+	if len(b.Instrs) == 0 {
+		return nil
+	}
+	last := b.Instrs[len(b.Instrs)-1]
+	if last.IsTerminator() {
+		return last
+	}
+	return nil
+}
+
+// Succs returns the successor blocks (empty for ret/unreachable).
+func (b *Block) Succs() []*Block {
+	if t := b.Term(); t != nil {
+		return t.Succs
+	}
+	return nil
+}
+
+// Append adds an instruction at the end of the block and claims ownership.
+func (b *Block) Append(in *Instr) *Instr {
+	in.Blk = b
+	if in.ID == 0 && b.Fn != nil {
+		b.Fn.nextID++
+		in.ID = b.Fn.nextID
+	}
+	b.Instrs = append(b.Instrs, in)
+	return in
+}
+
+// InsertBefore inserts in ahead of pos within the block. pos must be in
+// the block.
+func (b *Block) InsertBefore(in *Instr, pos *Instr) {
+	in.Blk = b
+	if in.ID == 0 && b.Fn != nil {
+		b.Fn.nextID++
+		in.ID = b.Fn.nextID
+	}
+	for i, x := range b.Instrs {
+		if x == pos {
+			b.Instrs = append(b.Instrs, nil)
+			copy(b.Instrs[i+1:], b.Instrs[i:])
+			b.Instrs[i] = in
+			return
+		}
+	}
+	panic("ir: InsertBefore: position not in block")
+}
+
+// Remove deletes in from the block. It does not fix up uses.
+func (b *Block) Remove(in *Instr) {
+	for i, x := range b.Instrs {
+		if x == in {
+			b.Instrs = append(b.Instrs[:i], b.Instrs[i+1:]...)
+			in.Blk = nil
+			return
+		}
+	}
+}
+
+// Phis returns the block's leading phi instructions.
+func (b *Block) Phis() []*Instr {
+	var out []*Instr
+	for _, in := range b.Instrs {
+		if in.Op != OpPhi {
+			break
+		}
+		out = append(out, in)
+	}
+	return out
+}
+
+// FirstNonPhi returns the index of the first non-phi instruction.
+func (b *Block) FirstNonPhi() int {
+	for i, in := range b.Instrs {
+		if in.Op != OpPhi {
+			return i
+		}
+	}
+	return len(b.Instrs)
+}
+
+// Function is a MiniC function lowered to IR. Blocks[0] is the entry block.
+type Function struct {
+	Name   string
+	Sig    FuncType
+	Params []*Param
+	Blocks []*Block
+	Mod    *Module
+
+	nextID    int // SSA register counter
+	nextBlock int // block name counter
+}
+
+// NewFunction creates an empty function with the given signature. Parameter
+// names default to p0, p1, ... if names is short.
+func NewFunction(name string, sig FuncType, names ...string) *Function {
+	f := &Function{Name: name, Sig: sig}
+	for i, pt := range sig.Params {
+		pn := fmt.Sprintf("p%d", i)
+		if i < len(names) && names[i] != "" {
+			pn = names[i]
+		}
+		f.Params = append(f.Params, &Param{Nam: pn, Typ: pt, Idx: i})
+	}
+	return f
+}
+
+// Entry returns the entry block (nil for declarations).
+func (f *Function) Entry() *Block {
+	if len(f.Blocks) == 0 {
+		return nil
+	}
+	return f.Blocks[0]
+}
+
+// NewBlock creates a block named after hint (made unique) and appends it.
+func (f *Function) NewBlock(hint string) *Block {
+	if hint == "" {
+		hint = "bb"
+	}
+	f.nextBlock++
+	b := &Block{Name: fmt.Sprintf("%s%d", hint, f.nextBlock), Fn: f}
+	f.Blocks = append(f.Blocks, b)
+	return b
+}
+
+// AdoptBlock appends an externally built block (used by cloning) and gives
+// it a fresh unique name.
+func (f *Function) AdoptBlock(b *Block) {
+	f.nextBlock++
+	b.Name = fmt.Sprintf("%s.%d", b.Name, f.nextBlock)
+	b.Fn = f
+	f.Blocks = append(f.Blocks, b)
+}
+
+// RemoveBlock deletes b from the function. It does not fix up edges.
+func (f *Function) RemoveBlock(b *Block) {
+	for i, x := range f.Blocks {
+		if x == b {
+			f.Blocks = append(f.Blocks[:i], f.Blocks[i+1:]...)
+			return
+		}
+	}
+}
+
+// ClaimID assigns a fresh SSA id to in (used when building instructions
+// outside a block, e.g. during cloning).
+func (f *Function) ClaimID(in *Instr) {
+	f.nextID++
+	in.ID = f.nextID
+}
+
+// Preds returns the predecessor map of the current CFG.
+func (f *Function) Preds() map[*Block][]*Block {
+	preds := make(map[*Block][]*Block, len(f.Blocks))
+	for _, b := range f.Blocks {
+		preds[b] = nil
+	}
+	for _, b := range f.Blocks {
+		for _, s := range b.Succs() {
+			preds[s] = append(preds[s], b)
+		}
+	}
+	return preds
+}
+
+// NumInstrs returns the instruction count across all blocks.
+func (f *Function) NumInstrs() int {
+	n := 0
+	for _, b := range f.Blocks {
+		n += len(b.Instrs)
+	}
+	return n
+}
+
+// NumBranches counts conditional branches, a key verification-cost metric.
+func (f *Function) NumBranches() int {
+	n := 0
+	for _, b := range f.Blocks {
+		if t := b.Term(); t != nil && t.Op == OpCondBr {
+			n++
+		}
+	}
+	return n
+}
+
+// IsDeclaration reports whether the function has no body.
+func (f *Function) IsDeclaration() bool { return len(f.Blocks) == 0 }
+
+// Module is a translation unit: an ordered set of functions and globals.
+type Module struct {
+	Name    string
+	Funcs   []*Function
+	Globals []*Global
+
+	funcsByName map[string]*Function
+	nextGlobal  int
+}
+
+// NewModule creates an empty module.
+func NewModule(name string) *Module {
+	return &Module{Name: name, funcsByName: make(map[string]*Function)}
+}
+
+// AddFunc appends f, replacing any declaration with the same name.
+func (m *Module) AddFunc(f *Function) *Function {
+	if old, ok := m.funcsByName[f.Name]; ok {
+		if !old.IsDeclaration() && !f.IsDeclaration() {
+			panic("ir: duplicate function definition " + f.Name)
+		}
+		if f.IsDeclaration() {
+			return old
+		}
+		// Replace the declaration in place.
+		for i, x := range m.Funcs {
+			if x == old {
+				m.Funcs[i] = f
+			}
+		}
+	} else {
+		m.Funcs = append(m.Funcs, f)
+	}
+	m.funcsByName[f.Name] = f
+	f.Mod = m
+	return f
+}
+
+// Func returns the function with the given name, or nil.
+func (m *Module) Func(name string) *Function { return m.funcsByName[name] }
+
+// AddGlobal appends g to the module, making its name unique if needed.
+func (m *Module) AddGlobal(g *Global) *Global {
+	for _, old := range m.Globals {
+		if old.Name == g.Name {
+			m.nextGlobal++
+			g.Name = fmt.Sprintf("%s.%d", g.Name, m.nextGlobal)
+		}
+	}
+	m.Globals = append(m.Globals, g)
+	return g
+}
+
+// Global returns the named global, or nil.
+func (m *Module) Global(name string) *Global {
+	for _, g := range m.Globals {
+		if g.Name == name {
+			return g
+		}
+	}
+	return nil
+}
+
+// NumInstrs returns the total instruction count of all function bodies,
+// the paper's static program-size metric.
+func (m *Module) NumInstrs() int {
+	n := 0
+	for _, f := range m.Funcs {
+		n += f.NumInstrs()
+	}
+	return n
+}

@@ -1,0 +1,146 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the module in an LLVM-like textual form, stable across
+// identical inputs and therefore usable in tests.
+func (m *Module) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "; module %s\n", m.Name)
+	for _, g := range m.Globals {
+		sb.WriteString(g.Def())
+		sb.WriteByte('\n')
+	}
+	if len(m.Globals) > 0 {
+		sb.WriteByte('\n')
+	}
+	for i, f := range m.Funcs {
+		if i > 0 {
+			sb.WriteByte('\n')
+		}
+		sb.WriteString(f.String())
+	}
+	return sb.String()
+}
+
+// Def renders the global's definition line.
+func (g *Global) Def() string {
+	var sb strings.Builder
+	kind := "global"
+	if g.ReadOnly {
+		kind = "constant"
+	}
+	fmt.Fprintf(&sb, "@%s = %s [%d x %s]", g.Name, kind, g.Count, g.Elem)
+	if g.Init != nil {
+		sb.WriteString(" [")
+		for i, v := range g.Init {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, "%d", v)
+		}
+		sb.WriteString("]")
+	} else {
+		sb.WriteString(" zeroinitializer")
+	}
+	return sb.String()
+}
+
+// String renders the function with all blocks and instructions.
+func (f *Function) String() string {
+	var sb strings.Builder
+	if f.IsDeclaration() {
+		fmt.Fprintf(&sb, "declare %s @%s\n", f.Sig, f.Name)
+		return sb.String()
+	}
+	fmt.Fprintf(&sb, "define %s @%s(", f.Sig.Ret, f.Name)
+	for i, p := range f.Params {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "%s %%%s", p.Typ, p.Nam)
+	}
+	sb.WriteString(") {\n")
+	for _, b := range f.Blocks {
+		fmt.Fprintf(&sb, "%s:\n", b.Name)
+		for _, in := range b.Instrs {
+			sb.WriteString("  ")
+			sb.WriteString(in.String())
+			sb.WriteByte('\n')
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+func operand(v Value) string {
+	if v == nil {
+		return "<nil>"
+	}
+	return fmt.Sprintf("%s %s", v.Type(), v.Ref())
+}
+
+// String renders a single instruction.
+func (in *Instr) String() string {
+	var sb strings.Builder
+	if !SameType(in.Typ, Void) {
+		fmt.Fprintf(&sb, "%s = ", in.Ref())
+	}
+	switch in.Op {
+	case OpAlloca:
+		fmt.Fprintf(&sb, "alloca %s, %d", in.Allocated, in.Count)
+	case OpLoad:
+		fmt.Fprintf(&sb, "load %s, %s", in.Typ, operand(in.Args[0]))
+	case OpStore:
+		fmt.Fprintf(&sb, "store %s, %s", operand(in.Args[0]), operand(in.Args[1]))
+	case OpGEP:
+		fmt.Fprintf(&sb, "gep %s, %s", operand(in.Args[0]), operand(in.Args[1]))
+	case OpCall:
+		fmt.Fprintf(&sb, "call %s @%s(", in.Typ, in.Callee.Name)
+		for i, a := range in.Args {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(operand(a))
+		}
+		sb.WriteString(")")
+	case OpPhi:
+		fmt.Fprintf(&sb, "phi %s ", in.Typ)
+		for i := range in.Args {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, "[%s, %%%s]", in.Args[i].Ref(), in.Incoming[i].Name)
+		}
+	case OpSelect:
+		fmt.Fprintf(&sb, "select %s, %s, %s",
+			operand(in.Args[0]), operand(in.Args[1]), operand(in.Args[2]))
+	case OpZExt, OpSExt, OpTrunc:
+		fmt.Fprintf(&sb, "%s %s to %s", in.Op, operand(in.Args[0]), in.Typ)
+	case OpCheck:
+		fmt.Fprintf(&sb, "check %s, %s ; %q", in.Kind, operand(in.Args[0]), in.Msg)
+	case OpBr:
+		fmt.Fprintf(&sb, "br label %%%s", in.Succs[0].Name)
+	case OpCondBr:
+		fmt.Fprintf(&sb, "br %s, label %%%s, label %%%s",
+			operand(in.Args[0]), in.Succs[0].Name, in.Succs[1].Name)
+	case OpRet:
+		if len(in.Args) == 0 {
+			sb.WriteString("ret void")
+		} else {
+			fmt.Fprintf(&sb, "ret %s", operand(in.Args[0]))
+		}
+	case OpUnreachable:
+		sb.WriteString("unreachable")
+	default:
+		// Binary ops, comparisons.
+		fmt.Fprintf(&sb, "%s %s %s, %s", in.Op, in.Args[0].Type(), in.Args[0].Ref(), in.Args[1].Ref())
+	}
+	if in.Meta != nil && in.Meta.Range != nil {
+		fmt.Fprintf(&sb, " ; !range [%d,%d]", in.Meta.Range.Lo, in.Meta.Range.Hi)
+	}
+	return sb.String()
+}

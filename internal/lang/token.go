@@ -1,0 +1,144 @@
+// Package lang implements the MiniC front end: lexer, parser and AST.
+//
+// MiniC is a small C subset rich enough to express the paper's workloads
+// (Coreutils-style text utilities): functions, signed/unsigned integer
+// types (char, int, long), pointers, fixed-size arrays, string literals,
+// full expression and control-flow syntax (if/else, while, do/while, for,
+// break/continue, ?:, && and || with short-circuit semantics), and an
+// assert() statement that lowers to a runtime check.
+//
+// Deliberate omissions (not needed by the corpus): structs/unions, floats,
+// varargs, typedef, goto, switch, multi-dimensional arrays.
+package lang
+
+import "fmt"
+
+// Kind classifies a token.
+type Kind int
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	IDENT
+	INTLIT
+	CHARLIT
+	STRLIT
+
+	// Keywords.
+	KwInt
+	KwChar
+	KwLong
+	KwVoid
+	KwUnsigned
+	KwSigned
+	KwIf
+	KwElse
+	KwWhile
+	KwDo
+	KwFor
+	KwReturn
+	KwBreak
+	KwContinue
+	KwAssert
+	KwConst
+
+	// Punctuation and operators.
+	LParen
+	RParen
+	LBrace
+	RBrace
+	LBracket
+	RBracket
+	Semi
+	Comma
+	Question
+	Colon
+
+	Assign
+	PlusAssign
+	MinusAssign
+	StarAssign
+	SlashAssign
+	PercentAssign
+	AmpAssign
+	PipeAssign
+	CaretAssign
+	ShlAssign
+	ShrAssign
+
+	Plus
+	Minus
+	Star
+	Slash
+	Percent
+	Amp
+	Pipe
+	Caret
+	Tilde
+	Bang
+	Shl
+	Shr
+	AndAnd
+	OrOr
+	Eq
+	Ne
+	Lt
+	Le
+	Gt
+	Ge
+	Inc
+	Dec
+)
+
+var kindNames = map[Kind]string{
+	EOF: "EOF", IDENT: "identifier", INTLIT: "integer literal",
+	CHARLIT: "char literal", STRLIT: "string literal",
+	KwInt: "int", KwChar: "char", KwLong: "long", KwVoid: "void",
+	KwUnsigned: "unsigned", KwSigned: "signed", KwIf: "if", KwElse: "else",
+	KwWhile: "while", KwDo: "do", KwFor: "for", KwReturn: "return",
+	KwBreak: "break", KwContinue: "continue", KwAssert: "assert", KwConst: "const",
+	LParen: "(", RParen: ")", LBrace: "{", RBrace: "}",
+	LBracket: "[", RBracket: "]", Semi: ";", Comma: ",",
+	Question: "?", Colon: ":",
+	Assign: "=", PlusAssign: "+=", MinusAssign: "-=", StarAssign: "*=",
+	SlashAssign: "/=", PercentAssign: "%=", AmpAssign: "&=",
+	PipeAssign: "|=", CaretAssign: "^=", ShlAssign: "<<=", ShrAssign: ">>=",
+	Plus: "+", Minus: "-", Star: "*", Slash: "/", Percent: "%",
+	Amp: "&", Pipe: "|", Caret: "^", Tilde: "~", Bang: "!",
+	Shl: "<<", Shr: ">>", AndAnd: "&&", OrOr: "||",
+	Eq: "==", Ne: "!=", Lt: "<", Le: "<=", Gt: ">", Ge: ">=",
+	Inc: "++", Dec: "--",
+}
+
+// String returns the display name of the kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+var keywords = map[string]Kind{
+	"int": KwInt, "char": KwChar, "long": KwLong, "void": KwVoid,
+	"unsigned": KwUnsigned, "signed": KwSigned,
+	"if": KwIf, "else": KwElse, "while": KwWhile, "do": KwDo, "for": KwFor,
+	"return": KwReturn, "break": KwBreak, "continue": KwContinue,
+	"assert": KwAssert, "const": KwConst,
+}
+
+// Pos is a source position.
+type Pos struct {
+	Line, Col int
+}
+
+// String formats the position as "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is a lexed token with position and literal payload.
+type Token struct {
+	Kind Kind
+	Pos  Pos
+	Text string // identifier spelling or raw literal text
+	Val  uint64 // INTLIT / CHARLIT value
+	Str  string // decoded STRLIT contents
+}

@@ -1,0 +1,119 @@
+package passes
+
+import (
+	"fmt"
+
+	"overify/internal/ir"
+)
+
+// InsertChecks adds runtime checks ahead of potentially-trapping
+// operations: division/remainder by zero, shifts by the operand width or
+// more, and out-of-bounds element accesses where the underlying object
+// is statically known. The paper (§3, "Runtime checks") argues this
+// makes verification *simpler*: every class of illegal behavior becomes
+// the single property "the program does not crash", which a symbolic
+// executor checks natively at each Check instruction.
+func InsertChecks() Pass {
+	return funcPass{name: "checks", run: insertChecksFunc}
+}
+
+func insertChecksFunc(f *ir.Function, cx *Context) bool {
+	defer dumpOnPanic("checks", f)
+	changed := false
+	for _, b := range f.Blocks {
+		// Collect first: inserting while iterating would invalidate the
+		// index math.
+		var work []*ir.Instr
+		for _, in := range b.Instrs {
+			work = append(work, in)
+		}
+		for _, in := range work {
+			switch in.Op {
+			case ir.OpUDiv, ir.OpSDiv, ir.OpURem, ir.OpSRem:
+				t := in.Typ.(ir.IntType)
+				if c, ok := in.Args[1].(*ir.Const); ok && !c.IsZero() {
+					continue // trivially safe
+				}
+				cmp := &ir.Instr{Op: ir.OpNe, Typ: ir.I1,
+					Args: []ir.Value{in.Args[1], ir.ConstInt(t, 0)}}
+				f.ClaimID(cmp)
+				b.InsertBefore(cmp, in)
+				chk := &ir.Instr{Op: ir.OpCheck, Typ: ir.Void, Kind: ir.CheckDivByZero,
+					Args: []ir.Value{cmp}, Msg: fmt.Sprintf("%s in @%s", in.Op, f.Name)}
+				f.ClaimID(chk)
+				b.InsertBefore(chk, in)
+				cx.Stats.ChecksInserted++
+				changed = true
+
+			case ir.OpShl, ir.OpLShr, ir.OpAShr:
+				t := in.Typ.(ir.IntType)
+				if c, ok := in.Args[1].(*ir.Const); ok && c.Val < uint64(t.Bits) {
+					continue
+				}
+				if _, ok := in.Args[1].(*ir.Const); ok {
+					continue // constant oversized shift: defined as 0/sign-fill
+				}
+				cmp := &ir.Instr{Op: ir.OpULt, Typ: ir.I1,
+					Args: []ir.Value{in.Args[1], ir.ConstInt(t, uint64(t.Bits))}}
+				f.ClaimID(cmp)
+				b.InsertBefore(cmp, in)
+				chk := &ir.Instr{Op: ir.OpCheck, Typ: ir.Void, Kind: ir.CheckShift,
+					Args: []ir.Value{cmp}, Msg: fmt.Sprintf("shift amount in @%s", f.Name)}
+				f.ClaimID(chk)
+				b.InsertBefore(chk, in)
+				cx.Stats.ChecksInserted++
+				changed = true
+
+			case ir.OpLoad, ir.OpStore:
+				ptrIdx := 0
+				if in.Op == ir.OpStore {
+					ptrIdx = 1
+				}
+				base, idx, count, ok := knownObjectAccess(in.Args[ptrIdx])
+				if !ok {
+					continue
+				}
+				_ = base
+				if c, okc := idx.(*ir.Const); okc && c.Val < uint64(count) {
+					continue // statically in bounds
+				}
+				cmp := &ir.Instr{Op: ir.OpULt, Typ: ir.I1,
+					Args: []ir.Value{idx, ir.ConstInt(ir.I64, uint64(count))}}
+				f.ClaimID(cmp)
+				b.InsertBefore(cmp, in)
+				chk := &ir.Instr{Op: ir.OpCheck, Typ: ir.Void, Kind: ir.CheckBounds,
+					Args: []ir.Value{cmp}, Msg: fmt.Sprintf("%s bounds in @%s", in.Op, f.Name)}
+				f.ClaimID(chk)
+				b.InsertBefore(chk, in)
+				cx.Stats.ChecksInserted++
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// knownObjectAccess recognizes a pointer operand of the form
+// gep(alloca|global, idx) (or the bare object, idx 0) and returns the
+// index value and the object's element count.
+func knownObjectAccess(p ir.Value) (base ir.Value, idx ir.Value, count int64, ok bool) {
+	switch x := p.(type) {
+	case *ir.Global:
+		return x, ir.ConstInt(ir.I64, 0), x.Count, true
+	case *ir.Instr:
+		switch x.Op {
+		case ir.OpAlloca:
+			return x, ir.ConstInt(ir.I64, 0), x.Count, true
+		case ir.OpGEP:
+			switch b := x.Args[0].(type) {
+			case *ir.Global:
+				return b, x.Args[1], b.Count, true
+			case *ir.Instr:
+				if b.Op == ir.OpAlloca {
+					return b, x.Args[1], b.Count, true
+				}
+			}
+		}
+	}
+	return nil, nil, 0, false
+}

@@ -1,0 +1,123 @@
+package passes
+
+import (
+	"fmt"
+	"strings"
+
+	"overify/internal/ir"
+)
+
+// CSE performs dominator-scoped common-subexpression elimination on pure
+// instructions. Repeated subexpressions cost a symbolic executor twice:
+// they are interpreted again and they enlarge the constraint terms sent
+// to the solver, so deduplication helps verification even more than it
+// helps a CPU (paper Table 2, "arithmetic simplifications").
+func CSE() Pass {
+	return funcPass{name: "cse", run: cseFunc}
+}
+
+func cseFunc(f *ir.Function, cx *Context) bool {
+	defer dumpOnPanic("cse", f)
+	dt := ir.ComputeDom(f)
+	children := dt.Children()
+	changed := false
+
+	// When the function contains no stores and no calls (common after
+	// mem2reg plus full inlining: the remaining memory is a read-only
+	// input buffer), loads behave like pure functions of their pointer
+	// and participate in CSE. A dominating identical load traps exactly
+	// when the dominated one would, so the replacement is also
+	// trap-equivalent.
+	memSafe := true
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpStore || in.Op == ir.OpCall {
+				memSafe = false
+			}
+		}
+	}
+
+	// Scoped hash table: each dominator-tree scope layers its definitions
+	// over the parent's.
+	type scope map[string]*ir.Instr
+	var walk func(b *ir.Block, avail []scope)
+	walk = func(b *ir.Block, avail []scope) {
+		local := make(scope)
+		avail = append(avail, local)
+		lookup := func(k string) *ir.Instr {
+			for i := len(avail) - 1; i >= 0; i-- {
+				if in, ok := avail[i][k]; ok {
+					return in
+				}
+			}
+			return nil
+		}
+		kept := b.Instrs[:0]
+		for _, in := range b.Instrs {
+			k, ok := cseKey(in)
+			if !ok && memSafe && in.Op == ir.OpLoad {
+				k, ok = "load|"+in.Typ.String()+"|"+operandKey(in.Args[0]), true
+			}
+			if !ok {
+				kept = append(kept, in)
+				continue
+			}
+			if prev := lookup(k); prev != nil {
+				ir.ReplaceUses(f, in, prev)
+				in.Blk = nil
+				cx.Stats.InstrsCSEd++
+				changed = true
+				continue
+			}
+			local[k] = in
+			kept = append(kept, in)
+		}
+		b.Instrs = kept
+		for _, c := range children[b] {
+			walk(c, avail)
+		}
+	}
+	if e := f.Entry(); e != nil {
+		walk(e, nil)
+	}
+	return changed
+}
+
+// cseKey builds a structural key for a pure instruction; ok is false for
+// instructions that must not be deduplicated.
+func cseKey(in *ir.Instr) (string, bool) {
+	if !isPure(in) || in.Op == ir.OpPhi {
+		return "", false
+	}
+	var sb strings.Builder
+	op := in.Op
+	args := in.Args
+	// Canonical operand order for commutative operations.
+	if op.IsCommutative() && len(args) == 2 {
+		if operandKey(args[1]) < operandKey(args[0]) {
+			args = []ir.Value{args[1], args[0]}
+		}
+	}
+	fmt.Fprintf(&sb, "%d|%s|", int(op), in.Typ)
+	for _, a := range args {
+		sb.WriteString(operandKey(a))
+		sb.WriteByte(',')
+	}
+	return sb.String(), true
+}
+
+func operandKey(v ir.Value) string {
+	switch x := v.(type) {
+	case *ir.Const:
+		return fmt.Sprintf("c%s:%d", x.Typ, x.Val)
+	case *ir.Null:
+		return "null:" + x.Typ.String()
+	case *ir.Global:
+		return "@" + x.Name
+	case *ir.Param:
+		return "p" + x.Nam
+	case *ir.Instr:
+		return fmt.Sprintf("t%d", x.ID)
+	}
+	return fmt.Sprintf("?%p", v)
+}

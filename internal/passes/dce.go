@@ -1,0 +1,49 @@
+package passes
+
+import "overify/internal/ir"
+
+// DCE removes instructions whose results are never used and blocks that
+// can never execute. Fewer instructions mean less work per path for a
+// symbolic executor, and -O0 output is full of dead loads.
+func DCE() Pass {
+	return funcPass{name: "dce", run: dceFunc}
+}
+
+func dceFunc(f *ir.Function, cx *Context) bool {
+	defer dumpOnPanic("dce", f)
+	changed := false
+	if n := ir.RemoveUnreachable(f); n > 0 {
+		cx.Stats.DeadBlocks += n
+		changed = true
+	}
+	// Iterate: removing one dead instruction can make its operands dead.
+	for {
+		used := make(map[ir.Value]bool)
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				for _, a := range in.Args {
+					used[a] = true
+				}
+			}
+		}
+		n := 0
+		for _, b := range f.Blocks {
+			kept := b.Instrs[:0]
+			for _, in := range b.Instrs {
+				if !used[in] && !ir.SameType(in.Typ, ir.Void) && removableIfDead(in) {
+					in.Blk = nil
+					n++
+					continue
+				}
+				kept = append(kept, in)
+			}
+			b.Instrs = kept
+		}
+		if n == 0 {
+			break
+		}
+		cx.Stats.DeadInstrs += n
+		changed = true
+	}
+	return changed
+}

@@ -1,0 +1,51 @@
+package passes
+
+import "overify/internal/ir"
+
+// LICM hoists loop-invariant pure computations into the preheader. For a
+// symbolic executor this removes work from *every explored iteration of
+// every path*, a multiplicative saving the paper attributes to standard
+// simplifications (§3, Table 2 row 1).
+func LICM() Pass {
+	return funcPass{name: "licm", run: licmFunc}
+}
+
+func licmFunc(f *ir.Function, cx *Context) bool {
+	defer dumpOnPanic("licm", f)
+	changed := false
+	// Recompute loops after each change: hoisting can change block
+	// contents but not the CFG, so one discovery pass suffices.
+	dt := ir.ComputeDom(f)
+	loops := ir.FindLoops(f, dt)
+	// Innermost-first (deepest first) so inner-loop invariants can then
+	// be hoisted further out by the enclosing loop's turn.
+	for i := len(loops) - 1; i >= 0; i-- {
+		l := loops[i]
+		ph := ensurePreheader(f, l)
+		if ph == nil {
+			continue
+		}
+		for {
+			moved := 0
+			for _, b := range l.BlocksInRPO(dt) {
+				kept := b.Instrs[:0]
+				for _, in := range b.Instrs {
+					if isPure(in) && in.Op != ir.OpPhi && loopInvariant(l, in) {
+						in.Blk = ph
+						ph.InsertBefore(in, ph.Term())
+						cx.Stats.InstrsHoisted++
+						moved++
+						changed = true
+						continue
+					}
+					kept = append(kept, in)
+				}
+				b.Instrs = kept
+			}
+			if moved == 0 {
+				break
+			}
+		}
+	}
+	return changed
+}

@@ -1,0 +1,208 @@
+// Package passes implements the optimization passes that -OVERIFY
+// composes (paper §3): SSA construction (mem2reg), instruction
+// simplification, CSE, dead-code elimination, CFG simplification, jump
+// threading, function inlining, loop-invariant code motion, loop
+// unswitching, loop unrolling, if-conversion (branch → select), runtime
+// check insertion, and range annotation.
+//
+// Every pass is tuned by a CostModel. The paper's central claim is that
+// verification wants different cost constants than a CPU: a conditional
+// branch that costs ~1 cycle on hardware multiplies path counts in a
+// symbolic executor. Pipelines in internal/pipeline instantiate the same
+// passes with CPU-oriented (-O2/-O3) or verifier-oriented (-OVERIFY)
+// models.
+package passes
+
+import (
+	"fmt"
+
+	"overify/internal/ir"
+)
+
+// CostModel parameterizes pass aggressiveness. The zero value is useless;
+// use one of the pipeline presets.
+type CostModel struct {
+	// BranchCost is the relative cost of a conditional branch. CPUs: ~1.
+	// Symbolic execution: each branch may double the path count, so
+	// -OVERIFY uses a large value. If-conversion speculates a side while
+	// speculated-instruction-cost <= BranchCost * SpeculationBudget.
+	BranchCost int
+
+	// SpeculationBudget is the maximum number of instructions to
+	// speculate per converted branch side.
+	SpeculationBudget int
+
+	// SpeculateLoads permits if-conversion to hoist loads into
+	// unconditional position. This can turn a path that never loaded out
+	// of bounds into one that traps, so it is off in all presets; it
+	// exists to measure the paper's remark that some "optimizations" are
+	// only safe for analysis purposes.
+	SpeculateLoads bool
+
+	// InlineThreshold is the maximum callee size (in IR instructions)
+	// considered for inlining.
+	InlineThreshold int
+
+	// InlineGrowthCap bounds the size a caller may reach through
+	// inlining, in instructions.
+	InlineGrowthCap int
+
+	// InlineRounds bounds repeated inlining sweeps (handles call chains).
+	InlineRounds int
+
+	// UnrollMaxTrip is the largest constant trip count fully unrolled.
+	UnrollMaxTrip int
+
+	// UnrollGrowthCap bounds instructions added by unrolling one loop.
+	UnrollGrowthCap int
+
+	// UnswitchMaxSize is the largest loop body (instructions) cloned by
+	// one unswitching step.
+	UnswitchMaxSize int
+
+	// UnswitchMaxClones bounds unswitching steps per function.
+	UnswitchMaxClones int
+}
+
+// Stats aggregates pass counters across a pipeline run. The Table 3
+// columns of the paper come directly from here.
+type Stats struct {
+	FunctionsInlined  int // call sites inlined ("# functions inlined")
+	LoopsUnswitched   int // "# loops unswitched"
+	LoopsUnrolled     int // loops fully unrolled away
+	LoopsPeeled       int // individual iterations peeled
+	BranchesConverted int // "# branches converted" by if-conversion
+
+	AllocasPromoted int
+	InstrsFolded    int
+	InstrsCSEd      int
+	InstrsHoisted   int
+	JumpsThreaded   int
+	BlocksMerged    int
+	DeadInstrs      int
+	DeadBlocks      int
+	ChecksInserted  int
+	RangesAttached  int
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.FunctionsInlined += other.FunctionsInlined
+	s.LoopsUnswitched += other.LoopsUnswitched
+	s.LoopsUnrolled += other.LoopsUnrolled
+	s.LoopsPeeled += other.LoopsPeeled
+	s.BranchesConverted += other.BranchesConverted
+	s.AllocasPromoted += other.AllocasPromoted
+	s.InstrsFolded += other.InstrsFolded
+	s.InstrsCSEd += other.InstrsCSEd
+	s.InstrsHoisted += other.InstrsHoisted
+	s.JumpsThreaded += other.JumpsThreaded
+	s.BlocksMerged += other.BlocksMerged
+	s.DeadInstrs += other.DeadInstrs
+	s.DeadBlocks += other.DeadBlocks
+	s.ChecksInserted += other.ChecksInserted
+	s.RangesAttached += other.RangesAttached
+}
+
+// Context carries the cost model and statistics through a pipeline run.
+type Context struct {
+	Cost  CostModel
+	Stats Stats
+}
+
+// Pass transforms a module in place, returning whether anything changed.
+type Pass interface {
+	Name() string
+	Run(m *ir.Module, cx *Context) bool
+}
+
+// funcPass adapts a per-function transform into a Pass.
+type funcPass struct {
+	name string
+	run  func(f *ir.Function, cx *Context) bool
+}
+
+func (p funcPass) Name() string { return p.name }
+
+func (p funcPass) Run(m *ir.Module, cx *Context) bool {
+	changed := false
+	for _, f := range m.Funcs {
+		if f.IsDeclaration() {
+			continue
+		}
+		if p.run(f, cx) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Fixpoint runs a sequence of passes repeatedly until a full round
+// reports no change (or maxRounds is hit). Cleanup passes expose new
+// opportunities for structural passes and vice versa, so pipelines
+// compose them with this combinator instead of guessing a fixed length.
+func Fixpoint(maxRounds int, ps ...Pass) Pass {
+	return fixpointPass{max: maxRounds, seq: ps}
+}
+
+type fixpointPass struct {
+	max int
+	seq []Pass
+}
+
+func (p fixpointPass) Name() string { return "fixpoint" }
+
+func (p fixpointPass) Run(m *ir.Module, cx *Context) bool {
+	changed := false
+	for round := 0; round < p.max; round++ {
+		any := false
+		for _, inner := range p.seq {
+			if inner.Run(m, cx) {
+				any = true
+			}
+		}
+		if !any {
+			break
+		}
+		changed = true
+	}
+	return changed
+}
+
+// isPure reports whether an instruction can be removed if unused and
+// duplicated or reordered freely (no side effects, cannot trap).
+// Division and remainder trap on zero, so they are not pure.
+func isPure(in *ir.Instr) bool {
+	switch in.Op {
+	case ir.OpUDiv, ir.OpSDiv, ir.OpURem, ir.OpSRem:
+		return false
+	case ir.OpSelect, ir.OpZExt, ir.OpSExt, ir.OpTrunc, ir.OpGEP, ir.OpPhi:
+		return true
+	case ir.OpPtrDiff:
+		return false // traps across objects
+	case ir.OpLoad:
+		return false // may trap, reads memory
+	}
+	return in.Op.IsBinary() || in.Op.IsCmp()
+}
+
+// removableIfDead reports whether an unused instruction may be deleted.
+// Unused loads and divisions are removable under MiniC's semantics
+// (their traps are considered detectable by the checks pass instead),
+// mirroring LLVM treating them as removable when dead.
+func removableIfDead(in *ir.Instr) bool {
+	if isPure(in) {
+		return true
+	}
+	switch in.Op {
+	case ir.OpLoad, ir.OpUDiv, ir.OpSDiv, ir.OpURem, ir.OpSRem, ir.OpPtrDiff, ir.OpAlloca:
+		return true
+	}
+	return false
+}
+
+func dumpOnPanic(name string, f *ir.Function) {
+	if r := recover(); r != nil {
+		panic(fmt.Sprintf("pass %s on @%s: %v\n%s", name, f.Name, r, f.String()))
+	}
+}

@@ -1,0 +1,255 @@
+// Package pipeline assembles the optimization passes into the build
+// configurations the paper compares: -O0, -O1, -O2, -O3 (CPU-oriented
+// cost models) and -OVERIFY / -OSYMBEX (verification-oriented). The
+// pass *set* barely differs between -O3 and -OVERIFY — what changes is
+// the cost model, which is the paper's point: "it adjusts cost values
+// and parameters ... to optimize compilation for fast verification, not
+// fast execution" (§3).
+package pipeline
+
+import (
+	"fmt"
+	"time"
+
+	"overify/internal/ir"
+	"overify/internal/passes"
+)
+
+// Level is an optimization level switch.
+type Level int
+
+// The build configurations of the paper's tables.
+const (
+	O0 Level = iota
+	O1
+	O2
+	O3
+	OVerify // the paper's -OVERIFY / -OSYMBEX prototype
+)
+
+var levelNames = [...]string{"-O0", "-O1", "-O2", "-O3", "-OVERIFY"}
+
+// String returns the flag spelling, e.g. "-O3".
+func (l Level) String() string {
+	if int(l) < len(levelNames) {
+		return levelNames[l]
+	}
+	return fmt.Sprintf("-O(%d)", int(l))
+}
+
+// ParseLevel converts a flag spelling ("O0", "-O3", "-Overify",
+// "-OSYMBEX") to a Level.
+func ParseLevel(s string) (Level, error) {
+	switch s {
+	case "O0", "-O0", "o0":
+		return O0, nil
+	case "O1", "-O1", "o1":
+		return O1, nil
+	case "O2", "-O2", "o2":
+		return O2, nil
+	case "O3", "-O3", "o3":
+		return O3, nil
+	case "OVERIFY", "-OVERIFY", "Overify", "-Overify", "overify",
+		"OSYMBEX", "-OSYMBEX", "Osymbex", "-Osymbex", "osymbex":
+		return OVerify, nil
+	}
+	return O0, fmt.Errorf("pipeline: unknown optimization level %q", s)
+}
+
+// CPUCost is the cost model a CPU-oriented -O2/-O3 build uses: branches
+// are cheap (~1 cycle when predicted), so speculation is only worth a
+// couple of instructions; inlining and unrolling are bounded to protect
+// the instruction cache.
+func CPUCost() passes.CostModel {
+	return passes.CostModel{
+		BranchCost:        1,
+		SpeculationBudget: 2,
+		InlineThreshold:   40,
+		InlineGrowthCap:   800,
+		InlineRounds:      4,
+		UnrollMaxTrip:     8,
+		UnrollGrowthCap:   256,
+		UnswitchMaxSize:   64,
+		UnswitchMaxClones: 2,
+	}
+}
+
+// VerifyCost is the -OVERIFY cost model: a conditional branch can double
+// a symbolic executor's path count, so its effective cost is enormous;
+// code size barely matters because the verifier pays per *executed path
+// instruction*, not per cached code byte.
+func VerifyCost() passes.CostModel {
+	return passes.CostModel{
+		BranchCost:        1000,
+		SpeculationBudget: 400,
+		InlineThreshold:   4000,
+		InlineGrowthCap:   60000,
+		InlineRounds:      12,
+		UnrollMaxTrip:     64,
+		UnrollGrowthCap:   20000,
+		UnswitchMaxSize:   1200,
+		UnswitchMaxClones: 24,
+	}
+}
+
+// Config selects the passes and parameters for one compilation.
+type Config struct {
+	Level Level
+	Cost  passes.CostModel
+
+	// Checks inserts runtime checks (§3 "Runtime checks"). Defaults to
+	// on for OVerify in LevelConfig.
+	Checks bool
+
+	// AnnotateRanges preserves value-range metadata for the verifier
+	// (§3 "Program annotations"). Defaults to on for OVerify.
+	AnnotateRanges bool
+
+	// VerifyEachPass re-runs the IR verifier after every pass; used in
+	// tests to localize pass bugs.
+	VerifyEachPass bool
+}
+
+// LevelConfig returns the canonical configuration for a level.
+func LevelConfig(level Level) Config {
+	cfg := Config{Level: level}
+	switch level {
+	case O0, O1, O2, O3:
+		cfg.Cost = CPUCost()
+	case OVerify:
+		cfg.Cost = VerifyCost()
+		cfg.Checks = true
+		cfg.AnnotateRanges = true
+	}
+	return cfg
+}
+
+// Passes returns the pass sequence for the configuration.
+func Passes(cfg Config) []passes.Pass {
+	cleanup := func() []passes.Pass {
+		return []passes.Pass{
+			passes.Simplify(),
+			passes.CSE(),
+			passes.SimplifyCFG(),
+			passes.DCE(),
+		}
+	}
+	var seq []passes.Pass
+	add := func(ps ...passes.Pass) { seq = append(seq, ps...) }
+
+	switch cfg.Level {
+	case O0:
+		// Nothing: the clang-style -O0 lowering is the program.
+	case O1:
+		add(passes.Mem2Reg())
+		add(cleanup()...)
+	case O2:
+		add(passes.Mem2Reg())
+		add(cleanup()...)
+		add(passes.Inline(), passes.Mem2Reg())
+		add(cleanup()...)
+		add(passes.JumpThread(), passes.LICM())
+		add(cleanup()...)
+	case O3:
+		add(passes.Mem2Reg())
+		add(cleanup()...)
+		add(passes.Inline(), passes.Mem2Reg())
+		add(cleanup()...)
+		// CPU-oriented loop work: unswitch (bounded), unroll (bounded),
+		// and if-convert only tiny diamonds (SpeculationBudget ~2).
+		add(passes.Fixpoint(6,
+			passes.JumpThread(), passes.LICM(),
+			passes.Unswitch(), passes.Unroll(), passes.IfConvert(),
+			passes.Simplify(), passes.CSE(), passes.SimplifyCFG(), passes.DCE(),
+		))
+	case OVerify:
+		add(passes.Mem2Reg())
+		add(cleanup()...)
+		// Aggressive inlining first: function specialization exposes the
+		// constants and loads that the later passes need (§4).
+		add(passes.Inline(), passes.Mem2Reg())
+		add(cleanup()...)
+		// Branch removal before loop restructuring: a branch folded into
+		// a select (Listing 2) costs the verifier nothing per iteration,
+		// whereas unswitching doubles the loop. Iterate to fixpoint —
+		// each cleanup (load-CSE in particular) exposes new convertible
+		// diamonds.
+		add(passes.Fixpoint(12,
+			passes.JumpThread(), passes.LICM(), passes.IfConvert(),
+			passes.Simplify(), passes.CSE(), passes.SimplifyCFG(), passes.DCE(),
+		))
+		// Loop restructuring with verification-oriented budgets; unswitch
+		// handles only the branches if-conversion could not remove
+		// (side-effecting arms).
+		add(passes.Fixpoint(8,
+			passes.Unroll(), passes.LICM(), passes.Unswitch(),
+			passes.IfConvert(), passes.JumpThread(),
+			passes.Simplify(), passes.CSE(), passes.SimplifyCFG(), passes.DCE(),
+		))
+		if cfg.Checks {
+			add(passes.InsertChecks())
+		}
+		if cfg.AnnotateRanges {
+			add(passes.Annotate())
+		}
+	}
+	return seq
+}
+
+// Result reports what one pipeline run did.
+type Result struct {
+	Level       Level
+	Stats       passes.Stats
+	CompileTime time.Duration
+	InstrsIn    int // static instruction count before
+	InstrsOut   int // static instruction count after
+	PassesRun   int
+}
+
+// Optimize runs the configured pipeline over the module in place.
+func Optimize(m *ir.Module, cfg Config) (*Result, error) {
+	start := time.Now()
+	cx := &passes.Context{Cost: cfg.Cost}
+	res := &Result{Level: cfg.Level, InstrsIn: m.NumInstrs()}
+	for _, p := range Passes(cfg) {
+		p.Run(m, cx)
+		res.PassesRun++
+		if cfg.VerifyEachPass {
+			if err := ir.VerifyModule(m); err != nil {
+				return nil, fmt.Errorf("after pass %s: %w", p.Name(), err)
+			}
+		}
+	}
+	if err := ir.VerifyModule(m); err != nil {
+		return nil, fmt.Errorf("after %s pipeline: %w", cfg.Level, err)
+	}
+	res.Stats = cx.Stats
+	res.CompileTime = time.Since(start)
+	res.InstrsOut = m.NumInstrs()
+	return res, nil
+}
+
+// OptimizeAtLevel is a convenience for the canonical per-level config.
+func OptimizeAtLevel(m *ir.Module, level Level) (*Result, error) {
+	return Optimize(m, LevelConfig(level))
+}
+
+// OptimizeWithPasses runs an explicit pass list with an explicit cost
+// model — the ablation harness (Table 2) uses this to measure passes in
+// isolation.
+func OptimizeWithPasses(m *ir.Module, cost passes.CostModel, seq []passes.Pass) (*Result, error) {
+	start := time.Now()
+	cx := &passes.Context{Cost: cost}
+	res := &Result{InstrsIn: m.NumInstrs()}
+	for _, p := range seq {
+		p.Run(m, cx)
+		res.PassesRun++
+	}
+	if err := ir.VerifyModule(m); err != nil {
+		return nil, fmt.Errorf("after custom pipeline: %w", err)
+	}
+	res.Stats = cx.Stats
+	res.CompileTime = time.Since(start)
+	res.InstrsOut = m.NumInstrs()
+	return res, nil
+}

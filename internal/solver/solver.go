@@ -1,0 +1,457 @@
+// Package solver decides satisfiability of path constraints over
+// symbolic input bytes. It is the reproduction's stand-in for the STP
+// solver KLEE uses, scoped to the workload the paper evaluates: bitvector
+// constraints over small byte-wide inputs (2–10 symbolic bytes).
+//
+// The decision procedure is exact: constraints are partitioned into
+// independent groups (KLEE's independence optimization), each group is
+// solved by backtracking search over per-byte domains with forward
+// checking, and results are cached per group (KLEE's counterexample
+// cache). Model reuse is attempted before any search: if a recently
+// produced model satisfies the whole query, no search happens at all.
+package solver
+
+import (
+	"errors"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"overify/internal/expr"
+)
+
+// Options bound the solver's work.
+type Options struct {
+	// MaxNodes bounds backtracking nodes per query (default 100k).
+	MaxNodes int64
+	// MaxWork bounds expression-node visits per query (default 50M) —
+	// the finer-grained budget that stops pathological searches.
+	MaxWork int64
+	// ModelHistory is how many recent models are tried for reuse
+	// (default 8).
+	ModelHistory int
+}
+
+// Stats counts solver work across a run; t_verify is dominated by these.
+type Stats struct {
+	Queries        int64
+	CacheHits      int64
+	ModelReuseHits int64
+	Sat            int64
+	Unsat          int64
+	Failures       int64 // budget exhaustion
+	Nodes          int64 // backtracking nodes explored
+	MaxGroupVars   int
+}
+
+// ErrBudget is returned when a query exceeds the node budget.
+var ErrBudget = errors.New("solver: node budget exhausted")
+
+var errTooWide = errors.New("solver: variable wider than 8 bits")
+
+type cacheEntry struct {
+	sat   bool
+	model map[*expr.Var]uint64
+}
+
+// Solver decides queries and caches results. Not safe for concurrent
+// use; create one per engine.
+type Solver struct {
+	opts     Options
+	Stats    Stats
+	cache    map[string]cacheEntry
+	recent   []map[*expr.Var]uint64
+	deadline time.Time
+}
+
+// New returns a solver with the given options.
+func New(opts Options) *Solver {
+	if opts.MaxNodes == 0 {
+		opts.MaxNodes = 65_536
+	}
+	if opts.MaxWork == 0 {
+		opts.MaxWork = 8_000_000
+	}
+	if opts.ModelHistory == 0 {
+		opts.ModelHistory = 8
+	}
+	return &Solver{opts: opts, cache: make(map[string]cacheEntry)}
+}
+
+// SetDeadline makes every subsequent query fail with ErrBudget once the
+// wall clock passes t (zero disables). The symbolic-execution engine
+// forwards its own deadline here so a single hard query cannot outlive
+// the exploration budget.
+func (s *Solver) SetDeadline(t time.Time) { s.deadline = t }
+
+// Sat reports whether the conjunction of the constraints is satisfiable,
+// and if so returns a model (an assignment of every mentioned variable).
+func (s *Solver) Sat(constraints []*expr.Expr) (bool, map[*expr.Var]uint64, error) {
+	s.Stats.Queries++
+
+	// Constant filtering.
+	var live []*expr.Expr
+	for _, c := range constraints {
+		if c.IsTrue() {
+			continue
+		}
+		if c.IsFalse() {
+			s.Stats.Unsat++
+			return false, nil, nil
+		}
+		live = append(live, c)
+	}
+	if len(live) == 0 {
+		s.Stats.Sat++
+		return true, map[*expr.Var]uint64{}, nil
+	}
+
+	// Model reuse: does a recent model satisfy everything?
+	for _, m := range s.recent {
+		if satisfies(live, m) {
+			s.Stats.ModelReuseHits++
+			s.Stats.Sat++
+			return true, m, nil
+		}
+	}
+
+	// Independence: split into groups sharing variables.
+	groups := independentGroups(live)
+	model := make(map[*expr.Var]uint64)
+	for _, g := range groups {
+		sat, gm, err := s.solveGroup(g)
+		if err != nil {
+			s.Stats.Failures++
+			return false, nil, err
+		}
+		if !sat {
+			s.Stats.Unsat++
+			return false, nil, nil
+		}
+		for v, val := range gm {
+			model[v] = val
+		}
+	}
+	s.Stats.Sat++
+	s.remember(model)
+	return true, model, nil
+}
+
+func satisfies(constraints []*expr.Expr, model map[*expr.Var]uint64) bool {
+	for _, c := range constraints {
+		if expr.Eval(c, model) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Solver) remember(model map[*expr.Var]uint64) {
+	m := make(map[*expr.Var]uint64, len(model))
+	for k, v := range model {
+		m[k] = v
+	}
+	s.recent = append(s.recent, m)
+	if len(s.recent) > s.opts.ModelHistory {
+		s.recent = s.recent[1:]
+	}
+}
+
+// independentGroups unions constraints that share variables.
+func independentGroups(constraints []*expr.Expr) [][]*expr.Expr {
+	parent := make([]int, len(constraints))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+
+	varOwner := make(map[*expr.Var]int)
+	for i, c := range constraints {
+		for _, v := range expr.VarsOf(c) {
+			if j, ok := varOwner[v]; ok {
+				union(i, j)
+			} else {
+				varOwner[v] = i
+			}
+		}
+	}
+	byRoot := make(map[int][]*expr.Expr)
+	var order []int
+	for i, c := range constraints {
+		r := find(i)
+		if _, ok := byRoot[r]; !ok {
+			order = append(order, r)
+		}
+		byRoot[r] = append(byRoot[r], c)
+	}
+	out := make([][]*expr.Expr, 0, len(order))
+	for _, r := range order {
+		out = append(out, byRoot[r])
+	}
+	return out
+}
+
+func groupKey(g []*expr.Expr) string {
+	ids := make([]int64, len(g))
+	for i, c := range g {
+		ids[i] = c.ID()
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var sb strings.Builder
+	for _, id := range ids {
+		sb.WriteString(strconv.FormatInt(id, 36))
+		sb.WriteByte(',')
+	}
+	return sb.String()
+}
+
+func (s *Solver) solveGroup(g []*expr.Expr) (bool, map[*expr.Var]uint64, error) {
+	key := groupKey(g)
+	if e, ok := s.cache[key]; ok {
+		s.Stats.CacheHits++
+		return e.sat, e.model, nil
+	}
+	sat, model, err := s.search(g)
+	if err != nil {
+		return false, nil, err
+	}
+	s.cache[key] = cacheEntry{sat: sat, model: model}
+	return sat, model, nil
+}
+
+// domain is the candidate-value set of one 8-bit variable.
+type domain [4]uint64
+
+func fullDomain(bits int) domain {
+	var d domain
+	n := 1 << uint(bits)
+	for i := 0; i < n; i++ {
+		d[i/64] |= 1 << uint(i%64)
+	}
+	return d
+}
+
+func (d *domain) has(v uint64) bool { return d[v/64]&(1<<(v%64)) != 0 }
+func (d *domain) clear(v uint64)    { d[v/64] &^= 1 << (v % 64) }
+
+func (d *domain) count() int {
+	n := 0
+	for _, w := range d {
+		for x := w; x != 0; x &= x - 1 {
+			n++
+		}
+	}
+	return n
+}
+
+func (d *domain) first() (uint64, bool) {
+	for i, w := range d {
+		if w != 0 {
+			bit := uint64(0)
+			for w&1 == 0 {
+				w >>= 1
+				bit++
+			}
+			return uint64(i)*64 + bit, true
+		}
+	}
+	return 0, false
+}
+
+// search runs backtracking with forward checking over the group.
+func (s *Solver) search(g []*expr.Expr) (bool, map[*expr.Var]uint64, error) {
+	vars := expr.VarsOf(g...)
+	sort.Slice(vars, func(i, j int) bool { return vars[i].Name < vars[j].Name })
+	for _, v := range vars {
+		if v.Bits > 8 {
+			return false, nil, errTooWide
+		}
+	}
+	if len(vars) > s.Stats.MaxGroupVars {
+		s.Stats.MaxGroupVars = len(vars)
+	}
+
+	domains := make(map[*expr.Var]*domain, len(vars))
+	for _, v := range vars {
+		d := fullDomain(v.Bits)
+		domains[v] = &d
+	}
+	// constraint -> its variables (for unassigned counting).
+	cvars := make([][]*expr.Var, len(g))
+	for i, c := range g {
+		cvars[i] = expr.VarsOf(c)
+	}
+
+	asn := make(map[*expr.Var]uint64)
+	pe := expr.NewPartialEvaluator(asn)
+	var nodes int64
+	checkBudget := func() error {
+		if nodes > s.opts.MaxNodes || pe.Work > s.opts.MaxWork {
+			return ErrBudget
+		}
+		if !s.deadline.IsZero() && pe.Work%16384 < 64 && time.Now().After(s.deadline) {
+			return ErrBudget
+		}
+		return nil
+	}
+
+	// filterUnary prunes the domain of v using constraints where v is the
+	// only unassigned variable. Returns false if a domain empties.
+	filterUnary := func(v *expr.Var) (bool, error) {
+		d := domains[v]
+		for i, c := range g {
+			if err := checkBudget(); err != nil {
+				return false, err
+			}
+			un := 0
+			mentionsV := false
+			for _, cv := range cvars[i] {
+				if _, ok := asn[cv]; !ok {
+					un++
+					if cv == v {
+						mentionsV = true
+					}
+				}
+			}
+			if un != 1 || !mentionsV {
+				continue
+			}
+			for val := uint64(0); val < uint64(1)<<uint(v.Bits); val++ {
+				if !d.has(val) {
+					continue
+				}
+				asn[v] = val
+				pe.Reset()
+				r := pe.Eval(c)
+				delete(asn, v)
+				if r.Known && r.Val == 0 {
+					d.clear(val)
+				}
+			}
+			pe.Reset()
+			if d.count() == 0 {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+
+	// allHold checks every constraint under the current (partial)
+	// assignment; returns false on a definite violation.
+	allHold := func() bool {
+		for _, c := range g {
+			r := pe.Eval(c)
+			if r.Known && r.Val == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	complete := func() bool {
+		for _, c := range g {
+			r := pe.Eval(c)
+			if !r.Known || r.Val == 0 {
+				return false
+			}
+		}
+		return true
+	}
+
+	var dfs func(remaining []*expr.Var) (bool, error)
+	dfs = func(remaining []*expr.Var) (bool, error) {
+		nodes++
+		s.Stats.Nodes++
+		if err := checkBudget(); err != nil {
+			return false, err
+		}
+		if len(remaining) == 0 {
+			return complete(), nil
+		}
+		// Choose the unassigned variable with the smallest domain.
+		best := 0
+		bestCount := domains[remaining[0]].count()
+		for i := 1; i < len(remaining); i++ {
+			if c := domains[remaining[i]].count(); c < bestCount {
+				best, bestCount = i, c
+			}
+		}
+		v := remaining[best]
+		rest := make([]*expr.Var, 0, len(remaining)-1)
+		rest = append(rest, remaining[:best]...)
+		rest = append(rest, remaining[best+1:]...)
+
+		d := *domains[v] // snapshot: restored by value semantics
+		for val := uint64(0); val < uint64(1)<<uint(v.Bits); val++ {
+			if !d.has(val) {
+				continue
+			}
+			asn[v] = val
+			pe.Reset()
+			if allHold() {
+				// Forward-check: refilter domains of remaining vars.
+				saved := make(map[*expr.Var]domain, len(rest))
+				for _, rv := range rest {
+					saved[rv] = *domains[rv]
+				}
+				alive := true
+				for _, rv := range rest {
+					ok, err := filterUnary(rv)
+					if err != nil {
+						return false, err
+					}
+					if !ok {
+						alive = false
+						break
+					}
+				}
+				if alive {
+					sat, err := dfs(rest)
+					if err != nil {
+						return false, err
+					}
+					if sat {
+						return true, nil
+					}
+				}
+				for rv, sd := range saved {
+					*domains[rv] = sd
+				}
+			}
+			delete(asn, v)
+			pe.Reset()
+		}
+		return false, nil
+	}
+
+	// Initial unary filtering pass.
+	for _, v := range vars {
+		ok, err := filterUnary(v)
+		if err != nil {
+			return false, nil, err
+		}
+		if !ok {
+			return false, nil, nil
+		}
+	}
+	sat, err := dfs(vars)
+	if err != nil {
+		return false, nil, err
+	}
+	if !sat {
+		return false, nil, nil
+	}
+	model := make(map[*expr.Var]uint64, len(vars))
+	for v, val := range asn {
+		model[v] = val
+	}
+	return true, model, nil
+}

@@ -1,0 +1,329 @@
+package symex
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"overify/internal/expr"
+	"overify/internal/ir"
+	"overify/internal/solver"
+)
+
+// SearchKind selects the exploration order.
+type SearchKind int
+
+// Exploration strategies. DFS keeps the solver's caches hot (children
+// share their parent's constraint prefix); BFS finds shallow bugs first.
+const (
+	DFS SearchKind = iota
+	BFS
+)
+
+// Options bound a symbolic-execution run.
+type Options struct {
+	MaxPaths  int64         // 0 = unlimited
+	MaxInstrs int64         // 0 = default 500M
+	MaxStates int           // live states cap; 0 = default 1M
+	Timeout   time.Duration // 0 = none
+	Search    SearchKind
+	Solver    solver.Options
+}
+
+// BugKind classifies a found defect.
+type BugKind int
+
+// Bug kinds the engine detects natively (KLEE-style) plus explicit
+// runtime-check failures.
+const (
+	BugDivByZero BugKind = iota
+	BugNullDeref
+	BugOutOfBounds
+	BugCheckFailed
+	BugAssertFailed
+	BugUnreachable
+	BugStoreConst
+	BugPtrDomain
+)
+
+var bugNames = [...]string{
+	"division by zero", "null dereference", "out-of-bounds access",
+	"check failed", "assertion failed", "unreachable executed",
+	"write to constant", "pointer domain error",
+}
+
+// String returns the bug class description.
+func (k BugKind) String() string {
+	if int(k) < len(bugNames) {
+		return bugNames[k]
+	}
+	return "bug?"
+}
+
+// Bug is one defect found during exploration, with a concrete input that
+// triggers it (the paper's "better error reports ... closer to their
+// root cause").
+type Bug struct {
+	Kind  BugKind
+	Msg   string
+	Where string
+	Input []byte // concrete symbolic-input bytes reproducing the bug
+}
+
+// Stats aggregates the engine's work; Table 1's t_verify, #instructions
+// and #paths columns come from here.
+type Stats struct {
+	Paths          int64 // completed paths (returned from the entry fn)
+	ErrorPaths     int64 // paths terminated by a bug
+	TruncatedPaths int64 // paths killed by limits
+	Forks          int64
+	Instrs         int64 // instructions interpreted across all paths
+	MaxLiveStates  int
+	SolverStats    solver.Stats
+	Elapsed        time.Duration
+	TimedOut       bool
+}
+
+// TotalPaths is completed + errored + truncated.
+func (s *Stats) TotalPaths() int64 { return s.Paths + s.ErrorPaths + s.TruncatedPaths }
+
+// Report is the result of one run.
+type Report struct {
+	Stats Stats
+	Bugs  []Bug
+}
+
+// Engine symbolically executes one module.
+type Engine struct {
+	Mod  *ir.Module
+	B    *expr.Builder
+	Sol  *solver.Solver
+	opts Options
+
+	inputVars []*expr.Var // ordered; used to concretize bug inputs
+	nextState int64
+	deadline  time.Time
+	stats     Stats
+	bugs      []Bug
+}
+
+// NewEngine prepares an engine over mod.
+func NewEngine(mod *ir.Module, opts Options) *Engine {
+	if opts.MaxInstrs == 0 {
+		opts.MaxInstrs = 100_000_000
+	}
+	if opts.MaxStates == 0 {
+		opts.MaxStates = 1_000_000
+	}
+	return &Engine{
+		Mod:  mod,
+		B:    expr.NewBuilder(),
+		Sol:  solver.New(opts.Solver),
+		opts: opts,
+	}
+}
+
+// NewState builds the initial state with fresh global storage.
+func (e *Engine) NewState() *State {
+	st := &State{ID: 0, Globals: make(map[*ir.Global]*MemObject)}
+	for _, g := range e.Mod.Globals {
+		obj := &MemObject{Name: "@" + g.Name, Elem: g.Elem, Count: g.Count, ReadOnly: g.ReadOnly}
+		obj.Cells = make([]SymVal, g.Count)
+		bits := g.Elem.(ir.IntType).Bits
+		for i := range obj.Cells {
+			var v uint64
+			if i < len(g.Init) {
+				v = g.Init[i]
+			}
+			obj.Cells[i] = SymVal{E: e.B.Const(bits, v)}
+		}
+		st.Globals[g] = obj
+	}
+	return st
+}
+
+// SymbolicBuffer creates an i8 object of n symbolic bytes; when
+// nulTerminated, one extra concrete NUL cell is appended (the paper's
+// "up to N characters" convention: any byte may be NUL, and byte N
+// certainly is).
+func (e *Engine) SymbolicBuffer(name string, n int, nulTerminated bool) SymVal {
+	count := n
+	if nulTerminated {
+		count++
+	}
+	obj := &MemObject{Name: name, Elem: ir.I8, Count: int64(count)}
+	obj.Cells = make([]SymVal, count)
+	for i := 0; i < n; i++ {
+		v := &expr.Var{Name: fmt.Sprintf("%s[%d]", name, i), Bits: 8, Idx: len(e.inputVars)}
+		e.inputVars = append(e.inputVars, v)
+		obj.Cells[i] = SymVal{E: e.B.Var(v)}
+	}
+	if nulTerminated {
+		obj.Cells[n] = SymVal{E: e.B.Const(8, 0)}
+	}
+	return SymVal{IsPtr: true, Obj: obj, Off: e.B.Const(64, 0)}
+}
+
+// SymbolicInt creates a fresh symbolic value of the given integer type,
+// backed by an 8-bit input variable zero-extended as needed (the solver
+// works over byte domains).
+func (e *Engine) SymbolicInt(name string, t ir.IntType) SymVal {
+	v := &expr.Var{Name: name, Bits: 8, Idx: len(e.inputVars)}
+	e.inputVars = append(e.inputVars, v)
+	x := e.B.Var(v)
+	if t.Bits > 8 {
+		return SymVal{E: e.B.Cast(ir.OpZExt, x, t.Bits)}
+	}
+	return SymVal{E: x}
+}
+
+// IntArg wraps a concrete integer argument.
+func (e *Engine) IntArg(t ir.IntType, v uint64) SymVal {
+	return SymVal{E: e.B.Const(t.Bits, v)}
+}
+
+// ConcreteBuffer creates an object holding concrete bytes.
+func (e *Engine) ConcreteBuffer(name string, data []byte) SymVal {
+	obj := &MemObject{Name: name, Elem: ir.I8, Count: int64(len(data))}
+	obj.Cells = make([]SymVal, len(data))
+	for i, c := range data {
+		obj.Cells[i] = SymVal{E: e.B.Const(8, uint64(c))}
+	}
+	return SymVal{IsPtr: true, Obj: obj, Off: e.B.Const(64, 0)}
+}
+
+// Run explores fn(args) exhaustively from the given initial state (pass
+// nil for a fresh one) and returns the report.
+func (e *Engine) Run(fnName string, args []SymVal, init *State) (*Report, error) {
+	fn := e.Mod.Func(fnName)
+	if fn == nil {
+		return nil, fmt.Errorf("symex: no function %q", fnName)
+	}
+	if fn.IsDeclaration() {
+		return nil, fmt.Errorf("symex: %q has no body", fnName)
+	}
+	if len(args) != len(fn.Params) {
+		return nil, fmt.Errorf("symex: %s takes %d args, got %d", fnName, len(fn.Params), len(args))
+	}
+	if init == nil {
+		init = e.NewState()
+	}
+	frame := &Frame{Fn: fn, Block: fn.Entry(), Locals: make(map[ir.Value]SymVal)}
+	for i, p := range fn.Params {
+		frame.Locals[p] = args[i]
+	}
+	init.Frames = append(init.Frames, frame)
+
+	start := time.Now()
+	if e.opts.Timeout > 0 {
+		e.deadline = start.Add(e.opts.Timeout)
+		e.Sol.SetDeadline(e.deadline)
+	}
+	worklist := []*State{init}
+	for len(worklist) > 0 {
+		if len(worklist) > e.stats.MaxLiveStates {
+			e.stats.MaxLiveStates = len(worklist)
+		}
+		var st *State
+		if e.opts.Search == BFS {
+			st = worklist[0]
+			worklist = worklist[1:]
+		} else {
+			st = worklist[len(worklist)-1]
+			worklist = worklist[:len(worklist)-1]
+		}
+		stop, forked := e.step(st)
+		if stop {
+			// Limits hit: drain remaining work as truncated.
+			e.stats.TruncatedPaths += int64(len(worklist)) + int64(len(forked)) + 1
+			break
+		}
+		worklist = append(worklist, forked...)
+		if len(worklist) > e.opts.MaxStates {
+			over := len(worklist) - e.opts.MaxStates
+			e.stats.TruncatedPaths += int64(over)
+			worklist = worklist[over:]
+		}
+		if e.opts.MaxPaths > 0 && e.stats.TotalPaths() >= e.opts.MaxPaths {
+			e.stats.TruncatedPaths += int64(len(worklist))
+			break
+		}
+	}
+	e.stats.Elapsed = time.Since(start)
+	e.stats.SolverStats = e.Sol.Stats
+	sort.Slice(e.bugs, func(i, j int) bool {
+		if e.bugs[i].Kind != e.bugs[j].Kind {
+			return e.bugs[i].Kind < e.bugs[j].Kind
+		}
+		return e.bugs[i].Msg < e.bugs[j].Msg
+	})
+	return &Report{Stats: e.stats, Bugs: e.bugs}, nil
+}
+
+// fork clones st for the other side of a branch.
+func (e *Engine) fork(st *State) *State {
+	e.nextState++
+	e.stats.Forks++
+	return st.clone(e.nextState)
+}
+
+// reportBug records a defect with a concretized input from the model.
+func (e *Engine) reportBug(st *State, kind BugKind, msg string, model map[*expr.Var]uint64) {
+	bug := Bug{Kind: kind, Msg: msg, Where: st.Where()}
+	if model != nil {
+		bug.Input = make([]byte, len(e.inputVars))
+		for i, v := range e.inputVars {
+			bug.Input[i] = byte(model[v])
+		}
+	}
+	// Deduplicate by kind+message: one report per defect site.
+	for _, b := range e.bugs {
+		if b.Kind == bug.Kind && b.Msg == bug.Msg {
+			return
+		}
+	}
+	e.bugs = append(e.bugs, bug)
+}
+
+// satResult is a solver verdict: yes, no, or budget-exhausted unknown.
+type satResult int
+
+// Solver verdicts.
+const (
+	satNo satResult = iota
+	satYes
+	satUnknown
+)
+
+// sat asks the solver for pc + extra. Unknown (budget exhaustion) is
+// mapped to "assume feasible", which keeps exploration sound; call
+// sites that *report bugs* must use satTri and skip reporting on
+// unknown.
+func (e *Engine) sat(st *State, extra *expr.Expr) (bool, map[*expr.Var]uint64) {
+	res, model := e.satTri(st, extra)
+	return res != satNo, model
+}
+
+// modelOrEmpty guards concretization against unknown-model results.
+func modelOrEmpty(m map[*expr.Var]uint64) map[*expr.Var]uint64 {
+	if m == nil {
+		return map[*expr.Var]uint64{}
+	}
+	return m
+}
+
+// satTri is the three-valued feasibility query.
+func (e *Engine) satTri(st *State, extra *expr.Expr) (satResult, map[*expr.Var]uint64) {
+	q := st.PC
+	if extra != nil {
+		q = append(append([]*expr.Expr(nil), st.PC...), extra)
+	}
+	ok, model, err := e.Sol.Sat(q)
+	if err != nil {
+		return satUnknown, nil
+	}
+	if ok {
+		return satYes, model
+	}
+	return satNo, nil
+}

@@ -1,0 +1,543 @@
+package symex
+
+import (
+	"fmt"
+	"time"
+
+	"overify/internal/expr"
+	"overify/internal/ir"
+)
+
+const maxCallDepth = 4096
+
+// step runs one state until it terminates (path done) or forks (the
+// continuations are returned). stop=true means a global limit was hit
+// and the whole exploration must end.
+func (e *Engine) step(st *State) (stop bool, forked []*State) {
+	for {
+		if e.opts.MaxInstrs > 0 && e.stats.Instrs >= e.opts.MaxInstrs {
+			e.stats.TimedOut = true
+			return true, nil
+		}
+		if !e.deadline.IsZero() && e.stats.Instrs%1024 == 0 && time.Now().After(e.deadline) {
+			e.stats.TimedOut = true
+			return true, nil
+		}
+		f := st.top()
+		in := f.Block.Instrs[f.Idx]
+		e.stats.Instrs++
+
+		switch in.Op {
+		case ir.OpBr:
+			e.jump(st, f, in.Succs[0])
+			continue
+
+		case ir.OpCondBr:
+			c := e.ev(st, f, in.Args[0]).E
+			if cc, ok := c.IsConst(); ok {
+				if cc != 0 {
+					e.jump(st, f, in.Succs[0])
+				} else {
+					e.jump(st, f, in.Succs[1])
+				}
+				continue
+			}
+			notC := e.B.Not(c)
+			resT, _ := e.satTri(st, c)
+			resF, _ := e.satTri(st, notC)
+			switch {
+			case resT == satYes && resF == satYes:
+				other := e.fork(st)
+				of := other.top()
+				st.addPC(c)
+				e.jump(st, f, in.Succs[0])
+				other.addPC(notC)
+				e.jump(other, of, in.Succs[1])
+				// DFS pops from the back: st (true side) continues first.
+				return false, []*State{other, st}
+			case resT == satYes || (resT == satUnknown && resF == satNo):
+				// True side feasible (or the only possibility).
+				st.addPC(c)
+				e.jump(st, f, in.Succs[0])
+			case resF == satYes || (resF == satUnknown && resT == satNo):
+				st.addPC(notC)
+				e.jump(st, f, in.Succs[1])
+			case resT == satNo && resF == satNo:
+				// Contradictory path condition; the path dies silently.
+				return false, nil
+			default:
+				// Both sides unknown: concretize (KLEE's solver-failure
+				// fallback). Follow the side a model of the current path
+				// condition takes; no fork, so budget failures cannot
+				// blow up the search.
+				_, model := e.satTri(st, nil)
+				if expr.Eval(c, modelOrEmpty(model)) != 0 {
+					st.addPC(c)
+					e.jump(st, f, in.Succs[0])
+				} else {
+					st.addPC(notC)
+					e.jump(st, f, in.Succs[1])
+				}
+			}
+			continue
+
+		case ir.OpRet:
+			var rv SymVal
+			if len(in.Args) == 1 {
+				rv = e.ev(st, f, in.Args[0])
+			}
+			st.Frames = st.Frames[:len(st.Frames)-1]
+			if len(st.Frames) == 0 {
+				e.stats.Paths++
+				return false, nil
+			}
+			caller := st.top()
+			if f.Caller != nil && !ir.SameType(f.Caller.Typ, ir.Void) {
+				caller.Locals[f.Caller] = rv
+			}
+			continue
+
+		case ir.OpUnreachable:
+			return e.endWithBug(st, BugUnreachable, "unreachable executed in "+st.Where())
+
+		case ir.OpCall:
+			callee := in.Callee
+			if callee.IsDeclaration() {
+				return e.endWithBug(st, BugPtrDomain, "call to undefined function @"+callee.Name)
+			}
+			if len(st.Frames) >= maxCallDepth {
+				e.stats.TruncatedPaths++
+				return false, nil
+			}
+			args := make([]SymVal, len(in.Args))
+			for i := range in.Args {
+				args[i] = e.ev(st, f, in.Args[i])
+			}
+			f.Idx++ // resume after the call on return
+			nf := &Frame{Fn: callee, Block: callee.Entry(), Locals: make(map[ir.Value]SymVal, 16), Caller: in}
+			for i, p := range callee.Params {
+				nf.Locals[p] = args[i]
+			}
+			st.Frames = append(st.Frames, nf)
+			continue
+
+		case ir.OpCheck:
+			c := e.ev(st, f, in.Args[0]).E
+			if c.IsTrue() {
+				f.Idx++
+				continue
+			}
+			kind := BugCheckFailed
+			switch in.Kind {
+			case ir.CheckDivByZero:
+				kind = BugDivByZero
+			case ir.CheckBounds:
+				kind = BugOutOfBounds
+			case ir.CheckAssert:
+				kind = BugAssertFailed
+			}
+			if c.IsFalse() {
+				return e.endWithBug(st, kind, in.Msg)
+			}
+			if res, model := e.satTri(st, e.B.Not(c)); res == satYes {
+				e.reportBug(st, kind, in.Msg, model)
+				e.stats.ErrorPaths++
+			}
+			if satOK, _ := e.sat(st, c); satOK {
+				st.addPC(c)
+				f.Idx++
+				continue
+			}
+			return false, nil // every input fails the check
+
+		default:
+			res, fk := e.execValue(st, f, in)
+			switch res {
+			case execEnd:
+				return false, nil
+			case execFork:
+				return false, fk
+			}
+			f.Idx++
+			continue
+		}
+	}
+}
+
+// jump moves the frame to target, evaluating its phis as a batch.
+func (e *Engine) jump(st *State, f *Frame, target *ir.Block) {
+	phis := target.Phis()
+	if len(phis) > 0 {
+		vals := make([]SymVal, len(phis))
+		for i, phi := range phis {
+			v := phi.PhiIncoming(f.Block)
+			if v == nil {
+				panic(fmt.Sprintf("symex: phi %s in %s has no edge from %s",
+					phi.Ref(), target.Name, f.Block.Name))
+			}
+			vals[i] = e.ev(st, f, v)
+			e.stats.Instrs++
+		}
+		for i, phi := range phis {
+			f.Locals[phi] = vals[i]
+		}
+	}
+	f.Prev = f.Block
+	f.Block = target
+	f.Idx = len(phis)
+}
+
+// ev resolves an operand to a symbolic value.
+func (e *Engine) ev(st *State, f *Frame, v ir.Value) SymVal {
+	switch x := v.(type) {
+	case *ir.Const:
+		return SymVal{E: e.B.Const(x.Typ.Bits, x.Val)}
+	case *ir.Null:
+		return SymVal{IsPtr: true, Off: e.B.Const(64, 0)}
+	case *ir.Global:
+		return SymVal{IsPtr: true, Obj: st.Globals[x], Off: e.B.Const(64, 0)}
+	default:
+		sv, ok := f.Locals[v]
+		if !ok {
+			panic(fmt.Sprintf("symex: use of undefined value %s in %s", v.Ref(), st.Where()))
+		}
+		return sv
+	}
+}
+
+// endWithBug concretizes the current path condition into a reproducing
+// input, records the bug, and terminates the path.
+func (e *Engine) endWithBug(st *State, kind BugKind, msg string) (bool, []*State) {
+	_, model := e.sat(st, nil)
+	e.reportBug(st, kind, msg, model)
+	e.stats.ErrorPaths++
+	return false, nil
+}
+
+// execResult says how execValue left the state.
+type execResult int
+
+const (
+	execOK   execResult = iota // value assigned; advance to the next instruction
+	execEnd                    // path terminated (bug or contradiction)
+	execFork                   // forked; both continuations are returned
+)
+
+// execValue executes a non-control instruction.
+func (e *Engine) execValue(st *State, f *Frame, in *ir.Instr) (execResult, []*State) {
+	set := func(v SymVal) {
+		if !ir.SameType(in.Typ, ir.Void) {
+			f.Locals[in] = v
+		}
+	}
+
+	switch {
+	case in.Op.IsBinary():
+		a := e.ev(st, f, in.Args[0])
+		b := e.ev(st, f, in.Args[1])
+		bits := in.Typ.(ir.IntType).Bits
+		switch in.Op {
+		case ir.OpUDiv, ir.OpSDiv, ir.OpURem, ir.OpSRem:
+			d := b.E
+			if dc, ok := d.IsConst(); ok {
+				if dc == 0 {
+					e.endWithBug(st, BugDivByZero,
+						fmt.Sprintf("%s by zero in %s", in.Op, st.Where()))
+					return execEnd, nil
+				}
+			} else {
+				zero := e.B.Cmp(ir.OpEq, d, e.B.Const(bits, 0))
+				if res, model := e.satTri(st, zero); res == satYes {
+					e.reportBug(st, BugDivByZero,
+						fmt.Sprintf("%s by zero in %s", in.Op, st.Where()), model)
+					e.stats.ErrorPaths++
+				}
+				nz := e.B.Not(zero)
+				if satNZ, _ := e.sat(st, nz); !satNZ {
+					return execEnd, nil // division always traps
+				}
+				st.addPC(nz)
+			}
+		}
+		set(SymVal{E: e.B.Bin(in.Op, a.E, b.E)})
+		return execOK, nil
+
+	case in.Op.IsCmp():
+		a := e.ev(st, f, in.Args[0])
+		b := e.ev(st, f, in.Args[1])
+		if a.IsPtr || b.IsPtr {
+			return e.cmpPointers(st, in, a, b, set)
+		}
+		set(SymVal{E: e.B.Cmp(in.Op, a.E, b.E)})
+		return execOK, nil
+	}
+
+	switch in.Op {
+	case ir.OpSelect:
+		c := e.ev(st, f, in.Args[0])
+		t := e.ev(st, f, in.Args[1])
+		fv := e.ev(st, f, in.Args[2])
+		if cc, ok := c.E.IsConst(); ok {
+			if cc != 0 {
+				set(t)
+			} else {
+				set(fv)
+			}
+			return execOK, nil
+		}
+		if !t.IsPtr && !fv.IsPtr {
+			set(SymVal{E: e.B.Select(c.E, t.E, fv.E)})
+			return execOK, nil
+		}
+		// Pointer select: merge offsets when the object agrees, else
+		// fork on the condition.
+		if t.Obj == fv.Obj {
+			set(SymVal{IsPtr: true, Obj: t.Obj, Off: e.B.Select(c.E, t.Off, fv.Off)})
+			return execOK, nil
+		}
+		notC := e.B.Not(c.E)
+		satT, _ := e.sat(st, c.E)
+		satF, _ := e.sat(st, notC)
+		switch {
+		case satT && satF:
+			other := e.fork(st)
+			of := other.top()
+			st.addPC(c.E)
+			set(t)
+			f.Idx++
+			other.addPC(notC)
+			if !ir.SameType(in.Typ, ir.Void) {
+				of.Locals[in] = e.ev(other, of, in.Args[2])
+			}
+			of.Idx++
+			return execFork, []*State{other, st}
+		case satT:
+			st.addPC(c.E)
+			set(t)
+		case satF:
+			st.addPC(notC)
+			set(fv)
+		default:
+			return execEnd, nil
+		}
+		return execOK, nil
+
+	case ir.OpZExt, ir.OpSExt, ir.OpTrunc:
+		a := e.ev(st, f, in.Args[0])
+		set(SymVal{E: e.B.Cast(in.Op, a.E, in.Typ.(ir.IntType).Bits)})
+		return execOK, nil
+
+	case ir.OpAlloca:
+		obj := &MemObject{
+			Name:  fmt.Sprintf("%s.%s", f.Fn.Name, in.Ref()),
+			Elem:  in.Allocated,
+			Count: in.Count,
+		}
+		obj.Cells = make([]SymVal, in.Count)
+		var zero SymVal
+		if pt, ok := in.Allocated.(ir.PtrType); ok {
+			_ = pt
+			zero = SymVal{IsPtr: true, Off: e.B.Const(64, 0)}
+		} else {
+			zero = SymVal{E: e.B.Const(in.Allocated.(ir.IntType).Bits, 0)}
+		}
+		for i := range obj.Cells {
+			obj.Cells[i] = zero
+		}
+		set(SymVal{IsPtr: true, Obj: obj, Off: e.B.Const(64, 0)})
+		return execOK, nil
+
+	case ir.OpGEP:
+		p := e.ev(st, f, in.Args[0])
+		idx := e.ev(st, f, in.Args[1])
+		if p.Obj == nil {
+			e.endWithBug(st, BugNullDeref, "pointer arithmetic on null in "+st.Where())
+			return execEnd, nil
+		}
+		set(SymVal{IsPtr: true, Obj: p.Obj, Off: e.B.Bin(ir.OpAdd, p.Off, idx.E)})
+		return execOK, nil
+
+	case ir.OpPtrDiff:
+		a := e.ev(st, f, in.Args[0])
+		b := e.ev(st, f, in.Args[1])
+		if a.Obj != b.Obj {
+			e.endWithBug(st, BugPtrDomain, "ptrdiff across objects in "+st.Where())
+			return execEnd, nil
+		}
+		if a.Obj == nil {
+			set(SymVal{E: e.B.Const(64, 0)})
+			return execOK, nil
+		}
+		set(SymVal{E: e.B.Bin(ir.OpSub, a.Off, b.Off)})
+		return execOK, nil
+
+	case ir.OpLoad:
+		p := e.ev(st, f, in.Args[0])
+		if p.Obj == nil {
+			e.endWithBug(st, BugNullDeref, "load from null in "+st.Where())
+			return execEnd, nil
+		}
+		v, res := e.loadCell(st, p.Obj, p.Off)
+		if res != execOK {
+			return res, nil
+		}
+		set(v)
+		return execOK, nil
+
+	case ir.OpStore:
+		v := e.ev(st, f, in.Args[0])
+		p := e.ev(st, f, in.Args[1])
+		if p.Obj == nil {
+			e.endWithBug(st, BugNullDeref, "store to null in "+st.Where())
+			return execEnd, nil
+		}
+		if p.Obj.ReadOnly {
+			e.endWithBug(st, BugStoreConst, "store to read-only "+p.Obj.Name)
+			return execEnd, nil
+		}
+		return e.storeCell(st, p.Obj, p.Off, v)
+	}
+	panic("symex: cannot execute " + in.Op.String())
+}
+
+func (e *Engine) cmpPointers(st *State, in *ir.Instr, a, b SymVal, set func(SymVal)) (execResult, []*State) {
+	boolConst := func(v bool) {
+		set(SymVal{E: e.B.Bool(v)})
+	}
+	switch in.Op {
+	case ir.OpEq, ir.OpNe:
+		eq := in.Op == ir.OpEq
+		switch {
+		case a.Obj == nil && b.Obj == nil:
+			boolConst(eq)
+		case a.Obj != b.Obj:
+			boolConst(!eq)
+		default:
+			c := e.B.Cmp(ir.OpEq, a.Off, b.Off)
+			if !eq {
+				c = e.B.Not(c)
+			}
+			set(SymVal{E: c})
+		}
+		return execOK, nil
+	}
+	// Relational: only within one object.
+	if a.Obj != b.Obj {
+		e.endWithBug(st, BugPtrDomain, "relational pointer comparison across objects in "+st.Where())
+		return execEnd, nil
+	}
+	if a.Obj == nil {
+		boolConst(in.Op == ir.OpULe || in.Op == ir.OpUGe)
+		return execOK, nil
+	}
+	// Offsets are signed quantities in elements; pointer order within an
+	// object is offset order.
+	var op ir.Op
+	switch in.Op {
+	case ir.OpULt:
+		op = ir.OpSLt
+	case ir.OpULe:
+		op = ir.OpSLe
+	case ir.OpUGt:
+		op = ir.OpSGt
+	default:
+		op = ir.OpSGe
+	}
+	set(SymVal{E: e.B.Cmp(op, a.Off, b.Off)})
+	return execOK, nil
+}
+
+// loadCell reads obj[off], handling symbolic offsets with bounds
+// checking and ite-chains (or a single Read node over concrete tables).
+func (e *Engine) loadCell(st *State, obj *MemObject, off *expr.Expr) (SymVal, execResult) {
+	if oc, ok := off.IsConst(); ok {
+		if int64(oc) < 0 || int64(oc) >= obj.Count {
+			e.endWithBug(st, BugOutOfBounds,
+				fmt.Sprintf("load %s[%d] (size %d) in %s", obj.Name, int64(oc), obj.Count, st.Where()))
+			return SymVal{}, execEnd
+		}
+		return obj.Cells[oc], execOK
+	}
+	if !e.boundsCheck(st, obj, off, "load") {
+		return SymVal{}, execEnd
+	}
+	// All cells must be integers for a symbolic read.
+	bits := 0
+	allConst := true
+	for _, c := range obj.Cells {
+		if c.IsPtr {
+			e.endWithBug(st, BugPtrDomain,
+				"symbolic index into pointer-holding object "+obj.Name)
+			return SymVal{}, execEnd
+		}
+		bits = c.E.Bits
+		if _, ok := c.E.IsConst(); !ok {
+			allConst = false
+		}
+	}
+	if allConst {
+		table := make([]uint64, obj.Count)
+		for i, c := range obj.Cells {
+			v, _ := c.E.IsConst()
+			table[i] = v
+		}
+		return SymVal{E: e.B.Read(table, bits, off)}, execOK
+	}
+	// ite chain over the (small) object.
+	acc := obj.Cells[obj.Count-1].E
+	for i := obj.Count - 2; i >= 0; i-- {
+		hit := e.B.Cmp(ir.OpEq, off, e.B.Const(64, uint64(i)))
+		acc = e.B.Select(hit, obj.Cells[i].E, acc)
+	}
+	return SymVal{E: acc}, execOK
+}
+
+// storeCell writes obj[off] = v.
+func (e *Engine) storeCell(st *State, obj *MemObject, off *expr.Expr, v SymVal) (execResult, []*State) {
+	if oc, ok := off.IsConst(); ok {
+		if int64(oc) < 0 || int64(oc) >= obj.Count {
+			e.endWithBug(st, BugOutOfBounds,
+				fmt.Sprintf("store %s[%d] (size %d) in %s", obj.Name, int64(oc), obj.Count, st.Where()))
+			return execEnd, nil
+		}
+		obj.Cells[oc] = v
+		return execOK, nil
+	}
+	if !e.boundsCheck(st, obj, off, "store") {
+		return execEnd, nil
+	}
+	if v.IsPtr {
+		e.endWithBug(st, BugPtrDomain,
+			"symbolic-offset store of a pointer into "+obj.Name)
+		return execEnd, nil
+	}
+	for i := int64(0); i < obj.Count; i++ {
+		old := obj.Cells[i]
+		if old.IsPtr {
+			e.endWithBug(st, BugPtrDomain,
+				"symbolic-offset store into pointer-holding object "+obj.Name)
+			return execEnd, nil
+		}
+		hit := e.B.Cmp(ir.OpEq, off, e.B.Const(64, uint64(i)))
+		obj.Cells[i] = SymVal{E: e.B.Select(hit, v.E, old.E)}
+	}
+	return execOK, nil
+}
+
+// boundsCheck reports a bug if off can be out of bounds and constrains
+// the path to in-bounds accesses. Returns false when the path cannot
+// continue (every offset is out of bounds).
+func (e *Engine) boundsCheck(st *State, obj *MemObject, off *expr.Expr, what string) bool {
+	oob := e.B.Cmp(ir.OpUGe, off, e.B.Const(64, uint64(obj.Count)))
+	if res, model := e.satTri(st, oob); res == satYes {
+		e.reportBug(st, BugOutOfBounds,
+			fmt.Sprintf("%s %s out of bounds (size %d) in %s", what, obj.Name, obj.Count, st.Where()), model)
+		e.stats.ErrorPaths++
+	}
+	inb := e.B.Not(oob)
+	if satIn, _ := e.sat(st, inb); !satIn {
+		return false
+	}
+	st.addPC(inb)
+	return true
+}

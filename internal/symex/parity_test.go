@@ -1,0 +1,170 @@
+package symex_test
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"overify/internal/core"
+	"overify/internal/pipeline"
+)
+
+// buggyPrograms seed one known defect each; the §4 claim under test:
+// "all bugs discovered by KLEE with -O0 and -O3 are also found with
+// -OSYMBEX".
+var buggyPrograms = []struct {
+	name string
+	src  string
+	kind string // substring expected in some bug's description
+	n    int    // symbolic input bytes needed to reach the bug
+}{
+	{
+		name: "oob-write",
+		n:    5, // the overflow needs five non-NUL bytes
+		src: `
+int umain(unsigned char *input, int len) {
+	unsigned char buf[4];
+	int i = 0;
+	// Off-by-one: accepts indices 0..4 into buf[4].
+	while (i <= 4 && input[i] != 0) {
+		buf[i] = input[i];
+		i = i + 1;
+	}
+	return i;
+}`,
+		kind: "out-of-bounds",
+	},
+	{
+		name: "div-by-input",
+		src: `
+int umain(unsigned char *input, int len) {
+	if (len < 1) { return 0; }
+	return 100 / (int)input[0];
+}`,
+		kind: "division by zero",
+	},
+	{
+		name: "bad-assert",
+		src: `
+int umain(unsigned char *input, int len) {
+	int sum = 0;
+	int i = 0;
+	while (input[i] != 0) {
+		sum = sum + (int)input[i];
+		i = i + 1;
+	}
+	assert(sum != 'X');
+	return sum;
+}`,
+		kind: "assert",
+	},
+	{
+		name: "oob-read-index",
+		src: `
+const char lut[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+int umain(unsigned char *input, int len) {
+	if (len < 1) { return 0; }
+	// Index can reach 15 into lut[8].
+	return (int)lut[(int)input[0] % 16];
+}`,
+		kind: "out-of-bounds",
+	},
+}
+
+// TestBugParityAcrossLevels verifies that every seeded bug is found at
+// -O0, -O3 and -OVERIFY alike.
+func TestBugParityAcrossLevels(t *testing.T) {
+	levels := []pipeline.Level{pipeline.O0, pipeline.O3, pipeline.OVerify}
+	for _, bp := range buggyPrograms {
+		kinds := make(map[pipeline.Level][]string)
+		n := bp.n
+		if n == 0 {
+			n = 3
+		}
+		for _, level := range levels {
+			c, err := core.CompileSource(bp.name, bp.src, level, core.DefaultLibc(level))
+			if err != nil {
+				t.Fatalf("%s at %s: %v", bp.name, level, err)
+			}
+			rep, err := c.Verify("umain", core.VerifyOptions{InputBytes: n})
+			if err != nil {
+				t.Fatalf("%s at %s: verify: %v", bp.name, level, err)
+			}
+			var ks []string
+			for _, b := range rep.Bugs {
+				ks = append(ks, b.Kind.String())
+			}
+			sort.Strings(ks)
+			kinds[level] = ks
+
+			found := false
+			for _, b := range rep.Bugs {
+				if containsSub(b.Kind.String(), bp.kind) || containsSub(b.Msg, bp.kind) {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("%s at %s: seeded %q bug not found (bugs: %v)",
+					bp.name, level, bp.kind, rep.Bugs)
+			}
+		}
+		// Bug-kind sets must agree across levels.
+		want := fmt.Sprint(kinds[pipeline.O0])
+		for _, level := range levels[1:] {
+			if got := fmt.Sprint(kinds[level]); got != want {
+				t.Errorf("%s: bug kinds differ: %s=%v vs %s=%v",
+					bp.name, pipeline.O0, want, level, got)
+			}
+		}
+	}
+}
+
+// TestBugInputsReproduce feeds each reported bug input back through the
+// concrete interpreter and checks it actually crashes.
+func TestBugInputsReproduce(t *testing.T) {
+	for _, bp := range buggyPrograms {
+		n := bp.n
+		if n == 0 {
+			n = 3
+		}
+		c, err := core.CompileSource(bp.name, bp.src, pipeline.OVerify, core.DefaultLibc(pipeline.OVerify))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := c.Verify("umain", core.VerifyOptions{InputBytes: n})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.Bugs) == 0 {
+			t.Errorf("%s: no bugs found", bp.name)
+			continue
+		}
+		reproduced := 0
+		for _, b := range rep.Bugs {
+			if b.Input == nil {
+				continue
+			}
+			// Run concretely at -O0 (the build closest to the source):
+			// the input must trap.
+			c0, err := core.CompileSource(bp.name, bp.src, pipeline.O0, core.DefaultLibc(pipeline.O0))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := c0.Run("umain", b.Input); err != nil {
+				reproduced++
+			}
+		}
+		if reproduced == 0 {
+			t.Errorf("%s: no bug input reproduced a concrete crash", bp.name)
+		}
+	}
+}
+
+func containsSub(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,98 @@
+// Package vm compiles IR to a flat register bytecode and executes it.
+// It plays the role of the paper's "release binary": the artifact the
+// x86 backend would produce for S2E/SAGE, used here for the timed
+// concrete runs (t_run). Compilation destroys SSA form (phi nodes
+// become parallel moves on the incoming edges), assigns dense register
+// numbers, and linearizes the CFG — so the VM exercises a genuinely
+// different execution substrate than the tree-walking interpreter.
+package vm
+
+import (
+	"fmt"
+
+	"overify/internal/ir"
+)
+
+// OpCode is a bytecode operation.
+type OpCode uint8
+
+// Bytecode operations. Arithmetic ops reuse the IR opcode via the Sub
+// field to share ir.EvalBin/EvalCmp semantics.
+const (
+	OpNop     OpCode = iota
+	OpBin            // R[A] = R[B] op R[C]
+	OpCmp            // R[A] = R[B] cmp R[C]
+	OpCast           // R[A] = cast(R[B])
+	OpSelect         // R[A] = R[B]!=0 ? R[C] : R[D(imm)]
+	OpMov            // R[A] = R[B]
+	OpConst          // R[A] = imm
+	OpNull           // R[A] = null pointer
+	OpGlobal         // R[A] = &globals[imm]
+	OpAlloca         // R[A] = new object (elem bits, count)
+	OpLoad           // R[A] = *R[B]
+	OpStore          // *R[B] = R[A]
+	OpGEP            // R[A] = R[B] + R[C] elements
+	OpPtrDiff        // R[A] = R[B] - R[C]
+	OpJump           // pc = Target
+	OpJumpIf         // if R[A]!=0 pc = Target else fall through
+	OpCall           // R[A] = call Fn(args in ArgRegs)
+	OpRet            // return R[A] (A<0: void)
+	OpCheck          // trap if R[A]==0
+	OpTrap           // unconditional trap (unreachable)
+)
+
+var opNames = [...]string{
+	"nop", "bin", "cmp", "cast", "select", "mov", "const", "null",
+	"global", "alloca", "load", "store", "gep", "ptrdiff",
+	"jump", "jumpif", "call", "ret", "check", "trap",
+}
+
+// String returns the mnemonic.
+func (o OpCode) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op%d", int(o))
+}
+
+// Inst is one bytecode instruction.
+type Inst struct {
+	Op      OpCode
+	Sub     ir.Op  // arithmetic/cmp/cast sub-opcode
+	A, B, C int32  // register operands
+	Imm     uint64 // constant / global index / select false-reg
+	Bits    uint8  // operand width for Bin/Cmp/Cast (source width for casts)
+	ToBits  uint8  // destination width for casts
+	Count   int64  // alloca element count
+	Target  int32  // jump target
+	Fn      int32  // callee function index
+	Args    []int32
+	Kind    ir.CheckKind
+	Msg     string
+}
+
+// Func is one compiled function.
+type Func struct {
+	Name    string
+	NumRegs int
+	Params  []int32 // registers receiving the arguments
+	Code    []Inst
+	RetVoid bool
+}
+
+// GlobalDef describes a global object's initial contents.
+type GlobalDef struct {
+	Name     string
+	Bits     uint8
+	Count    int64
+	Init     []uint64
+	ReadOnly bool
+}
+
+// Program is a compiled module.
+type Program struct {
+	Name    string
+	Funcs   []*Func
+	ByName  map[string]int
+	Globals []GlobalDef
+}

@@ -1,0 +1,297 @@
+package vm
+
+import (
+	"fmt"
+
+	"overify/internal/ir"
+)
+
+// Compile lowers a module to bytecode. Functions must be definitions.
+func Compile(m *ir.Module) (*Program, error) {
+	p := &Program{Name: m.Name, ByName: make(map[string]int)}
+	globalIdx := make(map[*ir.Global]int, len(m.Globals))
+	for i, g := range m.Globals {
+		bits := 64
+		if it, ok := g.Elem.(ir.IntType); ok {
+			bits = it.Bits
+		}
+		p.Globals = append(p.Globals, GlobalDef{
+			Name:     g.Name,
+			Bits:     uint8(bits),
+			Count:    g.Count,
+			Init:     g.Init,
+			ReadOnly: g.ReadOnly,
+		})
+		globalIdx[g] = i
+	}
+	fnIdx := make(map[*ir.Function]int, len(m.Funcs))
+	for i, f := range m.Funcs {
+		fnIdx[f] = i
+	}
+	for _, f := range m.Funcs {
+		if f.IsDeclaration() {
+			return nil, fmt.Errorf("vm: cannot compile declaration @%s", f.Name)
+		}
+		cf, err := compileFunc(f, fnIdx, globalIdx)
+		if err != nil {
+			return nil, err
+		}
+		p.ByName[cf.Name] = len(p.Funcs)
+		p.Funcs = append(p.Funcs, cf)
+	}
+	return p, nil
+}
+
+type fnCompiler struct {
+	f         *ir.Function
+	fnIdx     map[*ir.Function]int
+	globalIdx map[*ir.Global]int
+	regs      map[ir.Value]int32
+	nextReg   int32
+	code      []Inst
+	blockPC   map[*ir.Block]int32
+	fixups    []fixup // jumps to patch once block addresses are known
+}
+
+type fixup struct {
+	pc    int
+	block *ir.Block
+}
+
+func (fc *fnCompiler) reg(v ir.Value) int32 {
+	if r, ok := fc.regs[v]; ok {
+		return r
+	}
+	r := fc.nextReg
+	fc.nextReg++
+	fc.regs[v] = r
+	return r
+}
+
+// operand materializes v into a register, emitting constant loads as
+// needed (constants are not cached across uses; a register allocator is
+// out of scope — the VM is a timing substrate, not a codegen study).
+func (fc *fnCompiler) operand(v ir.Value) int32 {
+	switch x := v.(type) {
+	case *ir.Const:
+		r := fc.nextReg
+		fc.nextReg++
+		fc.code = append(fc.code, Inst{Op: OpConst, A: r, Imm: x.Val, Bits: uint8(x.Typ.Bits)})
+		return r
+	case *ir.Null:
+		r := fc.nextReg
+		fc.nextReg++
+		fc.code = append(fc.code, Inst{Op: OpNull, A: r})
+		return r
+	case *ir.Global:
+		r := fc.nextReg
+		fc.nextReg++
+		fc.code = append(fc.code, Inst{Op: OpGlobal, A: r, Imm: uint64(fc.globalIdx[x])})
+		return r
+	default:
+		return fc.reg(v)
+	}
+}
+
+func compileFunc(f *ir.Function, fnIdx map[*ir.Function]int, globalIdx map[*ir.Global]int) (*Func, error) {
+	fc := &fnCompiler{
+		f:         f,
+		fnIdx:     fnIdx,
+		globalIdx: globalIdx,
+		regs:      make(map[ir.Value]int32),
+		blockPC:   make(map[*ir.Block]int32),
+	}
+	out := &Func{Name: f.Name, RetVoid: ir.SameType(f.Sig.Ret, ir.Void)}
+	for _, p := range f.Params {
+		out.Params = append(out.Params, fc.reg(p))
+	}
+
+	// Compile blocks in layout order. Phi nodes are destroyed: each
+	// predecessor edge ends with parallel moves into temporaries, then
+	// from temporaries into the phi registers (the two-step scheme is
+	// immune to swap hazards), before the jump.
+	for _, b := range f.Blocks {
+		fc.blockPC[b] = int32(len(fc.code))
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpPhi {
+				fc.reg(in) // allocate the register; moves happen on edges
+				continue
+			}
+			if in.IsTerminator() {
+				fc.emitEdgeMoves(b, in)
+			}
+			if err := fc.emitInstr(in); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Patch jump targets.
+	for _, fx := range fc.fixups {
+		fc.code[fx.pc].Target = fc.blockPC[fx.block]
+	}
+	out.Code = fc.code
+	out.NumRegs = int(fc.nextReg)
+	return out, nil
+}
+
+// emitEdgeMoves lowers the phi nodes of term's successors for the edge
+// leaving block b. Unconditional edges emit the moves inline before the
+// jump; conditional edges are split inside emitCondBr (each side gets a
+// trampoline carrying its own moves), so they are skipped here.
+func (fc *fnCompiler) emitEdgeMoves(b *ir.Block, term *ir.Instr) {
+	if term.Op != ir.OpBr {
+		return
+	}
+	for _, s := range term.Succs {
+		if phis := s.Phis(); len(phis) > 0 {
+			fc.emitParallelMoves(phis, b)
+		}
+	}
+}
+
+// emitParallelMoves writes phi inputs for edge pred->block(phis).
+func (fc *fnCompiler) emitParallelMoves(phis []*ir.Instr, pred *ir.Block) {
+	// Step 1: values into fresh temporaries.
+	temps := make([]int32, len(phis))
+	for i, phi := range phis {
+		v := phi.PhiIncoming(pred)
+		src := fc.operand(v)
+		t := fc.nextReg
+		fc.nextReg++
+		temps[i] = t
+		fc.code = append(fc.code, Inst{Op: OpMov, A: t, B: src})
+	}
+	// Step 2: temporaries into the phi registers.
+	for i, phi := range phis {
+		fc.code = append(fc.code, Inst{Op: OpMov, A: fc.reg(phi), B: temps[i]})
+	}
+}
+
+func (fc *fnCompiler) emitInstr(in *ir.Instr) error {
+	switch {
+	case in.Op.IsBinary():
+		b := fc.operand(in.Args[0])
+		c := fc.operand(in.Args[1])
+		fc.code = append(fc.code, Inst{
+			Op: OpBin, Sub: in.Op, A: fc.reg(in), B: b, C: c,
+			Bits: uint8(in.Typ.(ir.IntType).Bits),
+		})
+		return nil
+	case in.Op.IsCmp():
+		b := fc.operand(in.Args[0])
+		c := fc.operand(in.Args[1])
+		bits := 64
+		if it, ok := in.Args[0].Type().(ir.IntType); ok {
+			bits = it.Bits
+		}
+		fc.code = append(fc.code, Inst{
+			Op: OpCmp, Sub: in.Op, A: fc.reg(in), B: b, C: c, Bits: uint8(bits),
+		})
+		return nil
+	}
+	switch in.Op {
+	case ir.OpSelect:
+		cnd := fc.operand(in.Args[0])
+		tv := fc.operand(in.Args[1])
+		fv := fc.operand(in.Args[2])
+		fc.code = append(fc.code, Inst{Op: OpSelect, A: fc.reg(in), B: cnd, C: tv, Imm: uint64(fv)})
+		return nil
+	case ir.OpZExt, ir.OpSExt, ir.OpTrunc:
+		b := fc.operand(in.Args[0])
+		fc.code = append(fc.code, Inst{
+			Op: OpCast, Sub: in.Op, A: fc.reg(in), B: b,
+			Bits:   uint8(in.Args[0].Type().(ir.IntType).Bits),
+			ToBits: uint8(in.Typ.(ir.IntType).Bits),
+		})
+		return nil
+	case ir.OpAlloca:
+		bits := 64
+		if it, ok := in.Allocated.(ir.IntType); ok {
+			bits = it.Bits
+		}
+		fc.code = append(fc.code, Inst{Op: OpAlloca, A: fc.reg(in), Bits: uint8(bits), Count: in.Count})
+		return nil
+	case ir.OpLoad:
+		fc.code = append(fc.code, Inst{Op: OpLoad, A: fc.reg(in), B: fc.operand(in.Args[0])})
+		return nil
+	case ir.OpStore:
+		v := fc.operand(in.Args[0])
+		ptr := fc.operand(in.Args[1])
+		fc.code = append(fc.code, Inst{Op: OpStore, A: v, B: ptr})
+		return nil
+	case ir.OpGEP:
+		b := fc.operand(in.Args[0])
+		c := fc.operand(in.Args[1])
+		fc.code = append(fc.code, Inst{Op: OpGEP, A: fc.reg(in), B: b, C: c})
+		return nil
+	case ir.OpPtrDiff:
+		b := fc.operand(in.Args[0])
+		c := fc.operand(in.Args[1])
+		fc.code = append(fc.code, Inst{Op: OpPtrDiff, A: fc.reg(in), B: b, C: c})
+		return nil
+	case ir.OpCall:
+		args := make([]int32, len(in.Args))
+		for i, a := range in.Args {
+			args[i] = fc.operand(a)
+		}
+		dst := int32(-1)
+		if !ir.SameType(in.Typ, ir.Void) {
+			dst = fc.reg(in)
+		}
+		fc.code = append(fc.code, Inst{Op: OpCall, A: dst, Fn: int32(fc.fnIdx[in.Callee]), Args: args})
+		return nil
+	case ir.OpCheck:
+		c := fc.operand(in.Args[0])
+		fc.code = append(fc.code, Inst{Op: OpCheck, A: c, Kind: in.Kind, Msg: in.Msg})
+		return nil
+	case ir.OpBr:
+		fc.fixups = append(fc.fixups, fixup{pc: len(fc.code), block: in.Succs[0]})
+		fc.code = append(fc.code, Inst{Op: OpJump})
+		return nil
+	case ir.OpCondBr:
+		return fc.emitCondBr(in)
+	case ir.OpRet:
+		r := int32(-1)
+		if len(in.Args) == 1 {
+			r = fc.operand(in.Args[0])
+		}
+		fc.code = append(fc.code, Inst{Op: OpRet, A: r})
+		return nil
+	case ir.OpUnreachable:
+		fc.code = append(fc.code, Inst{Op: OpTrap, Msg: "unreachable"})
+		return nil
+	case ir.OpPhi:
+		return nil // handled on edges
+	}
+	return fmt.Errorf("vm: cannot compile %s", in.Op)
+}
+
+func (fc *fnCompiler) emitCondBr(in *ir.Instr) error {
+	cond := fc.operand(in.Args[0])
+	// jumpif cond -> trueTarget ; jump falseTarget
+	trueNeedsTramp := len(in.Succs[0].Phis()) > 0
+	falseNeedsTramp := len(in.Succs[1].Phis()) > 0
+
+	jumpIfPC := len(fc.code)
+	fc.code = append(fc.code, Inst{Op: OpJumpIf, A: cond})
+	jumpPC := len(fc.code)
+	fc.code = append(fc.code, Inst{Op: OpJump})
+
+	if trueNeedsTramp {
+		fc.code[jumpIfPC].Target = int32(len(fc.code))
+		fc.emitParallelMoves(in.Succs[0].Phis(), in.Blk)
+		fc.fixups = append(fc.fixups, fixup{pc: len(fc.code), block: in.Succs[0]})
+		fc.code = append(fc.code, Inst{Op: OpJump})
+	} else {
+		fc.fixups = append(fc.fixups, fixup{pc: jumpIfPC, block: in.Succs[0]})
+	}
+	if falseNeedsTramp {
+		fc.code[jumpPC].Target = int32(len(fc.code))
+		fc.emitParallelMoves(in.Succs[1].Phis(), in.Blk)
+		fc.fixups = append(fc.fixups, fixup{pc: len(fc.code), block: in.Succs[1]})
+		fc.code = append(fc.code, Inst{Op: OpJump})
+	} else {
+		fc.fixups = append(fc.fixups, fixup{pc: jumpPC, block: in.Succs[1]})
+	}
+	return nil
+}

@@ -1,0 +1,76 @@
+package vm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Disasm renders the program's bytecode as text, one function per
+// section, for debugging and for the minicvm -S flag.
+func Disasm(p *Program) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "; bytecode for module %s: %d functions, %d globals\n",
+		p.Name, len(p.Funcs), len(p.Globals))
+	for _, g := range p.Globals {
+		fmt.Fprintf(&sb, "global @%s: %d x i%d", g.Name, g.Count, g.Bits)
+		if g.ReadOnly {
+			sb.WriteString(" const")
+		}
+		sb.WriteByte('\n')
+	}
+	for _, f := range p.Funcs {
+		sb.WriteByte('\n')
+		fmt.Fprintf(&sb, "func %s (regs=%d, params=%v):\n", f.Name, f.NumRegs, f.Params)
+		for pc, in := range f.Code {
+			fmt.Fprintf(&sb, "  %4d: %s\n", pc, disasmInst(p, &in))
+		}
+	}
+	return sb.String()
+}
+
+func disasmInst(p *Program, in *Inst) string {
+	switch in.Op {
+	case OpBin:
+		return fmt.Sprintf("r%d = %s.i%d r%d, r%d", in.A, in.Sub, in.Bits, in.B, in.C)
+	case OpCmp:
+		return fmt.Sprintf("r%d = %s.i%d r%d, r%d", in.A, in.Sub, in.Bits, in.B, in.C)
+	case OpCast:
+		return fmt.Sprintf("r%d = %s r%d (i%d->i%d)", in.A, in.Sub, in.B, in.Bits, in.ToBits)
+	case OpSelect:
+		return fmt.Sprintf("r%d = select r%d ? r%d : r%d", in.A, in.B, in.C, int32(in.Imm))
+	case OpMov:
+		return fmt.Sprintf("r%d = r%d", in.A, in.B)
+	case OpConst:
+		return fmt.Sprintf("r%d = %d (i%d)", in.A, in.Imm, in.Bits)
+	case OpNull:
+		return fmt.Sprintf("r%d = null", in.A)
+	case OpGlobal:
+		return fmt.Sprintf("r%d = @%s", in.A, p.Globals[in.Imm].Name)
+	case OpAlloca:
+		return fmt.Sprintf("r%d = alloca %d x i%d", in.A, in.Count, in.Bits)
+	case OpLoad:
+		return fmt.Sprintf("r%d = load [r%d]", in.A, in.B)
+	case OpStore:
+		return fmt.Sprintf("store r%d -> [r%d]", in.A, in.B)
+	case OpGEP:
+		return fmt.Sprintf("r%d = gep r%d + r%d", in.A, in.B, in.C)
+	case OpPtrDiff:
+		return fmt.Sprintf("r%d = ptrdiff r%d, r%d", in.A, in.B, in.C)
+	case OpJump:
+		return fmt.Sprintf("jump %d", in.Target)
+	case OpJumpIf:
+		return fmt.Sprintf("jumpif r%d -> %d", in.A, in.Target)
+	case OpCall:
+		return fmt.Sprintf("r%d = call %s %v", in.A, p.Funcs[in.Fn].Name, in.Args)
+	case OpRet:
+		if in.A < 0 {
+			return "ret"
+		}
+		return fmt.Sprintf("ret r%d", in.A)
+	case OpCheck:
+		return fmt.Sprintf("check r%d (%s) %q", in.A, in.Kind, in.Msg)
+	case OpTrap:
+		return fmt.Sprintf("trap %q", in.Msg)
+	}
+	return in.Op.String()
+}

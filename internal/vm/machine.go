@@ -1,0 +1,277 @@
+package vm
+
+import (
+	"fmt"
+
+	"overify/internal/ir"
+)
+
+// Object is a runtime memory object.
+type Object struct {
+	Bits     uint8
+	Count    int64
+	Data     []Value
+	ReadOnly bool
+	Name     string
+}
+
+// Value is a VM register value: integer bits or a pointer.
+type Value struct {
+	IsPtr bool
+	Bits  uint64
+	Obj   *Object
+	Off   int64
+}
+
+// IntValue makes an integer value of the given width.
+func IntValue(bits int, v uint64) Value { return Value{Bits: ir.Mask(bits, v)} }
+
+// PtrValue makes a pointer value.
+func PtrValue(obj *Object, off int64) Value { return Value{IsPtr: true, Obj: obj, Off: off} }
+
+// ByteObject builds an i8 object from raw bytes.
+func ByteObject(name string, b []byte) *Object {
+	d := make([]Value, len(b))
+	for i, c := range b {
+		d[i] = Value{Bits: uint64(c)}
+	}
+	return &Object{Bits: 8, Count: int64(len(b)), Data: d, Name: name}
+}
+
+// Trap is a VM runtime fault.
+type Trap struct {
+	Msg string
+}
+
+// Error formats the trap.
+func (t *Trap) Error() string { return "vm trap: " + t.Msg }
+
+// Stats counts VM work.
+type Stats struct {
+	Instrs int64
+	Calls  int64
+}
+
+// Machine executes a compiled program.
+type Machine struct {
+	Prog    *Program
+	Stats   Stats
+	globals []*Object
+
+	// MaxSteps bounds execution (default 2G).
+	MaxSteps int64
+	depth    int
+}
+
+// NewMachine instantiates global storage for a program.
+func NewMachine(p *Program) *Machine {
+	m := &Machine{Prog: p, MaxSteps: 2_000_000_000}
+	for _, g := range p.Globals {
+		obj := &Object{Bits: g.Bits, Count: g.Count, ReadOnly: g.ReadOnly, Name: "@" + g.Name}
+		obj.Data = make([]Value, g.Count)
+		for i, v := range g.Init {
+			obj.Data[i] = Value{Bits: v}
+		}
+		m.globals = append(m.globals, obj)
+	}
+	return m
+}
+
+// GlobalData returns the integer contents of a named global.
+func (m *Machine) GlobalData(name string) ([]uint64, bool) {
+	for i, g := range m.Prog.Globals {
+		if g.Name == name {
+			out := make([]uint64, len(m.globals[i].Data))
+			for j, v := range m.globals[i].Data {
+				out[j] = v.Bits
+			}
+			return out, true
+		}
+	}
+	return nil, false
+}
+
+// Call runs the named function.
+func (m *Machine) Call(name string, args ...Value) (Value, error) {
+	idx, ok := m.Prog.ByName[name]
+	if !ok {
+		return Value{}, fmt.Errorf("vm: no function %q", name)
+	}
+	return m.run(m.Prog.Funcs[idx], args)
+}
+
+func (m *Machine) run(f *Func, args []Value) (Value, error) {
+	if len(args) != len(f.Params) {
+		return Value{}, fmt.Errorf("vm: %s: %d args, want %d", f.Name, len(args), len(f.Params))
+	}
+	m.depth++
+	defer func() { m.depth-- }()
+	if m.depth > 10000 {
+		return Value{}, &Trap{Msg: "call stack overflow"}
+	}
+	regs := make([]Value, f.NumRegs+64) // slack for operand temporaries
+	for i, pr := range f.Params {
+		regs[pr] = args[i]
+	}
+	grow := func(r int32) {
+		if int(r) >= len(regs) {
+			nr := make([]Value, int(r)+64)
+			copy(nr, regs)
+			regs = nr
+		}
+	}
+	pc := int32(0)
+	code := f.Code
+	for {
+		if pc < 0 || int(pc) >= len(code) {
+			return Value{}, &Trap{Msg: fmt.Sprintf("%s: pc %d out of range", f.Name, pc)}
+		}
+		in := &code[pc]
+		m.Stats.Instrs++
+		if m.Stats.Instrs > m.MaxSteps {
+			return Value{}, &Trap{Msg: "step budget exhausted"}
+		}
+		grow(in.A)
+		switch in.Op {
+		case OpNop:
+		case OpConst:
+			regs[in.A] = Value{Bits: in.Imm}
+		case OpNull:
+			regs[in.A] = Value{IsPtr: true}
+		case OpGlobal:
+			regs[in.A] = PtrValue(m.globals[in.Imm], 0)
+		case OpMov:
+			regs[in.A] = regs[in.B]
+		case OpBin:
+			r, ok := ir.EvalBin(in.Sub, int(in.Bits), regs[in.B].Bits, regs[in.C].Bits)
+			if !ok {
+				return Value{}, &Trap{Msg: fmt.Sprintf("%s in @%s", in.Sub, f.Name)}
+			}
+			regs[in.A] = Value{Bits: r}
+		case OpCmp:
+			a, b := regs[in.B], regs[in.C]
+			var res bool
+			if a.IsPtr || b.IsPtr {
+				var err error
+				res, err = cmpPtr(in.Sub, a, b)
+				if err != nil {
+					return Value{}, err
+				}
+			} else {
+				res = ir.EvalCmp(in.Sub, int(in.Bits), a.Bits, b.Bits)
+			}
+			if res {
+				regs[in.A] = Value{Bits: 1}
+			} else {
+				regs[in.A] = Value{}
+			}
+		case OpCast:
+			regs[in.A] = Value{Bits: ir.EvalCast(in.Sub, int(in.Bits), int(in.ToBits), regs[in.B].Bits)}
+		case OpSelect:
+			if regs[in.B].Bits != 0 {
+				regs[in.A] = regs[in.C]
+			} else {
+				regs[in.A] = regs[int32(in.Imm)]
+			}
+		case OpAlloca:
+			obj := &Object{Bits: in.Bits, Count: in.Count, Data: make([]Value, in.Count)}
+			regs[in.A] = PtrValue(obj, 0)
+		case OpLoad:
+			p := regs[in.B]
+			if p.Obj == nil {
+				return Value{}, &Trap{Msg: "load from null"}
+			}
+			if p.Off < 0 || p.Off >= p.Obj.Count {
+				return Value{}, &Trap{Msg: fmt.Sprintf("load %s[%d] size %d", p.Obj.Name, p.Off, p.Obj.Count)}
+			}
+			regs[in.A] = p.Obj.Data[p.Off]
+		case OpStore:
+			p := regs[in.B]
+			if p.Obj == nil {
+				return Value{}, &Trap{Msg: "store to null"}
+			}
+			if p.Off < 0 || p.Off >= p.Obj.Count {
+				return Value{}, &Trap{Msg: fmt.Sprintf("store %s[%d] size %d", p.Obj.Name, p.Off, p.Obj.Count)}
+			}
+			if p.Obj.ReadOnly {
+				return Value{}, &Trap{Msg: "store to read-only " + p.Obj.Name}
+			}
+			v := regs[in.A]
+			if !v.IsPtr {
+				v.Bits = ir.Mask(int(p.Obj.Bits), v.Bits)
+			}
+			p.Obj.Data[p.Off] = v
+		case OpGEP:
+			p := regs[in.B]
+			if p.Obj == nil {
+				return Value{}, &Trap{Msg: "pointer arithmetic on null"}
+			}
+			regs[in.A] = PtrValue(p.Obj, p.Off+int64(regs[in.C].Bits))
+		case OpPtrDiff:
+			a, b := regs[in.B], regs[in.C]
+			if a.Obj != b.Obj {
+				return Value{}, &Trap{Msg: "ptrdiff across objects"}
+			}
+			regs[in.A] = Value{Bits: uint64(a.Off - b.Off)}
+		case OpJump:
+			pc = in.Target
+			continue
+		case OpJumpIf:
+			if regs[in.A].Bits != 0 {
+				pc = in.Target
+				continue
+			}
+		case OpCall:
+			m.Stats.Calls++
+			callee := m.Prog.Funcs[in.Fn]
+			args := make([]Value, len(in.Args))
+			for i, ar := range in.Args {
+				args[i] = regs[ar]
+			}
+			rv, err := m.run(callee, args)
+			if err != nil {
+				return Value{}, err
+			}
+			if in.A >= 0 {
+				regs[in.A] = rv
+			}
+		case OpRet:
+			if in.A < 0 {
+				return Value{}, nil
+			}
+			return regs[in.A], nil
+		case OpCheck:
+			if regs[in.A].Bits == 0 {
+				return Value{}, &Trap{Msg: fmt.Sprintf("check failed (%s): %s", in.Kind, in.Msg)}
+			}
+		case OpTrap:
+			return Value{}, &Trap{Msg: in.Msg}
+		default:
+			return Value{}, &Trap{Msg: "bad opcode " + in.Op.String()}
+		}
+		pc++
+	}
+}
+
+func cmpPtr(op ir.Op, a, b Value) (bool, error) {
+	switch op {
+	case ir.OpEq:
+		return a.Obj == b.Obj && (a.Obj == nil || a.Off == b.Off), nil
+	case ir.OpNe:
+		return a.Obj != b.Obj || (a.Obj != nil && a.Off != b.Off), nil
+	}
+	if a.Obj != b.Obj {
+		return false, &Trap{Msg: "relational pointer comparison across objects"}
+	}
+	switch op {
+	case ir.OpULt:
+		return a.Off < b.Off, nil
+	case ir.OpULe:
+		return a.Off <= b.Off, nil
+	case ir.OpUGt:
+		return a.Off > b.Off, nil
+	case ir.OpUGe:
+		return a.Off >= b.Off, nil
+	}
+	return false, &Trap{Msg: "bad pointer comparison"}
+}

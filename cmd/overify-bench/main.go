@@ -1,9 +1,10 @@
 // Command overify-bench regenerates the paper's tables and figures:
 //
-//	overify-bench -table1 [-n 10] [-words 50000]
+//	overify-bench -table1 [-n 10] [-words 50000] [-j workers]
 //	overify-bench -table2 [-n 3]
 //	overify-bench -table3
-//	overify-bench -figure4 [-n 5] [-timeout 10s]
+//	overify-bench -figure4 [-n 5] [-timeout 10s] [-j workers]
+//	overify-bench -scaling [-prog wc] [-n 5] [-timeout 60s]
 //	overify-bench -all
 //
 // Output is the text rendering recorded in EXPERIMENTS.md.
@@ -23,22 +24,25 @@ func main() {
 	t2 := flag.Bool("table2", false, "run the per-transformation ablation (Table 2)")
 	t3 := flag.Bool("table3", false, "run the corpus pass statistics (Table 3)")
 	f4 := flag.Bool("figure4", false, "run the corpus verification study (Figure 4)")
+	scaling := flag.Bool("scaling", false, "run the worker-scaling study (1..N workers per level)")
 	all := flag.Bool("all", false, "run everything")
 	n := flag.Int("n", 0, "symbolic input bytes (0 = per-experiment default)")
 	words := flag.Int("words", 0, "t_run word count for Table 1")
-	timeout := flag.Duration("timeout", 0, "per-run budget for Figure 4 / Table 1 verification")
+	timeout := flag.Duration("timeout", 0, "per-run budget for Figure 4 / Table 1 / scaling verification")
+	workers := flag.Int("j", 0, "symbolic-execution workers for Table 1 / Figure 4 (0/1 serial, -1 = NumCPU)")
+	prog := flag.String("prog", "", "corpus target for the scaling study (default wc)")
 	flag.Parse()
 
-	if !(*t1 || *t2 || *t3 || *f4 || *all) {
+	if !(*t1 || *t2 || *t3 || *f4 || *scaling || *all) {
 		flag.Usage()
 		os.Exit(2)
 	}
 	if *all {
-		*t1, *t2, *t3, *f4 = true, true, true, true
+		*t1, *t2, *t3, *f4, *scaling = true, true, true, true, true
 	}
 
 	if *t1 {
-		opts := bench.Table1Options{InputBytes: *n, RunWords: *words, VerifyTimeout: *timeout}
+		opts := bench.Table1Options{InputBytes: *n, RunWords: *words, VerifyTimeout: *timeout, Workers: *workers}
 		rows, err := bench.Table1(opts)
 		check(err)
 		fmt.Println(bench.RenderTable1(rows, opts))
@@ -55,12 +59,18 @@ func main() {
 		fmt.Println(bench.RenderTable3(rows))
 	}
 	if *f4 {
-		opts := bench.Figure4Options{InputBytes: *n, Timeout: *timeout}
+		opts := bench.Figure4Options{InputBytes: *n, Timeout: *timeout, Workers: *workers}
 		start := time.Now()
 		rows, summary, err := bench.Figure4(opts)
 		check(err)
 		fmt.Println(bench.RenderFigure4(rows, summary, opts))
 		fmt.Printf("(figure 4 harness wall time: %s)\n", time.Since(start).Round(time.Millisecond))
+	}
+	if *scaling {
+		opts := bench.ScalingOptions{Program: *prog, InputBytes: *n, Timeout: *timeout}
+		rows, err := bench.Scaling(opts)
+		check(err)
+		fmt.Println(bench.RenderScaling(rows, opts))
 	}
 }
 

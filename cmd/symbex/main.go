@@ -5,8 +5,8 @@
 //
 // Usage:
 //
-//	symbex [-O level] [-n bytes] [-timeout d] [-search dfs|bfs] file.c
-//	symbex [-O level] [-n bytes] -prog tr
+//	symbex [-O level] [-n bytes] [-timeout d] [-search dfs|bfs] [-j workers] file.c
+//	symbex [-O level] [-n bytes] [-j workers] -prog tr
 package main
 
 import (
@@ -26,6 +26,7 @@ func main() {
 	n := flag.Int("n", 4, "symbolic input bytes (the paper uses 2-10)")
 	timeout := flag.Duration("timeout", 60*time.Second, "exploration budget")
 	search := flag.String("search", "dfs", "exploration order: dfs or bfs")
+	workers := flag.Int("j", 1, "exploration workers (-1 = one per CPU)")
 	progName := flag.String("prog", "", "verify a bundled corpus program")
 	entry := flag.String("entry", "umain", "entry function (signature: int f(unsigned char*, int))")
 	flag.Parse()
@@ -59,6 +60,7 @@ func main() {
 	}
 	opts := core.VerifyOptions{InputBytes: *n}
 	opts.Engine.Timeout = *timeout
+	opts.Engine.Workers = *workers
 	if *search == "bfs" {
 		opts.Engine.Search = symex.BFS
 	}
@@ -68,7 +70,7 @@ func main() {
 	}
 
 	s := rep.Stats
-	fmt.Printf("%s at %s, %d symbolic input bytes\n", name, lvl, *n)
+	fmt.Printf("%s at %s, %d symbolic input bytes, %d workers\n", name, lvl, *n, s.Workers)
 	fmt.Printf("  compile:        %s\n", c.Result.CompileTime)
 	fmt.Printf("  verify:         %s", s.Elapsed)
 	if s.TimedOut {

@@ -1,0 +1,3 @@
+module overify
+
+go 1.24

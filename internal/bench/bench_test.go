@@ -11,6 +11,9 @@ import (
 // TestTable1Shape asserts the qualitative claims of the paper's Table 1
 // at a laptop-scale input size.
 func TestTable1Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-level wc exploration in -short mode")
+	}
 	opts := bench.Table1Options{InputBytes: 6, RunWords: 2000, VerifyTimeout: 90 * time.Second}
 	rows, err := bench.Table1(opts)
 	if err != nil {
@@ -85,6 +88,9 @@ func TestTable3Shape(t *testing.T) {
 // TestFigure4Small runs the corpus study on a subset with small budgets
 // and asserts the headline direction: -OSYMBEX wins overall.
 func TestFigure4Small(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-corpus verification study in -short mode")
+	}
 	// 5 bytes puts the experiment in the verification-dominated regime
 	// the paper measures (with 2-3 bytes, compile time dominates and -O0
 	// "wins" by not compiling — the effect the paper says "vanishes in

@@ -19,6 +19,8 @@ type Figure4Options struct {
 	// Timeout caps each (program, level) exploration — the paper's
 	// one-hour budget, scaled.
 	Timeout time.Duration
+	// Workers is the symbolic-execution worker count (0/1 serial).
+	Workers int
 	// Programs restricts the corpus (default: all).
 	Programs []string
 }
@@ -91,7 +93,7 @@ func Figure4(opts Figure4Options) ([]Figure4Row, *Figure4Summary, error) {
 				continue
 			}
 			cell.Compile = c.Result.CompileTime
-			eng := symex.NewEngine(c.Mod, symex.Options{Timeout: opts.Timeout})
+			eng := symex.NewEngine(c.Mod, symex.Options{Timeout: opts.Timeout, Workers: opts.Workers})
 			buf := eng.SymbolicBuffer("input", opts.InputBytes, true)
 			length := eng.IntArg(ir.I32, uint64(opts.InputBytes))
 			rep, err := eng.Run("umain", []symex.SymVal{buf, length}, nil)

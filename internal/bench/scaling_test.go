@@ -1,0 +1,86 @@
+package bench_test
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"overify/internal/bench"
+	"overify/internal/pipeline"
+)
+
+// TestScalingShape runs the worker-scaling study on wc and asserts the
+// invariants that hold on any hardware: verdicts (path counts) are
+// identical at every worker count, and -OVERIFY still collapses the
+// path count versus -O0 regardless of parallelism — the two levers
+// compound, they do not interfere.
+func TestScalingShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaling sweep in -short mode")
+	}
+	opts := bench.ScalingOptions{
+		Program:    "wc",
+		InputBytes: 5,
+		Timeout:    90 * time.Second,
+		Workers:    []int{1, 2, 4},
+	}
+	rows, err := bench.Scaling(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", bench.RenderScaling(rows, opts))
+	byLevel := map[pipeline.Level]bench.ScalingRow{}
+	for _, r := range rows {
+		byLevel[r.Level] = r
+		for _, cell := range r.Cells {
+			if cell.TimedOut {
+				t.Errorf("%s at %d workers timed out", r.Level, cell.Workers)
+			}
+			if cell.Paths != r.Cells[0].Paths {
+				t.Errorf("%s: paths at %d workers = %d, want %d (verdicts must not depend on workers)",
+					r.Level, cell.Workers, cell.Paths, r.Cells[0].Paths)
+			}
+		}
+	}
+	o0, ov := byLevel[pipeline.O0], byLevel[pipeline.OVerify]
+	if len(o0.Cells) == 0 || len(ov.Cells) == 0 {
+		t.Fatal("missing levels")
+	}
+	if ov.Cells[0].Paths >= o0.Cells[0].Paths {
+		t.Errorf("OVerify paths (%d) should be below O0 (%d) at every worker count",
+			ov.Cells[0].Paths, o0.Cells[0].Paths)
+	}
+}
+
+// TestScalingSpeedup asserts the wall-clock benefit of the worker pool.
+// It needs real hardware parallelism, so it only runs with 4+ CPUs —
+// on a single-core box the engine's verdicts still hold (asserted
+// above) but no wall-clock gain is physically possible.
+func TestScalingSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaling sweep in -short mode")
+	}
+	if runtime.NumCPU() < 4 {
+		t.Skipf("need 4+ CPUs for a wall-clock speedup, have %d", runtime.NumCPU())
+	}
+	// 7 symbolic bytes at -O0 gives a deep, fork-heavy frontier: several
+	// hundred milliseconds of solver-dominated work to spread over
+	// 4 workers.
+	opts := bench.ScalingOptions{
+		Program:    "wc",
+		InputBytes: 7,
+		Timeout:    5 * time.Minute,
+		Workers:    []int{1, 4},
+		Levels:     []pipeline.Level{pipeline.O0},
+	}
+	rows, err := bench.Scaling(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", bench.RenderScaling(rows, opts))
+	cells := rows[0].Cells
+	speedup := cells[len(cells)-1].Speedup
+	if speedup < 2.0 {
+		t.Errorf("4-worker speedup = %.2fx, want >= 2x", speedup)
+	}
+}

@@ -20,6 +20,8 @@ type Table1Options struct {
 	RunWords int
 	// VerifyTimeout caps each level's exploration.
 	VerifyTimeout time.Duration
+	// Workers is the symbolic-execution worker count (0/1 serial).
+	Workers int
 	// Levels to measure (default: O0, O2, O3, OVerify — the paper's
 	// columns).
 	Levels []pipeline.Level
@@ -65,7 +67,7 @@ func Table1(opts Table1Options) ([]Table1Row, error) {
 		}
 		row := Table1Row{Level: level, CompileTime: c.Result.CompileTime}
 
-		rep, err := VerifyWc(c, opts.InputBytes, symex.Options{Timeout: opts.VerifyTimeout})
+		rep, err := VerifyWc(c, opts.InputBytes, symex.Options{Timeout: opts.VerifyTimeout, Workers: opts.Workers})
 		if err != nil {
 			return nil, fmt.Errorf("table1 %s: verify: %w", level, err)
 		}

@@ -14,11 +14,22 @@ var allLevels = []pipeline.Level{
 	pipeline.O0, pipeline.O1, pipeline.O2, pipeline.O3, pipeline.OVerify,
 }
 
+// corpus returns the programs under test: the full suite normally, a
+// representative slice in -short mode (these sweeps cost a few seconds
+// each at full size).
+func corpus(t *testing.T) []coreutils.Program {
+	all := coreutils.All()
+	if testing.Short() && len(all) > 8 {
+		return all[:8]
+	}
+	return all
+}
+
 // TestCorpusCompilesEverywhere compiles every corpus program at every
 // level with both libc variants; any pass bug that breaks the IR
 // verifier fails here.
 func TestCorpusCompilesEverywhere(t *testing.T) {
-	for _, p := range coreutils.All() {
+	for _, p := range corpus(t) {
 		for _, level := range allLevels {
 			for _, lk := range []libc.Kind{libc.Uclibc, libc.Verified} {
 				if _, err := core.CompileSource(p.Name, p.Src, level, lk); err != nil {
@@ -33,7 +44,7 @@ func TestCorpusCompilesEverywhere(t *testing.T) {
 // every program, on its sample input, must produce the same exit code
 // and output at every optimization level and with both libc variants.
 func TestCorpusDifferential(t *testing.T) {
-	for _, p := range coreutils.All() {
+	for _, p := range corpus(t) {
 		var wantExit int64
 		var wantOut []byte
 		first := true
@@ -67,7 +78,7 @@ func TestCorpusDifferential(t *testing.T) {
 // bytes on every program at -OVERIFY; nothing should report bugs (the
 // corpus is believed correct) and nothing should time out.
 func TestCorpusVerifySmall(t *testing.T) {
-	for _, p := range coreutils.All() {
+	for _, p := range corpus(t) {
 		c, err := core.CompileProgram(p, pipeline.OVerify)
 		if err != nil {
 			t.Fatalf("%s: %v", p.Name, err)

@@ -1,0 +1,153 @@
+package coreutils_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"overify/internal/core"
+	"overify/internal/coreutils"
+	"overify/internal/pipeline"
+)
+
+// runAt compiles a corpus program at the level (with the level's
+// default libc) and executes it concretely on the sample input.
+func runAt(t *testing.T, p coreutils.Program, level pipeline.Level, input []byte) *core.RunResult {
+	t.Helper()
+	c, err := core.CompileProgram(p, level)
+	if err != nil {
+		t.Fatalf("%s at %s: compile: %v", p.Name, level, err)
+	}
+	rr, err := c.Run("umain", input)
+	if err != nil {
+		t.Fatalf("%s at %s: run: %v", p.Name, level, err)
+	}
+	return rr
+}
+
+// TestCorpusGoldenParity runs every coreutil through the concrete
+// interpreter at -O0 and -OVERIFY on its sample input and asserts the
+// observable behavior (exit code and OUT sink bytes) is identical —
+// the §2.3 requirement that -OVERIFY builds stay semantically
+// equivalent to the unoptimized program.
+func TestCorpusGoldenParity(t *testing.T) {
+	for _, p := range coreutils.All() {
+		o0 := runAt(t, p, pipeline.O0, []byte(p.Sample))
+		ov := runAt(t, p, pipeline.OVerify, []byte(p.Sample))
+		if o0.Exit != ov.Exit {
+			t.Errorf("%s: exit at -O0 = %d, at -OVERIFY = %d", p.Name, o0.Exit, ov.Exit)
+		}
+		if !bytes.Equal(o0.Output, ov.Output) {
+			t.Errorf("%s: output at -O0 = %q, at -OVERIFY = %q", p.Name, o0.Output, ov.Output)
+		}
+	}
+}
+
+// golden pins the exact observable behavior of representative corpus
+// programs on their sample inputs. The parity test above catches -O0
+// and -OVERIFY drifting apart; this one catches both drifting together
+// away from the documented semantics.
+var golden = []struct {
+	name string
+	exit int64
+	out  string
+}{
+	{"true", 0, ""},
+	{"false", 1, ""},
+	{"echo", 0, "hello world\n"},
+	{"cat", 15, "some text\nlines"},
+	{"wc", 3, ""},
+	{"wc-l", 3, ""},
+	{"wc-c", 6, ""},
+	{"basename", 4, "tool"},
+	{"dirname", 7, "usr/bin"},
+	{"rev", 6, "fedcba"},
+	{"toupper", 10, "MIXED CASE"},
+	{"tolower", 10, "mixed case"},
+	{"tr", 0, "lbh blbh"},
+	{"uniq", 4, "abcd"},
+	{"sort", 4, "abcd"},
+	{"yes", 0, "y\ny\ny\ny\n"},
+	{"seq", 5, "1\n2\n3\n4\n5\n"},
+}
+
+// TestCorpusGoldenOutputs checks the pinned expectations at every
+// level: the corpus programs are the benchmark substrate, so their
+// semantics must never drift silently.
+func TestCorpusGoldenOutputs(t *testing.T) {
+	levels := []pipeline.Level{pipeline.O0, pipeline.O2, pipeline.OVerify}
+	for _, g := range golden {
+		p, ok := coreutils.Get(g.name)
+		if !ok {
+			t.Fatalf("no corpus program %q", g.name)
+		}
+		for _, level := range levels {
+			rr := runAt(t, p, level, []byte(p.Sample))
+			if rr.Exit != g.exit {
+				t.Errorf("%s at %s: exit = %d, want %d", g.name, level, rr.Exit, g.exit)
+			}
+			if string(rr.Output) != g.out {
+				t.Errorf("%s at %s: output = %q, want %q", g.name, level, rr.Output, g.out)
+			}
+		}
+	}
+}
+
+// TestCorpusRegistry pins the registry invariants the harnesses rely
+// on: sorted iteration, name lookup, and non-empty sample inputs.
+func TestCorpusRegistry(t *testing.T) {
+	all := coreutils.All()
+	if len(all) < 30 {
+		t.Fatalf("corpus has %d programs, expected the full suite (30+)", len(all))
+	}
+	names := coreutils.Names()
+	if len(names) != len(all) {
+		t.Fatalf("Names() returned %d entries for %d programs", len(names), len(all))
+	}
+	for i, p := range all {
+		if p.Name != names[i] {
+			t.Errorf("All()[%d].Name = %q but Names()[%d] = %q", i, p.Name, i, names[i])
+		}
+		if i > 0 && all[i-1].Name >= p.Name {
+			t.Errorf("All() not sorted: %q before %q", all[i-1].Name, p.Name)
+		}
+		if p.Sample == "" {
+			t.Errorf("%s: empty sample input", p.Name)
+		}
+		if p.Src == "" {
+			t.Errorf("%s: empty source", p.Name)
+		}
+		got, ok := coreutils.Get(p.Name)
+		if !ok || got.Name != p.Name {
+			t.Errorf("Get(%q) failed", p.Name)
+		}
+	}
+	if _, ok := coreutils.Get("no-such-program"); ok {
+		t.Error("Get of unknown program reported ok")
+	}
+}
+
+// TestCorpusGoldenCoverage makes the golden table keep up with the
+// corpus: every pinned name must exist (renames fail loudly, not by
+// silently testing nothing).
+func TestCorpusGoldenCoverage(t *testing.T) {
+	for _, g := range golden {
+		if _, ok := coreutils.Get(g.name); !ok {
+			t.Errorf("golden entry %q is not in the corpus", g.name)
+		}
+	}
+	if len(golden) < 15 {
+		t.Errorf("golden table has %d entries, keep at least 15 pinned", len(golden))
+	}
+}
+
+// ExampleAll demonstrates corpus iteration for the doc page.
+func ExampleAll() {
+	for _, p := range coreutils.All()[:3] {
+		fmt.Printf("%s: %s\n", p.Name, p.Desc)
+	}
+	// Output:
+	// base32: 5-bit group encoding
+	// basename: strip directory prefix
+	// cat: copy input until NUL
+}

@@ -4,38 +4,79 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"overify/internal/ir"
 )
 
 // Builder interns expression nodes and applies canonicalizing
 // simplifications on construction. All expressions flowing through one
-// symbolic-execution run must come from one Builder.
+// symbolic-execution run must come from one Builder, so that
+// structurally equal terms are pointer-equal and node ids are canonical
+// cache keys across the whole run.
+//
+// A Builder made with NewConcurrentBuilder is safe for concurrent use:
+// the parallel symbolic-execution engine shares one across all workers,
+// which is what keeps the shared solver cache coherent (identical
+// constraints get identical ids no matter which worker built them).
+// NewBuilder returns the single-goroutine variant, which skips the
+// synchronized interning map on the per-expression hot path — serial
+// t_verify measurements pay no concurrency tax.
 type Builder struct {
-	cache  map[string]*Expr
-	nextID int64
+	concurrent bool
+	plain      map[string]*Expr // single-goroutine interning
+	shared     sync.Map         // concurrent interning: string -> *Expr
+	nextID     atomic.Int64
 
-	// NodesBuilt counts interning misses, a proxy for symbolic work.
-	NodesBuilt int64
-	// CacheHits counts interning hits (structural sharing).
-	CacheHits int64
+	// nodesBuilt counts interning misses, a proxy for symbolic work.
+	nodesBuilt atomic.Int64
+	// cacheHits counts interning hits (structural sharing).
+	cacheHits atomic.Int64
 }
 
-// NewBuilder returns an empty builder.
+// NewBuilder returns an empty builder for single-goroutine use.
 func NewBuilder() *Builder {
-	return &Builder{cache: make(map[string]*Expr)}
+	return &Builder{plain: make(map[string]*Expr)}
 }
+
+// NewConcurrentBuilder returns an empty builder safe for concurrent
+// interning from many goroutines.
+func NewConcurrentBuilder() *Builder {
+	return &Builder{concurrent: true}
+}
+
+// NodesBuilt returns the number of interning misses (distinct nodes).
+func (b *Builder) NodesBuilt() int64 { return b.nodesBuilt.Load() }
+
+// CacheHits returns the number of interning hits (structural sharing).
+func (b *Builder) CacheHits() int64 { return b.cacheHits.Load() }
 
 func (b *Builder) intern(key string, mk func() *Expr) *Expr {
-	if e, ok := b.cache[key]; ok {
-		b.CacheHits++
+	if !b.concurrent {
+		if e, ok := b.plain[key]; ok {
+			b.cacheHits.Add(1)
+			return e
+		}
+		e := mk()
+		e.id = b.nextID.Add(1)
+		b.plain[key] = e
+		b.nodesBuilt.Add(1)
 		return e
 	}
+	if e, ok := b.shared.Load(key); ok {
+		b.cacheHits.Add(1)
+		return e.(*Expr)
+	}
 	e := mk()
-	b.nextID++
-	e.id = b.nextID
-	b.cache[key] = e
-	b.NodesBuilt++
+	e.id = b.nextID.Add(1)
+	if prev, loaded := b.shared.LoadOrStore(key, e); loaded {
+		// Another worker interned the same term first; its node (and id)
+		// wins so the term stays pointer-canonical.
+		b.cacheHits.Add(1)
+		return prev.(*Expr)
+	}
+	b.nodesBuilt.Add(1)
 	return e
 }
 

@@ -1,0 +1,83 @@
+package pipeline
+
+import (
+	"fmt"
+	"time"
+
+	"overify/internal/ir"
+	"overify/internal/symex"
+)
+
+// VerifySpec describes one verification-time measurement: explore
+// Entry(input, len) with InputBytes symbolic NUL-terminated bytes — the
+// KLEE coreutils driver convention — under the given budget and worker
+// count. This is the measurement API the benchmark harness uses for
+// t_verify columns; it lives next to the optimization pipeline because
+// t_verify is the quantity the -OVERIFY cost model optimizes for.
+type VerifySpec struct {
+	Entry      string        // entry function (default "umain")
+	InputBytes int           // symbolic input size (default 4)
+	Timeout    time.Duration // exploration budget (0 = none)
+	Workers    int           // engine workers (0/1 serial, -1 = NumCPU)
+	MaxPaths   int64         // optional path cap
+}
+
+// VerifyMeasurement is one timed verification run.
+type VerifyMeasurement struct {
+	Workers  int
+	Elapsed  time.Duration
+	Paths    int64 // total paths (completed + errored + truncated)
+	Instrs   int64
+	Queries  int64 // solver queries across all workers
+	TimedOut bool
+	Bugs     int
+}
+
+// MeasureVerify runs one symbolic verification of mod and reports the
+// wall-clock and work counters.
+func MeasureVerify(mod *ir.Module, spec VerifySpec) (*VerifyMeasurement, error) {
+	if spec.Entry == "" {
+		spec.Entry = "umain"
+	}
+	if spec.InputBytes <= 0 {
+		spec.InputBytes = 4
+	}
+	eng := symex.NewEngine(mod, symex.Options{
+		Timeout:  spec.Timeout,
+		Workers:  spec.Workers,
+		MaxPaths: spec.MaxPaths,
+	})
+	buf := eng.SymbolicBuffer("input", spec.InputBytes, true)
+	length := eng.IntArg(ir.I32, uint64(spec.InputBytes))
+	rep, err := eng.Run(spec.Entry, []symex.SymVal{buf, length}, nil)
+	if err != nil {
+		return nil, fmt.Errorf("measure %s: %w", spec.Entry, err)
+	}
+	return &VerifyMeasurement{
+		Workers:  rep.Stats.Workers,
+		Elapsed:  rep.Stats.Elapsed,
+		Paths:    rep.Stats.TotalPaths(),
+		Instrs:   rep.Stats.Instrs,
+		Queries:  rep.Stats.SolverStats.Queries,
+		TimedOut: rep.Stats.TimedOut,
+		Bugs:     len(rep.Bugs),
+	}, nil
+}
+
+// MeasureVerifyScaling measures the same verification at each worker
+// count, against a fresh engine per run (each run re-optimizes nothing:
+// the module is shared, read-only during symbolic execution). The
+// returned slice parallels workerCounts.
+func MeasureVerifyScaling(mod *ir.Module, spec VerifySpec, workerCounts []int) ([]*VerifyMeasurement, error) {
+	out := make([]*VerifyMeasurement, 0, len(workerCounts))
+	for _, wc := range workerCounts {
+		s := spec
+		s.Workers = wc
+		m, err := MeasureVerify(mod, s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}

@@ -1,0 +1,76 @@
+package pipeline_test
+
+import (
+	"testing"
+
+	"overify/internal/frontend"
+	"overify/internal/pipeline"
+)
+
+// TestMeasureVerifyScaling: the measurement API must produce identical
+// verdicts at every worker count and record the count it ran with.
+func TestMeasureVerifyScaling(t *testing.T) {
+	src := `
+int umain(unsigned char *input, int len) {
+	int i = 0;
+	int acc = 0;
+	while (input[i] != 0) {
+		if (input[i] == 'x') { acc = acc + 1; }
+		i = i + 1;
+	}
+	return acc;
+}`
+	mod, err := frontend.Lower("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pipeline.OptimizeAtLevel(mod, pipeline.O0); err != nil {
+		t.Fatal(err)
+	}
+	spec := pipeline.VerifySpec{InputBytes: 3}
+	ms, err := pipeline.MeasureVerifyScaling(mod, spec, []int{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 3 {
+		t.Fatalf("got %d measurements, want 3", len(ms))
+	}
+	for i, want := range []int{1, 2, 4} {
+		if ms[i].Workers != want {
+			t.Errorf("measurement %d ran with %d workers, want %d", i, ms[i].Workers, want)
+		}
+		if ms[i].Paths != ms[0].Paths {
+			t.Errorf("paths at %d workers = %d, want %d (worker count must not change verdicts)",
+				ms[i].Workers, ms[i].Paths, ms[0].Paths)
+		}
+		if ms[i].Instrs != ms[0].Instrs {
+			t.Errorf("instrs at %d workers = %d, want %d", ms[i].Workers, ms[i].Instrs, ms[0].Instrs)
+		}
+		if ms[i].Bugs != 0 {
+			t.Errorf("unexpected bugs at %d workers", ms[i].Workers)
+		}
+	}
+}
+
+// TestMeasureVerifyDefaults: zero-value spec fields resolve to the
+// documented defaults.
+func TestMeasureVerifyDefaults(t *testing.T) {
+	src := `
+int umain(unsigned char *input, int len) {
+	return 0;
+}`
+	mod, err := frontend.Lower("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := pipeline.MeasureVerify(mod, pipeline.VerifySpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Workers != 1 {
+		t.Errorf("default workers = %d, want 1", m.Workers)
+	}
+	if m.Paths == 0 {
+		t.Error("no paths measured")
+	}
+}

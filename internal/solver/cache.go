@@ -1,0 +1,97 @@
+package solver
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// cacheShards is the number of lock stripes in a shared Cache. Power of
+// two so the shard index is a mask; 64 stripes keep contention
+// negligible even with dozens of workers.
+const cacheShards = 64
+
+type cacheShard struct {
+	mu sync.RWMutex
+	m  map[string]cacheEntry
+}
+
+// Cache is a query-result cache shared between solvers: the parallel
+// symbolic-execution engine gives every worker its own Solver (the
+// search state is not concurrency-safe) but layers one Cache under all
+// of them, so a group decided by any worker is a hit for every other.
+// Keys are canonical group keys (sorted hash-consed expression ids),
+// which is why all workers must share one expr.Builder.
+//
+// A Cache is safe for concurrent use.
+type Cache struct {
+	shards [cacheShards]cacheShard
+
+	hits    atomic.Int64
+	misses  atomic.Int64
+	entries atomic.Int64
+}
+
+// NewCache returns an empty shared cache.
+func NewCache() *Cache {
+	c := &Cache{}
+	for i := range c.shards {
+		c.shards[i].m = make(map[string]cacheEntry)
+	}
+	return c
+}
+
+// fnv1a hashes the key onto a shard index.
+func fnv1a(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+func (c *Cache) shard(key string) *cacheShard {
+	return &c.shards[fnv1a(key)&(cacheShards-1)]
+}
+
+// get looks up a previously decided group.
+func (c *Cache) get(key string) (cacheEntry, bool) {
+	sh := c.shard(key)
+	sh.mu.RLock()
+	e, ok := sh.m[key]
+	sh.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return e, ok
+}
+
+// put records a decided group. First writer wins; a concurrent
+// duplicate decision of the same group is identical anyway.
+func (c *Cache) put(key string, e cacheEntry) {
+	sh := c.shard(key)
+	sh.mu.Lock()
+	if _, dup := sh.m[key]; !dup {
+		sh.m[key] = e
+		c.entries.Add(1)
+	}
+	sh.mu.Unlock()
+}
+
+// CacheStats is a point-in-time snapshot of shared-cache effectiveness.
+type CacheStats struct {
+	Hits    int64
+	Misses  int64
+	Entries int64
+}
+
+// Snapshot returns the cache counters.
+func (c *Cache) Snapshot() CacheStats {
+	return CacheStats{
+		Hits:    c.hits.Load(),
+		Misses:  c.misses.Load(),
+		Entries: c.entries.Load(),
+	}
+}

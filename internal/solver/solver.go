@@ -45,6 +45,21 @@ type Stats struct {
 	MaxGroupVars   int
 }
 
+// Add accumulates o into s; the parallel engine merges per-worker
+// solver stats with this after all workers have stopped.
+func (s *Stats) Add(o Stats) {
+	s.Queries += o.Queries
+	s.CacheHits += o.CacheHits
+	s.ModelReuseHits += o.ModelReuseHits
+	s.Sat += o.Sat
+	s.Unsat += o.Unsat
+	s.Failures += o.Failures
+	s.Nodes += o.Nodes
+	if o.MaxGroupVars > s.MaxGroupVars {
+		s.MaxGroupVars = o.MaxGroupVars
+	}
+}
+
 // ErrBudget is returned when a query exceeds the node budget.
 var ErrBudget = errors.New("solver: node budget exhausted")
 
@@ -56,17 +71,29 @@ type cacheEntry struct {
 }
 
 // Solver decides queries and caches results. Not safe for concurrent
-// use; create one per engine.
+// use; create one per engine worker. Solvers may share a Cache (see
+// NewWithCache) — the cache layer is concurrency-safe, the search and
+// model-reuse state is not. A private unsynchronized L1 map sits in
+// front of the shared cache so repeat hits (the common case under DFS
+// exploration) never touch a lock.
 type Solver struct {
 	opts     Options
 	Stats    Stats
-	cache    map[string]cacheEntry
+	l1       map[string]cacheEntry
+	cache    *Cache
 	recent   []map[*expr.Var]uint64
 	deadline time.Time
 }
 
-// New returns a solver with the given options.
+// New returns a solver with the given options and a private cache.
 func New(opts Options) *Solver {
+	return NewWithCache(opts, NewCache())
+}
+
+// NewWithCache returns a solver layered over a shared query cache. The
+// parallel engine creates one Cache per run and one Solver per worker,
+// so every worker benefits from every other worker's decided groups.
+func NewWithCache(opts Options, cache *Cache) *Solver {
 	if opts.MaxNodes == 0 {
 		opts.MaxNodes = 65_536
 	}
@@ -76,8 +103,14 @@ func New(opts Options) *Solver {
 	if opts.ModelHistory == 0 {
 		opts.ModelHistory = 8
 	}
-	return &Solver{opts: opts, cache: make(map[string]cacheEntry)}
+	if cache == nil {
+		cache = NewCache()
+	}
+	return &Solver{opts: opts, l1: make(map[string]cacheEntry), cache: cache}
 }
+
+// SharedCache returns the cache this solver decides into.
+func (s *Solver) SharedCache() *Cache { return s.cache }
 
 // SetDeadline makes every subsequent query fail with ErrBudget once the
 // wall clock passes t (zero disables). The symbolic-execution engine
@@ -216,7 +249,12 @@ func groupKey(g []*expr.Expr) string {
 
 func (s *Solver) solveGroup(g []*expr.Expr) (bool, map[*expr.Var]uint64, error) {
 	key := groupKey(g)
-	if e, ok := s.cache[key]; ok {
+	if e, ok := s.l1[key]; ok {
+		s.Stats.CacheHits++
+		return e.sat, e.model, nil
+	}
+	if e, ok := s.cache.get(key); ok {
+		s.l1[key] = e
 		s.Stats.CacheHits++
 		return e.sat, e.model, nil
 	}
@@ -224,7 +262,11 @@ func (s *Solver) solveGroup(g []*expr.Expr) (bool, map[*expr.Var]uint64, error) 
 	if err != nil {
 		return false, nil, err
 	}
-	s.cache[key] = cacheEntry{sat: sat, model: model}
+	// Cached models are shared across workers; they are never mutated
+	// after insertion (Sat only reads them, remember copies).
+	entry := cacheEntry{sat: sat, model: model}
+	s.l1[key] = entry
+	s.cache.put(key, entry)
 	return sat, model, nil
 }
 

@@ -1,8 +1,12 @@
 package symex
 
 import (
+	"bytes"
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"overify/internal/expr"
@@ -23,11 +27,28 @@ const (
 // Options bound a symbolic-execution run.
 type Options struct {
 	MaxPaths  int64         // 0 = unlimited
-	MaxInstrs int64         // 0 = default 500M
+	MaxInstrs int64         // 0 = default 100M
 	MaxStates int           // live states cap; 0 = default 1M
 	Timeout   time.Duration // 0 = none
 	Search    SearchKind
 	Solver    solver.Options
+	// Workers is the number of exploration workers. 1 (or 0) explores
+	// serially; -1 uses one worker per CPU. Workers share one expression
+	// builder and one solver cache but hold private solvers and private
+	// frontier shards (work-stealing keeps them busy).
+	Workers int
+}
+
+// effectiveWorkers resolves the Workers option to a concrete count.
+func (o Options) effectiveWorkers() int {
+	switch {
+	case o.Workers < 0:
+		return runtime.NumCPU()
+	case o.Workers == 0:
+		return 1
+	default:
+		return o.Workers
+	}
 }
 
 // BugKind classifies a found defect.
@@ -79,7 +100,9 @@ type Stats struct {
 	Forks          int64
 	Instrs         int64 // instructions interpreted across all paths
 	MaxLiveStates  int
-	SolverStats    solver.Stats
+	Workers        int // exploration workers used
+	SolverStats    solver.Stats      // summed over all workers
+	SharedCache    solver.CacheStats // the cross-worker query cache
 	Elapsed        time.Duration
 	TimedOut       bool
 }
@@ -93,18 +116,30 @@ type Report struct {
 	Bugs  []Bug
 }
 
-// Engine symbolically executes one module.
+// Engine symbolically executes one module. One Engine runs one
+// exploration; the per-run shared pieces (expression builder, solver
+// cache, counters) live here, while everything scheduling-dependent
+// lives in per-worker state.
 type Engine struct {
 	Mod  *ir.Module
 	B    *expr.Builder
-	Sol  *solver.Solver
 	opts Options
 
-	inputVars []*expr.Var // ordered; used to concretize bug inputs
-	nextState int64
+	cache     *solver.Cache // shared across all workers' solvers
+	inputVars []*expr.Var   // ordered; used to concretize bug inputs
 	deadline  time.Time
-	stats     Stats
-	bugs      []Bug
+
+	// Cross-worker counters. Paths counters are updated at path
+	// granularity (cheap); instruction counts are batched per worker and
+	// flushed every instrFlushStride instructions.
+	nextState  atomic.Int64
+	paths      atomic.Int64
+	errorPaths atomic.Int64
+	truncated  atomic.Int64
+	forks      atomic.Int64
+	instrs     atomic.Int64
+	timedOut   atomic.Bool
+	stopped    atomic.Bool // a global limit fired; all workers bail out
 }
 
 // NewEngine prepares an engine over mod.
@@ -115,11 +150,17 @@ func NewEngine(mod *ir.Module, opts Options) *Engine {
 	if opts.MaxStates == 0 {
 		opts.MaxStates = 1_000_000
 	}
+	// A serial run gets the unsynchronized builder: the per-expression
+	// interning path is too hot to pay a concurrency tax for one worker.
+	b := expr.NewBuilder()
+	if opts.effectiveWorkers() > 1 {
+		b = expr.NewConcurrentBuilder()
+	}
 	return &Engine{
-		Mod:  mod,
-		B:    expr.NewBuilder(),
-		Sol:  solver.New(opts.Solver),
-		opts: opts,
+		Mod:   mod,
+		B:     b,
+		cache: solver.NewCache(),
+		opts:  opts,
 	}
 }
 
@@ -193,7 +234,10 @@ func (e *Engine) ConcreteBuffer(name string, data []byte) SymVal {
 }
 
 // Run explores fn(args) exhaustively from the given initial state (pass
-// nil for a fresh one) and returns the report.
+// nil for a fresh one) and returns the report. With Workers > 1 the
+// frontier is explored by a worker pool; the verdicts (bug set, path
+// counts, instruction count) are independent of the interleaving as
+// long as no budget limit fires mid-run.
 func (e *Engine) Run(fnName string, args []SymVal, init *State) (*Report, error) {
 	fn := e.Mod.Func(fnName)
 	if fn == nil {
@@ -217,73 +261,97 @@ func (e *Engine) Run(fnName string, args []SymVal, init *State) (*Report, error)
 	start := time.Now()
 	if e.opts.Timeout > 0 {
 		e.deadline = start.Add(e.opts.Timeout)
-		e.Sol.SetDeadline(e.deadline)
 	}
-	worklist := []*State{init}
-	for len(worklist) > 0 {
-		if len(worklist) > e.stats.MaxLiveStates {
-			e.stats.MaxLiveStates = len(worklist)
+
+	n := e.opts.effectiveWorkers()
+	fr := newFrontier(n, e.opts.Search, e.opts.MaxStates)
+	fr.put(0, []*State{init})
+
+	workers := make([]*worker, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		w := &worker{
+			e:   e,
+			id:  i,
+			B:   e.B,
+			fr:  fr,
+			sol: solver.NewWithCache(e.opts.Solver, e.cache),
 		}
-		var st *State
-		if e.opts.Search == BFS {
-			st = worklist[0]
-			worklist = worklist[1:]
-		} else {
-			st = worklist[len(worklist)-1]
-			worklist = worklist[:len(worklist)-1]
+		if !e.deadline.IsZero() {
+			w.sol.SetDeadline(e.deadline)
 		}
-		stop, forked := e.step(st)
-		if stop {
-			// Limits hit: drain remaining work as truncated.
-			e.stats.TruncatedPaths += int64(len(worklist)) + int64(len(forked)) + 1
-			break
-		}
-		worklist = append(worklist, forked...)
-		if len(worklist) > e.opts.MaxStates {
-			over := len(worklist) - e.opts.MaxStates
-			e.stats.TruncatedPaths += int64(over)
-			worklist = worklist[over:]
-		}
-		if e.opts.MaxPaths > 0 && e.stats.TotalPaths() >= e.opts.MaxPaths {
-			e.stats.TruncatedPaths += int64(len(worklist))
-			break
-		}
+		workers[i] = w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.run()
+		}()
 	}
-	e.stats.Elapsed = time.Since(start)
-	e.stats.SolverStats = e.Sol.Stats
-	sort.Slice(e.bugs, func(i, j int) bool {
-		if e.bugs[i].Kind != e.bugs[j].Kind {
-			return e.bugs[i].Kind < e.bugs[j].Kind
+	wg.Wait()
+	// Collect truncation residue the workers did not fold in: states
+	// still queued when the pool stopped (e.g. published after the
+	// stopping worker drained).
+	e.truncated.Add(fr.drain())
+
+	stats := Stats{
+		Paths:          e.paths.Load(),
+		ErrorPaths:     e.errorPaths.Load(),
+		TruncatedPaths: e.truncated.Load(),
+		Forks:          e.forks.Load(),
+		Instrs:         e.instrs.Load(),
+		MaxLiveStates:  fr.maxLive,
+		Workers:        n,
+		SharedCache:    e.cache.Snapshot(),
+		Elapsed:        time.Since(start),
+		TimedOut:       e.timedOut.Load(),
+	}
+	var bugs []Bug
+	for _, w := range workers {
+		stats.SolverStats.Add(w.sol.Stats)
+		bugs = append(bugs, w.bugs...)
+	}
+	return &Report{Stats: stats, Bugs: mergeBugs(bugs)}, nil
+}
+
+// mergeBugs produces the deterministic, deduplicated bug list: sorted
+// by (kind, message, location, input) and collapsed to one report per
+// defect site, so the output is reproducible regardless of which worker
+// found which bug first.
+func mergeBugs(bugs []Bug) []Bug {
+	sort.Slice(bugs, func(i, j int) bool {
+		a, b := bugs[i], bugs[j]
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
 		}
-		return e.bugs[i].Msg < e.bugs[j].Msg
+		if a.Msg != b.Msg {
+			return a.Msg < b.Msg
+		}
+		if a.Where != b.Where {
+			return a.Where < b.Where
+		}
+		return bytes.Compare(a.Input, b.Input) < 0
 	})
-	return &Report{Stats: e.stats, Bugs: e.bugs}, nil
+	out := bugs[:0]
+	for _, b := range bugs {
+		if len(out) > 0 {
+			last := out[len(out)-1]
+			if last.Kind == b.Kind && last.Msg == b.Msg {
+				continue
+			}
+		}
+		out = append(out, b)
+	}
+	return out
 }
 
-// fork clones st for the other side of a branch.
-func (e *Engine) fork(st *State) *State {
-	e.nextState++
-	e.stats.Forks++
-	return st.clone(e.nextState)
+// totalPaths is the cross-worker running path total, used for the
+// MaxPaths limit.
+func (e *Engine) totalPaths() int64 {
+	return e.paths.Load() + e.errorPaths.Load() + e.truncated.Load()
 }
 
-// reportBug records a defect with a concretized input from the model.
-func (e *Engine) reportBug(st *State, kind BugKind, msg string, model map[*expr.Var]uint64) {
-	bug := Bug{Kind: kind, Msg: msg, Where: st.Where()}
-	if model != nil {
-		bug.Input = make([]byte, len(e.inputVars))
-		for i, v := range e.inputVars {
-			bug.Input[i] = byte(model[v])
-		}
-	}
-	// Deduplicate by kind+message: one report per defect site.
-	for _, b := range e.bugs {
-		if b.Kind == bug.Kind && b.Msg == bug.Msg {
-			return
-		}
-	}
-	e.bugs = append(e.bugs, bug)
-}
+// requestStop asks every worker to bail out at its next limit check.
+func (e *Engine) requestStop() { e.stopped.Store(true) }
 
 // satResult is a solver verdict: yes, no, or budget-exhausted unknown.
 type satResult int
@@ -295,35 +363,10 @@ const (
 	satUnknown
 )
 
-// sat asks the solver for pc + extra. Unknown (budget exhaustion) is
-// mapped to "assume feasible", which keeps exploration sound; call
-// sites that *report bugs* must use satTri and skip reporting on
-// unknown.
-func (e *Engine) sat(st *State, extra *expr.Expr) (bool, map[*expr.Var]uint64) {
-	res, model := e.satTri(st, extra)
-	return res != satNo, model
-}
-
 // modelOrEmpty guards concretization against unknown-model results.
 func modelOrEmpty(m map[*expr.Var]uint64) map[*expr.Var]uint64 {
 	if m == nil {
 		return map[*expr.Var]uint64{}
 	}
 	return m
-}
-
-// satTri is the three-valued feasibility query.
-func (e *Engine) satTri(st *State, extra *expr.Expr) (satResult, map[*expr.Var]uint64) {
-	q := st.PC
-	if extra != nil {
-		q = append(append([]*expr.Expr(nil), st.PC...), extra)
-	}
-	ok, model, err := e.Sol.Sat(q)
-	if err != nil {
-		return satUnknown, nil
-	}
-	if ok {
-		return satYes, model
-	}
-	return satNo, nil
 }

@@ -2,7 +2,6 @@ package symex
 
 import (
 	"fmt"
-	"time"
 
 	"overify/internal/expr"
 	"overify/internal/ir"
@@ -13,55 +12,50 @@ const maxCallDepth = 4096
 // step runs one state until it terminates (path done) or forks (the
 // continuations are returned). stop=true means a global limit was hit
 // and the whole exploration must end.
-func (e *Engine) step(st *State) (stop bool, forked []*State) {
+func (w *worker) step(st *State) (stop bool, forked []*State) {
 	for {
-		if e.opts.MaxInstrs > 0 && e.stats.Instrs >= e.opts.MaxInstrs {
-			e.stats.TimedOut = true
-			return true, nil
-		}
-		if !e.deadline.IsZero() && e.stats.Instrs%1024 == 0 && time.Now().After(e.deadline) {
-			e.stats.TimedOut = true
+		if w.overLimit() {
 			return true, nil
 		}
 		f := st.top()
 		in := f.Block.Instrs[f.Idx]
-		e.stats.Instrs++
+		w.countInstr()
 
 		switch in.Op {
 		case ir.OpBr:
-			e.jump(st, f, in.Succs[0])
+			w.jump(st, f, in.Succs[0])
 			continue
 
 		case ir.OpCondBr:
-			c := e.ev(st, f, in.Args[0]).E
+			c := w.ev(st, f, in.Args[0]).E
 			if cc, ok := c.IsConst(); ok {
 				if cc != 0 {
-					e.jump(st, f, in.Succs[0])
+					w.jump(st, f, in.Succs[0])
 				} else {
-					e.jump(st, f, in.Succs[1])
+					w.jump(st, f, in.Succs[1])
 				}
 				continue
 			}
-			notC := e.B.Not(c)
-			resT, _ := e.satTri(st, c)
-			resF, _ := e.satTri(st, notC)
+			notC := w.B.Not(c)
+			resT, _ := w.satTri(st, c)
+			resF, _ := w.satTri(st, notC)
 			switch {
 			case resT == satYes && resF == satYes:
-				other := e.fork(st)
+				other := w.fork(st)
 				of := other.top()
 				st.addPC(c)
-				e.jump(st, f, in.Succs[0])
+				w.jump(st, f, in.Succs[0])
 				other.addPC(notC)
-				e.jump(other, of, in.Succs[1])
-				// DFS pops from the back: st (true side) continues first.
+				w.jump(other, of, in.Succs[1])
+				// DFS continues with the last element: st (true side).
 				return false, []*State{other, st}
 			case resT == satYes || (resT == satUnknown && resF == satNo):
 				// True side feasible (or the only possibility).
 				st.addPC(c)
-				e.jump(st, f, in.Succs[0])
+				w.jump(st, f, in.Succs[0])
 			case resF == satYes || (resF == satUnknown && resT == satNo):
 				st.addPC(notC)
-				e.jump(st, f, in.Succs[1])
+				w.jump(st, f, in.Succs[1])
 			case resT == satNo && resF == satNo:
 				// Contradictory path condition; the path dies silently.
 				return false, nil
@@ -70,13 +64,13 @@ func (e *Engine) step(st *State) (stop bool, forked []*State) {
 				// fallback). Follow the side a model of the current path
 				// condition takes; no fork, so budget failures cannot
 				// blow up the search.
-				_, model := e.satTri(st, nil)
+				_, model := w.satTri(st, nil)
 				if expr.Eval(c, modelOrEmpty(model)) != 0 {
 					st.addPC(c)
-					e.jump(st, f, in.Succs[0])
+					w.jump(st, f, in.Succs[0])
 				} else {
 					st.addPC(notC)
-					e.jump(st, f, in.Succs[1])
+					w.jump(st, f, in.Succs[1])
 				}
 			}
 			continue
@@ -84,11 +78,11 @@ func (e *Engine) step(st *State) (stop bool, forked []*State) {
 		case ir.OpRet:
 			var rv SymVal
 			if len(in.Args) == 1 {
-				rv = e.ev(st, f, in.Args[0])
+				rv = w.ev(st, f, in.Args[0])
 			}
 			st.Frames = st.Frames[:len(st.Frames)-1]
 			if len(st.Frames) == 0 {
-				e.stats.Paths++
+				w.e.paths.Add(1)
 				return false, nil
 			}
 			caller := st.top()
@@ -98,20 +92,20 @@ func (e *Engine) step(st *State) (stop bool, forked []*State) {
 			continue
 
 		case ir.OpUnreachable:
-			return e.endWithBug(st, BugUnreachable, "unreachable executed in "+st.Where())
+			return w.endWithBug(st, BugUnreachable, "unreachable executed in "+st.Where())
 
 		case ir.OpCall:
 			callee := in.Callee
 			if callee.IsDeclaration() {
-				return e.endWithBug(st, BugPtrDomain, "call to undefined function @"+callee.Name)
+				return w.endWithBug(st, BugPtrDomain, "call to undefined function @"+callee.Name)
 			}
 			if len(st.Frames) >= maxCallDepth {
-				e.stats.TruncatedPaths++
+				w.e.truncated.Add(1)
 				return false, nil
 			}
 			args := make([]SymVal, len(in.Args))
 			for i := range in.Args {
-				args[i] = e.ev(st, f, in.Args[i])
+				args[i] = w.ev(st, f, in.Args[i])
 			}
 			f.Idx++ // resume after the call on return
 			nf := &Frame{Fn: callee, Block: callee.Entry(), Locals: make(map[ir.Value]SymVal, 16), Caller: in}
@@ -122,7 +116,7 @@ func (e *Engine) step(st *State) (stop bool, forked []*State) {
 			continue
 
 		case ir.OpCheck:
-			c := e.ev(st, f, in.Args[0]).E
+			c := w.ev(st, f, in.Args[0]).E
 			if c.IsTrue() {
 				f.Idx++
 				continue
@@ -137,13 +131,13 @@ func (e *Engine) step(st *State) (stop bool, forked []*State) {
 				kind = BugAssertFailed
 			}
 			if c.IsFalse() {
-				return e.endWithBug(st, kind, in.Msg)
+				return w.endWithBug(st, kind, in.Msg)
 			}
-			if res, model := e.satTri(st, e.B.Not(c)); res == satYes {
-				e.reportBug(st, kind, in.Msg, model)
-				e.stats.ErrorPaths++
+			if res, model := w.satTri(st, w.B.Not(c)); res == satYes {
+				w.reportBug(st, kind, in.Msg, model)
+				w.e.errorPaths.Add(1)
 			}
-			if satOK, _ := e.sat(st, c); satOK {
+			if satOK, _ := w.sat(st, c); satOK {
 				st.addPC(c)
 				f.Idx++
 				continue
@@ -151,7 +145,7 @@ func (e *Engine) step(st *State) (stop bool, forked []*State) {
 			return false, nil // every input fails the check
 
 		default:
-			res, fk := e.execValue(st, f, in)
+			res, fk := w.execValue(st, f, in)
 			switch res {
 			case execEnd:
 				return false, nil
@@ -165,7 +159,7 @@ func (e *Engine) step(st *State) (stop bool, forked []*State) {
 }
 
 // jump moves the frame to target, evaluating its phis as a batch.
-func (e *Engine) jump(st *State, f *Frame, target *ir.Block) {
+func (w *worker) jump(st *State, f *Frame, target *ir.Block) {
 	phis := target.Phis()
 	if len(phis) > 0 {
 		vals := make([]SymVal, len(phis))
@@ -175,8 +169,8 @@ func (e *Engine) jump(st *State, f *Frame, target *ir.Block) {
 				panic(fmt.Sprintf("symex: phi %s in %s has no edge from %s",
 					phi.Ref(), target.Name, f.Block.Name))
 			}
-			vals[i] = e.ev(st, f, v)
-			e.stats.Instrs++
+			vals[i] = w.ev(st, f, v)
+			w.countInstr()
 		}
 		for i, phi := range phis {
 			f.Locals[phi] = vals[i]
@@ -188,14 +182,14 @@ func (e *Engine) jump(st *State, f *Frame, target *ir.Block) {
 }
 
 // ev resolves an operand to a symbolic value.
-func (e *Engine) ev(st *State, f *Frame, v ir.Value) SymVal {
+func (w *worker) ev(st *State, f *Frame, v ir.Value) SymVal {
 	switch x := v.(type) {
 	case *ir.Const:
-		return SymVal{E: e.B.Const(x.Typ.Bits, x.Val)}
+		return SymVal{E: w.B.Const(x.Typ.Bits, x.Val)}
 	case *ir.Null:
-		return SymVal{IsPtr: true, Off: e.B.Const(64, 0)}
+		return SymVal{IsPtr: true, Off: w.B.Const(64, 0)}
 	case *ir.Global:
-		return SymVal{IsPtr: true, Obj: st.Globals[x], Off: e.B.Const(64, 0)}
+		return SymVal{IsPtr: true, Obj: st.Globals[x], Off: w.B.Const(64, 0)}
 	default:
 		sv, ok := f.Locals[v]
 		if !ok {
@@ -207,10 +201,10 @@ func (e *Engine) ev(st *State, f *Frame, v ir.Value) SymVal {
 
 // endWithBug concretizes the current path condition into a reproducing
 // input, records the bug, and terminates the path.
-func (e *Engine) endWithBug(st *State, kind BugKind, msg string) (bool, []*State) {
-	_, model := e.sat(st, nil)
-	e.reportBug(st, kind, msg, model)
-	e.stats.ErrorPaths++
+func (w *worker) endWithBug(st *State, kind BugKind, msg string) (bool, []*State) {
+	_, model := w.sat(st, nil)
+	w.reportBug(st, kind, msg, model)
+	w.e.errorPaths.Add(1)
 	return false, nil
 }
 
@@ -224,7 +218,7 @@ const (
 )
 
 // execValue executes a non-control instruction.
-func (e *Engine) execValue(st *State, f *Frame, in *ir.Instr) (execResult, []*State) {
+func (w *worker) execValue(st *State, f *Frame, in *ir.Instr) (execResult, []*State) {
 	set := func(v SymVal) {
 		if !ir.SameType(in.Typ, ir.Void) {
 			f.Locals[in] = v
@@ -233,50 +227,50 @@ func (e *Engine) execValue(st *State, f *Frame, in *ir.Instr) (execResult, []*St
 
 	switch {
 	case in.Op.IsBinary():
-		a := e.ev(st, f, in.Args[0])
-		b := e.ev(st, f, in.Args[1])
+		a := w.ev(st, f, in.Args[0])
+		b := w.ev(st, f, in.Args[1])
 		bits := in.Typ.(ir.IntType).Bits
 		switch in.Op {
 		case ir.OpUDiv, ir.OpSDiv, ir.OpURem, ir.OpSRem:
 			d := b.E
 			if dc, ok := d.IsConst(); ok {
 				if dc == 0 {
-					e.endWithBug(st, BugDivByZero,
+					w.endWithBug(st, BugDivByZero,
 						fmt.Sprintf("%s by zero in %s", in.Op, st.Where()))
 					return execEnd, nil
 				}
 			} else {
-				zero := e.B.Cmp(ir.OpEq, d, e.B.Const(bits, 0))
-				if res, model := e.satTri(st, zero); res == satYes {
-					e.reportBug(st, BugDivByZero,
+				zero := w.B.Cmp(ir.OpEq, d, w.B.Const(bits, 0))
+				if res, model := w.satTri(st, zero); res == satYes {
+					w.reportBug(st, BugDivByZero,
 						fmt.Sprintf("%s by zero in %s", in.Op, st.Where()), model)
-					e.stats.ErrorPaths++
+					w.e.errorPaths.Add(1)
 				}
-				nz := e.B.Not(zero)
-				if satNZ, _ := e.sat(st, nz); !satNZ {
+				nz := w.B.Not(zero)
+				if satNZ, _ := w.sat(st, nz); !satNZ {
 					return execEnd, nil // division always traps
 				}
 				st.addPC(nz)
 			}
 		}
-		set(SymVal{E: e.B.Bin(in.Op, a.E, b.E)})
+		set(SymVal{E: w.B.Bin(in.Op, a.E, b.E)})
 		return execOK, nil
 
 	case in.Op.IsCmp():
-		a := e.ev(st, f, in.Args[0])
-		b := e.ev(st, f, in.Args[1])
+		a := w.ev(st, f, in.Args[0])
+		b := w.ev(st, f, in.Args[1])
 		if a.IsPtr || b.IsPtr {
-			return e.cmpPointers(st, in, a, b, set)
+			return w.cmpPointers(st, in, a, b, set)
 		}
-		set(SymVal{E: e.B.Cmp(in.Op, a.E, b.E)})
+		set(SymVal{E: w.B.Cmp(in.Op, a.E, b.E)})
 		return execOK, nil
 	}
 
 	switch in.Op {
 	case ir.OpSelect:
-		c := e.ev(st, f, in.Args[0])
-		t := e.ev(st, f, in.Args[1])
-		fv := e.ev(st, f, in.Args[2])
+		c := w.ev(st, f, in.Args[0])
+		t := w.ev(st, f, in.Args[1])
+		fv := w.ev(st, f, in.Args[2])
 		if cc, ok := c.E.IsConst(); ok {
 			if cc != 0 {
 				set(t)
@@ -286,28 +280,28 @@ func (e *Engine) execValue(st *State, f *Frame, in *ir.Instr) (execResult, []*St
 			return execOK, nil
 		}
 		if !t.IsPtr && !fv.IsPtr {
-			set(SymVal{E: e.B.Select(c.E, t.E, fv.E)})
+			set(SymVal{E: w.B.Select(c.E, t.E, fv.E)})
 			return execOK, nil
 		}
 		// Pointer select: merge offsets when the object agrees, else
 		// fork on the condition.
 		if t.Obj == fv.Obj {
-			set(SymVal{IsPtr: true, Obj: t.Obj, Off: e.B.Select(c.E, t.Off, fv.Off)})
+			set(SymVal{IsPtr: true, Obj: t.Obj, Off: w.B.Select(c.E, t.Off, fv.Off)})
 			return execOK, nil
 		}
-		notC := e.B.Not(c.E)
-		satT, _ := e.sat(st, c.E)
-		satF, _ := e.sat(st, notC)
+		notC := w.B.Not(c.E)
+		satT, _ := w.sat(st, c.E)
+		satF, _ := w.sat(st, notC)
 		switch {
 		case satT && satF:
-			other := e.fork(st)
+			other := w.fork(st)
 			of := other.top()
 			st.addPC(c.E)
 			set(t)
 			f.Idx++
 			other.addPC(notC)
 			if !ir.SameType(in.Typ, ir.Void) {
-				of.Locals[in] = e.ev(other, of, in.Args[2])
+				of.Locals[in] = w.ev(other, of, in.Args[2])
 			}
 			of.Idx++
 			return execFork, []*State{other, st}
@@ -323,8 +317,8 @@ func (e *Engine) execValue(st *State, f *Frame, in *ir.Instr) (execResult, []*St
 		return execOK, nil
 
 	case ir.OpZExt, ir.OpSExt, ir.OpTrunc:
-		a := e.ev(st, f, in.Args[0])
-		set(SymVal{E: e.B.Cast(in.Op, a.E, in.Typ.(ir.IntType).Bits)})
+		a := w.ev(st, f, in.Args[0])
+		set(SymVal{E: w.B.Cast(in.Op, a.E, in.Typ.(ir.IntType).Bits)})
 		return execOK, nil
 
 	case ir.OpAlloca:
@@ -337,47 +331,47 @@ func (e *Engine) execValue(st *State, f *Frame, in *ir.Instr) (execResult, []*St
 		var zero SymVal
 		if pt, ok := in.Allocated.(ir.PtrType); ok {
 			_ = pt
-			zero = SymVal{IsPtr: true, Off: e.B.Const(64, 0)}
+			zero = SymVal{IsPtr: true, Off: w.B.Const(64, 0)}
 		} else {
-			zero = SymVal{E: e.B.Const(in.Allocated.(ir.IntType).Bits, 0)}
+			zero = SymVal{E: w.B.Const(in.Allocated.(ir.IntType).Bits, 0)}
 		}
 		for i := range obj.Cells {
 			obj.Cells[i] = zero
 		}
-		set(SymVal{IsPtr: true, Obj: obj, Off: e.B.Const(64, 0)})
+		set(SymVal{IsPtr: true, Obj: obj, Off: w.B.Const(64, 0)})
 		return execOK, nil
 
 	case ir.OpGEP:
-		p := e.ev(st, f, in.Args[0])
-		idx := e.ev(st, f, in.Args[1])
+		p := w.ev(st, f, in.Args[0])
+		idx := w.ev(st, f, in.Args[1])
 		if p.Obj == nil {
-			e.endWithBug(st, BugNullDeref, "pointer arithmetic on null in "+st.Where())
+			w.endWithBug(st, BugNullDeref, "pointer arithmetic on null in "+st.Where())
 			return execEnd, nil
 		}
-		set(SymVal{IsPtr: true, Obj: p.Obj, Off: e.B.Bin(ir.OpAdd, p.Off, idx.E)})
+		set(SymVal{IsPtr: true, Obj: p.Obj, Off: w.B.Bin(ir.OpAdd, p.Off, idx.E)})
 		return execOK, nil
 
 	case ir.OpPtrDiff:
-		a := e.ev(st, f, in.Args[0])
-		b := e.ev(st, f, in.Args[1])
+		a := w.ev(st, f, in.Args[0])
+		b := w.ev(st, f, in.Args[1])
 		if a.Obj != b.Obj {
-			e.endWithBug(st, BugPtrDomain, "ptrdiff across objects in "+st.Where())
+			w.endWithBug(st, BugPtrDomain, "ptrdiff across objects in "+st.Where())
 			return execEnd, nil
 		}
 		if a.Obj == nil {
-			set(SymVal{E: e.B.Const(64, 0)})
+			set(SymVal{E: w.B.Const(64, 0)})
 			return execOK, nil
 		}
-		set(SymVal{E: e.B.Bin(ir.OpSub, a.Off, b.Off)})
+		set(SymVal{E: w.B.Bin(ir.OpSub, a.Off, b.Off)})
 		return execOK, nil
 
 	case ir.OpLoad:
-		p := e.ev(st, f, in.Args[0])
+		p := w.ev(st, f, in.Args[0])
 		if p.Obj == nil {
-			e.endWithBug(st, BugNullDeref, "load from null in "+st.Where())
+			w.endWithBug(st, BugNullDeref, "load from null in "+st.Where())
 			return execEnd, nil
 		}
-		v, res := e.loadCell(st, p.Obj, p.Off)
+		v, res := w.loadCell(st, p.Obj, p.Off)
 		if res != execOK {
 			return res, nil
 		}
@@ -385,24 +379,24 @@ func (e *Engine) execValue(st *State, f *Frame, in *ir.Instr) (execResult, []*St
 		return execOK, nil
 
 	case ir.OpStore:
-		v := e.ev(st, f, in.Args[0])
-		p := e.ev(st, f, in.Args[1])
+		v := w.ev(st, f, in.Args[0])
+		p := w.ev(st, f, in.Args[1])
 		if p.Obj == nil {
-			e.endWithBug(st, BugNullDeref, "store to null in "+st.Where())
+			w.endWithBug(st, BugNullDeref, "store to null in "+st.Where())
 			return execEnd, nil
 		}
 		if p.Obj.ReadOnly {
-			e.endWithBug(st, BugStoreConst, "store to read-only "+p.Obj.Name)
+			w.endWithBug(st, BugStoreConst, "store to read-only "+p.Obj.Name)
 			return execEnd, nil
 		}
-		return e.storeCell(st, p.Obj, p.Off, v)
+		return w.storeCell(st, p.Obj, p.Off, v)
 	}
 	panic("symex: cannot execute " + in.Op.String())
 }
 
-func (e *Engine) cmpPointers(st *State, in *ir.Instr, a, b SymVal, set func(SymVal)) (execResult, []*State) {
+func (w *worker) cmpPointers(st *State, in *ir.Instr, a, b SymVal, set func(SymVal)) (execResult, []*State) {
 	boolConst := func(v bool) {
-		set(SymVal{E: e.B.Bool(v)})
+		set(SymVal{E: w.B.Bool(v)})
 	}
 	switch in.Op {
 	case ir.OpEq, ir.OpNe:
@@ -413,9 +407,9 @@ func (e *Engine) cmpPointers(st *State, in *ir.Instr, a, b SymVal, set func(SymV
 		case a.Obj != b.Obj:
 			boolConst(!eq)
 		default:
-			c := e.B.Cmp(ir.OpEq, a.Off, b.Off)
+			c := w.B.Cmp(ir.OpEq, a.Off, b.Off)
 			if !eq {
-				c = e.B.Not(c)
+				c = w.B.Not(c)
 			}
 			set(SymVal{E: c})
 		}
@@ -423,7 +417,7 @@ func (e *Engine) cmpPointers(st *State, in *ir.Instr, a, b SymVal, set func(SymV
 	}
 	// Relational: only within one object.
 	if a.Obj != b.Obj {
-		e.endWithBug(st, BugPtrDomain, "relational pointer comparison across objects in "+st.Where())
+		w.endWithBug(st, BugPtrDomain, "relational pointer comparison across objects in "+st.Where())
 		return execEnd, nil
 	}
 	if a.Obj == nil {
@@ -443,22 +437,22 @@ func (e *Engine) cmpPointers(st *State, in *ir.Instr, a, b SymVal, set func(SymV
 	default:
 		op = ir.OpSGe
 	}
-	set(SymVal{E: e.B.Cmp(op, a.Off, b.Off)})
+	set(SymVal{E: w.B.Cmp(op, a.Off, b.Off)})
 	return execOK, nil
 }
 
 // loadCell reads obj[off], handling symbolic offsets with bounds
 // checking and ite-chains (or a single Read node over concrete tables).
-func (e *Engine) loadCell(st *State, obj *MemObject, off *expr.Expr) (SymVal, execResult) {
+func (w *worker) loadCell(st *State, obj *MemObject, off *expr.Expr) (SymVal, execResult) {
 	if oc, ok := off.IsConst(); ok {
 		if int64(oc) < 0 || int64(oc) >= obj.Count {
-			e.endWithBug(st, BugOutOfBounds,
+			w.endWithBug(st, BugOutOfBounds,
 				fmt.Sprintf("load %s[%d] (size %d) in %s", obj.Name, int64(oc), obj.Count, st.Where()))
 			return SymVal{}, execEnd
 		}
 		return obj.Cells[oc], execOK
 	}
-	if !e.boundsCheck(st, obj, off, "load") {
+	if !w.boundsCheck(st, obj, off, "load") {
 		return SymVal{}, execEnd
 	}
 	// All cells must be integers for a symbolic read.
@@ -466,7 +460,7 @@ func (e *Engine) loadCell(st *State, obj *MemObject, off *expr.Expr) (SymVal, ex
 	allConst := true
 	for _, c := range obj.Cells {
 		if c.IsPtr {
-			e.endWithBug(st, BugPtrDomain,
+			w.endWithBug(st, BugPtrDomain,
 				"symbolic index into pointer-holding object "+obj.Name)
 			return SymVal{}, execEnd
 		}
@@ -481,45 +475,45 @@ func (e *Engine) loadCell(st *State, obj *MemObject, off *expr.Expr) (SymVal, ex
 			v, _ := c.E.IsConst()
 			table[i] = v
 		}
-		return SymVal{E: e.B.Read(table, bits, off)}, execOK
+		return SymVal{E: w.B.Read(table, bits, off)}, execOK
 	}
 	// ite chain over the (small) object.
 	acc := obj.Cells[obj.Count-1].E
 	for i := obj.Count - 2; i >= 0; i-- {
-		hit := e.B.Cmp(ir.OpEq, off, e.B.Const(64, uint64(i)))
-		acc = e.B.Select(hit, obj.Cells[i].E, acc)
+		hit := w.B.Cmp(ir.OpEq, off, w.B.Const(64, uint64(i)))
+		acc = w.B.Select(hit, obj.Cells[i].E, acc)
 	}
 	return SymVal{E: acc}, execOK
 }
 
 // storeCell writes obj[off] = v.
-func (e *Engine) storeCell(st *State, obj *MemObject, off *expr.Expr, v SymVal) (execResult, []*State) {
+func (w *worker) storeCell(st *State, obj *MemObject, off *expr.Expr, v SymVal) (execResult, []*State) {
 	if oc, ok := off.IsConst(); ok {
 		if int64(oc) < 0 || int64(oc) >= obj.Count {
-			e.endWithBug(st, BugOutOfBounds,
+			w.endWithBug(st, BugOutOfBounds,
 				fmt.Sprintf("store %s[%d] (size %d) in %s", obj.Name, int64(oc), obj.Count, st.Where()))
 			return execEnd, nil
 		}
 		obj.Cells[oc] = v
 		return execOK, nil
 	}
-	if !e.boundsCheck(st, obj, off, "store") {
+	if !w.boundsCheck(st, obj, off, "store") {
 		return execEnd, nil
 	}
 	if v.IsPtr {
-		e.endWithBug(st, BugPtrDomain,
+		w.endWithBug(st, BugPtrDomain,
 			"symbolic-offset store of a pointer into "+obj.Name)
 		return execEnd, nil
 	}
 	for i := int64(0); i < obj.Count; i++ {
 		old := obj.Cells[i]
 		if old.IsPtr {
-			e.endWithBug(st, BugPtrDomain,
+			w.endWithBug(st, BugPtrDomain,
 				"symbolic-offset store into pointer-holding object "+obj.Name)
 			return execEnd, nil
 		}
-		hit := e.B.Cmp(ir.OpEq, off, e.B.Const(64, uint64(i)))
-		obj.Cells[i] = SymVal{E: e.B.Select(hit, v.E, old.E)}
+		hit := w.B.Cmp(ir.OpEq, off, w.B.Const(64, uint64(i)))
+		obj.Cells[i] = SymVal{E: w.B.Select(hit, v.E, old.E)}
 	}
 	return execOK, nil
 }
@@ -527,15 +521,15 @@ func (e *Engine) storeCell(st *State, obj *MemObject, off *expr.Expr, v SymVal) 
 // boundsCheck reports a bug if off can be out of bounds and constrains
 // the path to in-bounds accesses. Returns false when the path cannot
 // continue (every offset is out of bounds).
-func (e *Engine) boundsCheck(st *State, obj *MemObject, off *expr.Expr, what string) bool {
-	oob := e.B.Cmp(ir.OpUGe, off, e.B.Const(64, uint64(obj.Count)))
-	if res, model := e.satTri(st, oob); res == satYes {
-		e.reportBug(st, BugOutOfBounds,
+func (w *worker) boundsCheck(st *State, obj *MemObject, off *expr.Expr, what string) bool {
+	oob := w.B.Cmp(ir.OpUGe, off, w.B.Const(64, uint64(obj.Count)))
+	if res, model := w.satTri(st, oob); res == satYes {
+		w.reportBug(st, BugOutOfBounds,
 			fmt.Sprintf("%s %s out of bounds (size %d) in %s", what, obj.Name, obj.Count, st.Where()), model)
-		e.stats.ErrorPaths++
+		w.e.errorPaths.Add(1)
 	}
-	inb := e.B.Not(oob)
-	if satIn, _ := e.sat(st, inb); !satIn {
+	inb := w.B.Not(oob)
+	if satIn, _ := w.sat(st, inb); !satIn {
 		return false
 	}
 	st.addPC(inb)

@@ -1,0 +1,158 @@
+package symex
+
+import "sync"
+
+// frontier is the sharded set of pending states. Each worker owns one
+// shard and treats it as a stack (DFS: children are explored right
+// after their parent, keeping the solver's constraint-prefix caches
+// hot) or a queue (BFS). A worker whose shard drains steals from the
+// back of the longest other shard — the shallowest state there, which
+// is the one with the largest unexplored subtree, the classic
+// work-stealing heuristic.
+//
+// A single mutex guards all shards. State transitions (fork, path end)
+// are orders of magnitude rarer than interpreted instructions and
+// solver work, so the lock is cold; what matters for scaling is that
+// each worker keeps its own depth-first run between transitions.
+type frontier struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	shards    [][]*State
+	search    SearchKind
+	maxStates int
+
+	queued  int // states sitting in shards
+	active  int // states currently held by workers
+	maxLive int // high-water mark of queued+active
+	done    bool
+}
+
+func newFrontier(workers int, search SearchKind, maxStates int) *frontier {
+	f := &frontier{
+		shards:    make([][]*State, workers),
+		search:    search,
+		maxStates: maxStates,
+	}
+	f.cond = sync.NewCond(&f.mu)
+	return f
+}
+
+// put publishes forked states to the worker's shard, returning how many
+// pending states it had to drop (the shallowest of the fullest shards)
+// to stay under maxStates — the caller accounts those as truncated.
+func (f *frontier) put(id int, states []*State) (dropped int64) {
+	if len(states) == 0 {
+		return 0
+	}
+	f.mu.Lock()
+	f.shards[id] = append(f.shards[id], states...)
+	f.queued += len(states)
+	if live := f.queued + f.active; live > f.maxLive {
+		f.maxLive = live
+	}
+	for f.maxStates > 0 && f.queued > f.maxStates {
+		big := 0
+		for i := range f.shards {
+			if len(f.shards[i]) > len(f.shards[big]) {
+				big = i
+			}
+		}
+		f.shards[big] = f.shards[big][1:]
+		f.queued--
+		dropped++
+	}
+	if len(states) > 1 {
+		f.cond.Broadcast()
+	} else {
+		f.cond.Signal()
+	}
+	f.mu.Unlock()
+	return dropped
+}
+
+// take returns the next state for worker id, blocking until one is
+// available. It returns nil when the exploration is over: every shard
+// is empty and no worker holds a state, or a global stop was requested
+// (the caller observes that via engine.stopped).
+func (f *frontier) take(id int, stopped func() bool) *State {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for {
+		if f.done || stopped() {
+			f.done = true
+			f.cond.Broadcast()
+			return nil
+		}
+		if st := f.popLocked(id); st != nil {
+			f.active++
+			return st
+		}
+		if f.active == 0 {
+			f.done = true
+			f.cond.Broadcast()
+			return nil
+		}
+		f.cond.Wait()
+	}
+}
+
+// popLocked pops from the worker's own shard, else steals.
+func (f *frontier) popLocked(id int) *State {
+	own := f.shards[id]
+	if len(own) > 0 {
+		var st *State
+		if f.search == BFS {
+			st = own[0]
+			f.shards[id] = own[1:]
+		} else {
+			st = own[len(own)-1]
+			f.shards[id] = own[:len(own)-1]
+		}
+		f.queued--
+		return st
+	}
+	// Steal from the longest other shard. For DFS steal the oldest
+	// (shallowest) state so the thief gets a big subtree and the victim
+	// keeps its hot deep states; for BFS the front is the oldest anyway.
+	victim, best := -1, 0
+	for i := range f.shards {
+		if i != id && len(f.shards[i]) > best {
+			victim, best = i, len(f.shards[i])
+		}
+	}
+	if victim < 0 {
+		return nil
+	}
+	st := f.shards[victim][0]
+	f.shards[victim] = f.shards[victim][1:]
+	f.queued--
+	return st
+}
+
+// release retires the state the worker was holding; when the last
+// holder releases over empty shards, exploration is complete.
+func (f *frontier) release() {
+	f.mu.Lock()
+	f.active--
+	if f.active == 0 && f.queued == 0 {
+		f.done = true
+	}
+	f.cond.Broadcast()
+	f.mu.Unlock()
+}
+
+// drain empties every shard (a global limit fired) and returns how many
+// pending states were discarded, for truncation accounting.
+func (f *frontier) drain() int64 {
+	f.mu.Lock()
+	n := int64(f.queued)
+	for i := range f.shards {
+		f.shards[i] = nil
+	}
+	f.queued = 0
+	f.done = true
+	f.cond.Broadcast()
+	f.mu.Unlock()
+	return n
+}

@@ -1,0 +1,172 @@
+package symex
+
+import (
+	"time"
+
+	"overify/internal/expr"
+	"overify/internal/solver"
+)
+
+// instrFlushStride is how many locally counted instructions a worker
+// accumulates before flushing into the engine-wide total and checking
+// global limits. Batching keeps the shared counter off the per-
+// instruction hot path; the stride bounds how far the global count and
+// the limit checks can lag.
+const instrFlushStride = 1024
+
+// worker is one exploration goroutine: a private solver (the search
+// state is not concurrency-safe) over the shared query cache, a private
+// bug list (merged deterministically after the run), and a local
+// instruction counter batched into the engine totals.
+type worker struct {
+	e   *Engine
+	id  int
+	B   *expr.Builder
+	fr  *frontier
+	sol *solver.Solver
+
+	bugs        []Bug
+	localInstrs int64 // not yet flushed to e.instrs
+}
+
+// run is the worker loop: take a state, explore its whole subtree
+// depth-first (publishing the other side of each fork), repeat.
+func (w *worker) run() {
+	defer w.flushInstrs()
+	for {
+		st := w.fr.take(w.id, w.e.stopped.Load)
+		if st == nil {
+			return
+		}
+		w.explore(st)
+	}
+}
+
+// explore drives one held state to the end of its path, following the
+// true side of each fork immediately (DFS keeps the constraint prefix
+// hot) and publishing the rest. In BFS mode every continuation goes
+// back to the frontier so shallow states run first.
+func (w *worker) explore(st *State) {
+	for {
+		stop, forked := w.step(st)
+		if stop {
+			// A global limit fired: drain pending work as truncated and
+			// count the state this worker was holding. Other workers
+			// observe e.stopped at their next check and do the same for
+			// theirs.
+			w.e.requestStop()
+			w.e.truncated.Add(w.fr.drain() + int64(len(forked)) + 1)
+			w.fr.release()
+			return
+		}
+		if len(forked) == 0 {
+			// Path ended (completed, errored, or pruned inside step).
+			w.fr.release()
+			if max := w.e.opts.MaxPaths; max > 0 && w.e.totalPaths() >= max {
+				w.e.requestStop()
+				w.e.truncated.Add(w.fr.drain())
+			}
+			return
+		}
+		if w.e.opts.Search == BFS {
+			w.e.truncated.Add(w.fr.put(w.id, forked))
+			w.fr.release()
+			return
+		}
+		// DFS: continue with the deepest continuation (step returns it
+		// last), publish the rest for stealing.
+		st = forked[len(forked)-1]
+		w.e.truncated.Add(w.fr.put(w.id, forked[:len(forked)-1]))
+	}
+}
+
+// countInstr counts one interpreted instruction, flushing the batch to
+// the engine-wide counter on stride boundaries.
+func (w *worker) countInstr() {
+	w.localInstrs++
+	if w.localInstrs >= instrFlushStride {
+		w.flushInstrs()
+	}
+}
+
+func (w *worker) flushInstrs() {
+	if w.localInstrs > 0 {
+		w.e.instrs.Add(w.localInstrs)
+		w.localInstrs = 0
+	}
+}
+
+// overLimit checks the global stop conditions at batch granularity:
+// another worker requested a stop, the instruction budget is spent, or
+// the wall-clock deadline passed.
+func (w *worker) overLimit() bool {
+	if w.e.stopped.Load() {
+		return true
+	}
+	if w.localInstrs == 0 { // just flushed: global count is fresh
+		if max := w.e.opts.MaxInstrs; max > 0 && w.e.instrs.Load() >= max {
+			w.e.timedOut.Store(true)
+			return true
+		}
+		if !w.e.deadline.IsZero() && time.Now().After(w.e.deadline) {
+			w.e.timedOut.Store(true)
+			return true
+		}
+	}
+	return false
+}
+
+// fork clones st for the other side of a branch.
+func (w *worker) fork(st *State) *State {
+	w.e.forks.Add(1)
+	return st.clone(w.e.nextState.Add(1))
+}
+
+// reportBug records a defect with a concretized input from the model.
+// Deduplication here is per-worker at site granularity (kind, message
+// AND location): every distinct site survives until the cross-worker
+// merge, where mergeBugs collapses to one report per (kind, message)
+// by picking the smallest location. Deduplicating on (kind, message)
+// already here would keep whichever site this worker's schedule
+// reached first — and make the surviving report depend on the worker
+// count.
+func (w *worker) reportBug(st *State, kind BugKind, msg string, model map[*expr.Var]uint64) {
+	bug := Bug{Kind: kind, Msg: msg, Where: st.Where()}
+	if model != nil {
+		bug.Input = make([]byte, len(w.e.inputVars))
+		for i, v := range w.e.inputVars {
+			bug.Input[i] = byte(model[v])
+		}
+	}
+	for _, b := range w.bugs {
+		if b.Kind == bug.Kind && b.Msg == bug.Msg && b.Where == bug.Where {
+			return
+		}
+	}
+	w.bugs = append(w.bugs, bug)
+}
+
+// sat asks the solver for pc + extra. Unknown (budget exhaustion) is
+// mapped to "assume feasible", which keeps exploration sound; call
+// sites that *report bugs* must use satTri and skip reporting on
+// unknown.
+func (w *worker) sat(st *State, extra *expr.Expr) (bool, map[*expr.Var]uint64) {
+	res, model := w.satTri(st, extra)
+	return res != satNo, model
+}
+
+// satTri is the three-valued feasibility query.
+func (w *worker) satTri(st *State, extra *expr.Expr) (satResult, map[*expr.Var]uint64) {
+	q := st.PC
+	if extra != nil {
+		q = append(append([]*expr.Expr(nil), st.PC...), extra)
+	}
+	ok, model, err := w.sol.Sat(q)
+	if err != nil {
+		return satUnknown, nil
+	}
+	if ok {
+		return satYes, model
+	}
+	return satNo, nil
+}

@@ -3,11 +3,15 @@
 //	overify-bench -table1 [-n 10] [-words 50000] [-j workers]
 //	overify-bench -table2 [-n 3]
 //	overify-bench -table3
-//	overify-bench -figure4 [-n 5] [-timeout 10s] [-j workers]
+//	overify-bench -figure4 [-n 5] [-timeout 10s] [-j workers] [-search dfs|bfs|covnew|rand]
 //	overify-bench -scaling [-prog wc] [-n 5] [-timeout 60s]
+//	overify-bench -search all [-n 3] [-timeout 5s] [-json BENCH_strategies.json]
 //	overify-bench -all
 //
-// Output is the text rendering recorded in EXPERIMENTS.md.
+// -search all runs the strategy comparison (per-strategy t_verify and
+// states-explored for every corpus program at -O0 and -O2); any single
+// strategy name instead selects the exploration order for the other
+// experiments. Output is the text rendering recorded in EXPERIMENTS.md.
 package main
 
 import (
@@ -17,6 +21,7 @@ import (
 	"time"
 
 	"overify/internal/bench"
+	"overify/internal/symex"
 )
 
 func main() {
@@ -28,12 +33,44 @@ func main() {
 	all := flag.Bool("all", false, "run everything")
 	n := flag.Int("n", 0, "symbolic input bytes (0 = per-experiment default)")
 	words := flag.Int("words", 0, "t_run word count for Table 1")
-	timeout := flag.Duration("timeout", 0, "per-run budget for Figure 4 / Table 1 / scaling verification")
+	timeout := flag.Duration("timeout", 0, "per-run budget for Figure 4 / Table 1 / scaling / strategy verification")
 	workers := flag.Int("j", 0, "symbolic-execution workers for Table 1 / Figure 4 (0/1 serial, -1 = NumCPU)")
 	prog := flag.String("prog", "", "corpus target for the scaling study (default wc)")
+	search := flag.String("search", "", "search strategy (dfs, bfs, covnew, rand) — or 'all' to run the strategy comparison")
+	seed := flag.Int64("seed", 0, "random-path seed")
+	jsonPath := flag.String("json", "", "also write the strategy comparison as JSON to this path")
 	flag.Parse()
 
+	strategies := *search == "all"
+	var strat symex.SearchKind
+	if !strategies && *search != "" {
+		var err error
+		strat, err = symex.ParseSearch(*search)
+		check(err)
+	}
+
+	if strategies {
+		opts := bench.StrategyCompareOptions{
+			InputBytes: *n, Timeout: *timeout, Workers: *workers, Seed: *seed,
+		}
+		if *prog != "" {
+			opts.Programs = []string{*prog}
+		}
+		rows, err := bench.StrategyCompare(opts)
+		check(err)
+		fmt.Println(bench.RenderStrategyCompare(rows, opts))
+		if *jsonPath != "" {
+			data, err := bench.StrategyCompareJSON(rows, opts)
+			check(err)
+			check(os.WriteFile(*jsonPath, append(data, '\n'), 0o644))
+			fmt.Printf("(wrote %s)\n", *jsonPath)
+		}
+	}
+
 	if !(*t1 || *t2 || *t3 || *f4 || *scaling || *all) {
+		if strategies {
+			return
+		}
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -42,7 +79,7 @@ func main() {
 	}
 
 	if *t1 {
-		opts := bench.Table1Options{InputBytes: *n, RunWords: *words, VerifyTimeout: *timeout, Workers: *workers}
+		opts := bench.Table1Options{InputBytes: *n, RunWords: *words, VerifyTimeout: *timeout, Workers: *workers, Strategy: strat, Seed: *seed}
 		rows, err := bench.Table1(opts)
 		check(err)
 		fmt.Println(bench.RenderTable1(rows, opts))
@@ -59,7 +96,7 @@ func main() {
 		fmt.Println(bench.RenderTable3(rows))
 	}
 	if *f4 {
-		opts := bench.Figure4Options{InputBytes: *n, Timeout: *timeout, Workers: *workers}
+		opts := bench.Figure4Options{InputBytes: *n, Timeout: *timeout, Workers: *workers, Strategy: strat, Seed: *seed}
 		start := time.Now()
 		rows, summary, err := bench.Figure4(opts)
 		check(err)
@@ -67,7 +104,7 @@ func main() {
 		fmt.Printf("(figure 4 harness wall time: %s)\n", time.Since(start).Round(time.Millisecond))
 	}
 	if *scaling {
-		opts := bench.ScalingOptions{Program: *prog, InputBytes: *n, Timeout: *timeout}
+		opts := bench.ScalingOptions{Program: *prog, InputBytes: *n, Timeout: *timeout, Strategy: strat, Seed: *seed}
 		rows, err := bench.Scaling(opts)
 		check(err)
 		fmt.Println(bench.RenderScaling(rows, opts))

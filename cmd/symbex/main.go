@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	symbex [-O level] [-n bytes] [-timeout d] [-search dfs|bfs] [-j workers] file.c
+//	symbex [-O level] [-n bytes] [-timeout d] [-search dfs|bfs|covnew|rand] [-seed s] [-cover blocks] [-j workers] file.c
 //	symbex [-O level] [-n bytes] [-j workers] -prog tr
 package main
 
@@ -25,7 +25,9 @@ func main() {
 	level := flag.String("O", "-OVERIFY", "optimization level")
 	n := flag.Int("n", 4, "symbolic input bytes (the paper uses 2-10)")
 	timeout := flag.Duration("timeout", 60*time.Second, "exploration budget")
-	search := flag.String("search", "dfs", "exploration order: dfs or bfs")
+	search := flag.String("search", "dfs", "exploration order: dfs, bfs, covnew or rand")
+	seed := flag.Int64("seed", 0, "random-path seed (0 = fixed default)")
+	coverTarget := flag.Int("cover", 0, "stop once this many basic blocks are covered (0 = off)")
 	workers := flag.Int("j", 1, "exploration workers (-1 = one per CPU)")
 	progName := flag.String("prog", "", "verify a bundled corpus program")
 	entry := flag.String("entry", "umain", "entry function (signature: int f(unsigned char*, int))")
@@ -58,19 +60,23 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	strat, err := symex.ParseSearch(*search)
+	if err != nil {
+		fatal(err)
+	}
 	opts := core.VerifyOptions{InputBytes: *n}
 	opts.Engine.Timeout = *timeout
 	opts.Engine.Workers = *workers
-	if *search == "bfs" {
-		opts.Engine.Search = symex.BFS
-	}
+	opts.Engine.Strategy = strat
+	opts.Engine.Seed = *seed
+	opts.Engine.CoverTarget = *coverTarget
 	rep, err := c.Verify(*entry, opts)
 	if err != nil {
 		fatal(err)
 	}
 
 	s := rep.Stats
-	fmt.Printf("%s at %s, %d symbolic input bytes, %d workers\n", name, lvl, *n, s.Workers)
+	fmt.Printf("%s at %s, %d symbolic input bytes, %d workers, %s search\n", name, lvl, *n, s.Workers, s.Strategy)
 	fmt.Printf("  compile:        %s\n", c.Result.CompileTime)
 	fmt.Printf("  verify:         %s", s.Elapsed)
 	if s.TimedOut {
@@ -81,6 +87,7 @@ func main() {
 		s.Paths, s.ErrorPaths, s.TruncatedPaths)
 	fmt.Printf("  instructions:   %d\n", s.Instrs)
 	fmt.Printf("  forks:          %d (max %d live states)\n", s.Forks, s.MaxLiveStates)
+	fmt.Printf("  states:         %d explored, %d blocks covered\n", s.StatesExplored, s.CoveredBlocks)
 	fmt.Printf("  solver:         %d queries, %d cache hits, %d model reuses, %d failures\n",
 		s.SolverStats.Queries, s.SolverStats.CacheHits,
 		s.SolverStats.ModelReuseHits, s.SolverStats.Failures)

@@ -21,6 +21,10 @@ type Figure4Options struct {
 	Timeout time.Duration
 	// Workers is the symbolic-execution worker count (0/1 serial).
 	Workers int
+	// Strategy is the exploration order (default DFS).
+	Strategy symex.SearchKind
+	// Seed feeds the random-path strategy.
+	Seed int64
 	// Programs restricts the corpus (default: all).
 	Programs []string
 }
@@ -93,7 +97,7 @@ func Figure4(opts Figure4Options) ([]Figure4Row, *Figure4Summary, error) {
 				continue
 			}
 			cell.Compile = c.Result.CompileTime
-			eng := symex.NewEngine(c.Mod, symex.Options{Timeout: opts.Timeout, Workers: opts.Workers})
+			eng := symex.NewEngine(c.Mod, symex.Options{Timeout: opts.Timeout, Workers: opts.Workers, Strategy: opts.Strategy, Seed: opts.Seed})
 			buf := eng.SymbolicBuffer("input", opts.InputBytes, true)
 			length := eng.IntArg(ir.I32, uint64(opts.InputBytes))
 			rep, err := eng.Run("umain", []symex.SymVal{buf, length}, nil)

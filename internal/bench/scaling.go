@@ -9,6 +9,7 @@ import (
 	"overify/internal/core"
 	"overify/internal/coreutils"
 	"overify/internal/pipeline"
+	"overify/internal/symex"
 )
 
 // ScalingOptions parameterize the worker-scaling study: per-level
@@ -27,6 +28,10 @@ type ScalingOptions struct {
 	Workers []int
 	// Levels to measure (default O0, O3, OVerify — Figure 4's columns).
 	Levels []pipeline.Level
+	// Strategy is the exploration order (default DFS).
+	Strategy symex.SearchKind
+	// Seed feeds the random-path strategy.
+	Seed int64
 }
 
 // ScalingCell is one (level, workers) measurement.
@@ -96,6 +101,8 @@ func Scaling(opts ScalingOptions) ([]ScalingRow, error) {
 		spec := pipeline.VerifySpec{
 			InputBytes: opts.InputBytes,
 			Timeout:    opts.Timeout,
+			Strategy:   opts.Strategy,
+			Seed:       opts.Seed,
 		}
 		ms, err := pipeline.MeasureVerifyScaling(c.Mod, spec, opts.Workers)
 		if err != nil {

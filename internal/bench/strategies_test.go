@@ -1,0 +1,76 @@
+package bench
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"overify/internal/pipeline"
+)
+
+// TestStrategyCompareConformance: the bench harness must surface the
+// engine's strategy-independence — same paths and bugs in every cell of
+// a row — and render/serialize every strategy it ran.
+func TestStrategyCompareConformance(t *testing.T) {
+	opts := StrategyCompareOptions{
+		Programs:   []string{"wc", "uniq"},
+		InputBytes: 3,
+		Timeout:    30 * time.Second,
+		Levels:     []pipeline.Level{pipeline.O0},
+	}
+	rows, err := StrategyCompare(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	for _, row := range rows {
+		if len(row.Cells) != 4 {
+			t.Fatalf("%s: got %d cells, want 4 strategies", row.Program, len(row.Cells))
+		}
+		base := row.Cells[0]
+		for _, cell := range row.Cells {
+			if cell.Err != "" {
+				t.Fatalf("%s/%s: %s", row.Program, cell.Strategy, cell.Err)
+			}
+			if cell.Paths != base.Paths || cell.Bugs != base.Bugs {
+				t.Errorf("%s/%s: paths=%d bugs=%d diverge from %s (paths=%d bugs=%d)",
+					row.Program, cell.Strategy, cell.Paths, cell.Bugs,
+					base.Strategy, base.Paths, base.Bugs)
+			}
+			if cell.States <= 0 || cell.Covered <= 0 {
+				t.Errorf("%s/%s: empty work counters: %+v", row.Program, cell.Strategy, cell)
+			}
+		}
+	}
+
+	text := RenderStrategyCompare(rows, opts)
+	for _, name := range []string{"dfs", "bfs", "covnew", "rand", "fastest"} {
+		if !strings.Contains(text, name) {
+			t.Errorf("rendering lacks %q:\n%s", name, text)
+		}
+	}
+
+	data, err := StrategyCompareJSON(rows, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Rows []StrategyRow `json:"rows"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("JSON round trip: %v", err)
+	}
+	if len(doc.Rows) != 2 || len(doc.Rows[0].Cells) != 4 {
+		t.Errorf("JSON lost rows: %d rows", len(doc.Rows))
+	}
+}
+
+// TestStrategyCompareUnknownProgram: a bad program name is a hard error.
+func TestStrategyCompareUnknownProgram(t *testing.T) {
+	if _, err := StrategyCompare(StrategyCompareOptions{Programs: []string{"no-such"}}); err == nil {
+		t.Error("unknown program accepted")
+	}
+}

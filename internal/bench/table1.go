@@ -22,6 +22,10 @@ type Table1Options struct {
 	VerifyTimeout time.Duration
 	// Workers is the symbolic-execution worker count (0/1 serial).
 	Workers int
+	// Strategy is the exploration order (default DFS).
+	Strategy symex.SearchKind
+	// Seed feeds the random-path strategy.
+	Seed int64
 	// Levels to measure (default: O0, O2, O3, OVerify — the paper's
 	// columns).
 	Levels []pipeline.Level
@@ -67,7 +71,7 @@ func Table1(opts Table1Options) ([]Table1Row, error) {
 		}
 		row := Table1Row{Level: level, CompileTime: c.Result.CompileTime}
 
-		rep, err := VerifyWc(c, opts.InputBytes, symex.Options{Timeout: opts.VerifyTimeout, Workers: opts.Workers})
+		rep, err := VerifyWc(c, opts.InputBytes, symex.Options{Timeout: opts.VerifyTimeout, Workers: opts.Workers, Strategy: opts.Strategy, Seed: opts.Seed})
 		if err != nil {
 			return nil, fmt.Errorf("table1 %s: verify: %w", level, err)
 		}

@@ -142,7 +142,9 @@ func readOut(m *interp.Machine) []byte {
 type VerifyOptions struct {
 	// InputBytes is the symbolic input size (the paper uses 2–10).
 	InputBytes int
-	// Engine options (timeouts, limits, search strategy).
+	// Engine options (timeouts, limits, search strategy + seed,
+	// CoverTarget, workers). Use symex.ParseSearch to map a flag
+	// spelling onto Engine.Strategy.
 	Engine symex.Options
 }
 

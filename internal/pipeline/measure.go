@@ -15,18 +15,23 @@ import (
 // t_verify columns; it lives next to the optimization pipeline because
 // t_verify is the quantity the -OVERIFY cost model optimizes for.
 type VerifySpec struct {
-	Entry      string        // entry function (default "umain")
-	InputBytes int           // symbolic input size (default 4)
-	Timeout    time.Duration // exploration budget (0 = none)
-	Workers    int           // engine workers (0/1 serial, -1 = NumCPU)
-	MaxPaths   int64         // optional path cap
+	Entry      string           // entry function (default "umain")
+	InputBytes int              // symbolic input size (default 4)
+	Timeout    time.Duration    // exploration budget (0 = none)
+	Workers    int              // engine workers (0/1 serial, -1 = NumCPU)
+	Strategy   symex.SearchKind // exploration order (default DFS)
+	Seed       int64            // random-path seed (0 = fixed default)
+	MaxPaths   int64            // optional path cap
 }
 
 // VerifyMeasurement is one timed verification run.
 type VerifyMeasurement struct {
 	Workers  int
+	Strategy string
 	Elapsed  time.Duration
 	Paths    int64 // total paths (completed + errored + truncated)
+	States   int64 // states whose execution began
+	Covered  int   // distinct basic blocks executed
 	Instrs   int64
 	Queries  int64 // solver queries across all workers
 	TimedOut bool
@@ -45,6 +50,8 @@ func MeasureVerify(mod *ir.Module, spec VerifySpec) (*VerifyMeasurement, error) 
 	eng := symex.NewEngine(mod, symex.Options{
 		Timeout:  spec.Timeout,
 		Workers:  spec.Workers,
+		Strategy: spec.Strategy,
+		Seed:     spec.Seed,
 		MaxPaths: spec.MaxPaths,
 	})
 	buf := eng.SymbolicBuffer("input", spec.InputBytes, true)
@@ -55,8 +62,11 @@ func MeasureVerify(mod *ir.Module, spec VerifySpec) (*VerifyMeasurement, error) 
 	}
 	return &VerifyMeasurement{
 		Workers:  rep.Stats.Workers,
+		Strategy: rep.Stats.Strategy,
 		Elapsed:  rep.Stats.Elapsed,
 		Paths:    rep.Stats.TotalPaths(),
+		States:   rep.Stats.StatesExplored,
+		Covered:  rep.Stats.CoveredBlocks,
 		Instrs:   rep.Stats.Instrs,
 		Queries:  rep.Stats.SolverStats.Queries,
 		TimedOut: rep.Stats.TimedOut,

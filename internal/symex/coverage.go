@@ -1,0 +1,43 @@
+package symex
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"overify/internal/ir"
+)
+
+// coverage is the engine-wide block-coverage map: which basic blocks
+// have had at least one instruction executed by any worker. It is fed
+// by exec (a block is covered when a state begins executing in it, not
+// when a fork merely targets it) and read by the coverage-weighted
+// search strategy, which scores states by how much uncovered territory
+// their next block opens up.
+//
+// All methods are safe for concurrent use without external locking:
+// cover uses a lock-free LoadOrStore, and the distinct-block counter is
+// atomic, so the per-instruction hot path never contends on a mutex.
+type coverage struct {
+	blocks sync.Map // *ir.Block -> struct{}
+	n      atomic.Int64
+}
+
+func newCoverage() *coverage { return &coverage{} }
+
+// cover marks b as executed and reports whether it was newly covered.
+func (c *coverage) cover(b *ir.Block) bool {
+	if _, seen := c.blocks.LoadOrStore(b, struct{}{}); seen {
+		return false
+	}
+	c.n.Add(1)
+	return true
+}
+
+// covered reports whether b has been executed on any path.
+func (c *coverage) covered(b *ir.Block) bool {
+	_, ok := c.blocks.Load(b)
+	return ok
+}
+
+// count is the number of distinct covered blocks.
+func (c *coverage) count() int64 { return c.n.Load() }

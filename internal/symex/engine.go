@@ -14,24 +14,25 @@ import (
 	"overify/internal/solver"
 )
 
-// SearchKind selects the exploration order.
-type SearchKind int
-
-// Exploration strategies. DFS keeps the solver's caches hot (children
-// share their parent's constraint prefix); BFS finds shallow bugs first.
-const (
-	DFS SearchKind = iota
-	BFS
-)
-
 // Options bound a symbolic-execution run.
 type Options struct {
 	MaxPaths  int64         // 0 = unlimited
 	MaxInstrs int64         // 0 = default 100M
 	MaxStates int           // live states cap; 0 = default 1M
 	Timeout   time.Duration // 0 = none
-	Search    SearchKind
-	Solver    solver.Options
+	// Strategy selects the exploration order (see SearchKind). Every
+	// strategy yields the same verdicts on an exhaustive run; they
+	// differ in how fast they reach coverage — and so in t_verify when
+	// a budget (MaxPaths, CoverTarget, Timeout) is in play.
+	Strategy SearchKind
+	// Seed fixes the random-path PRNGs (0 = a fixed default); same
+	// seed, same serial exploration order.
+	Seed int64
+	// CoverTarget stops exploration once this many distinct basic
+	// blocks have been executed (0 = off). This is the "time to
+	// coverage" budget coverage-guided search optimizes for.
+	CoverTarget int
+	Solver      solver.Options
 	// Workers is the number of exploration workers. 1 (or 0) explores
 	// serially; -1 uses one worker per CPU. Workers share one expression
 	// builder and one solver cache but hold private solvers and private
@@ -99,8 +100,11 @@ type Stats struct {
 	TruncatedPaths int64 // paths killed by limits
 	Forks          int64
 	Instrs         int64 // instructions interpreted across all paths
+	StatesExplored int64 // states whose execution began (initial + resumed forks)
+	CoveredBlocks  int   // distinct basic blocks executed on some path
 	MaxLiveStates  int
-	Workers        int // exploration workers used
+	Workers        int               // exploration workers used
+	Strategy       string            // search strategy used
 	SolverStats    solver.Stats      // summed over all workers
 	SharedCache    solver.CacheStats // the cross-worker query cache
 	Elapsed        time.Duration
@@ -126,6 +130,7 @@ type Engine struct {
 	opts Options
 
 	cache     *solver.Cache // shared across all workers' solvers
+	cov       *coverage     // block-coverage map, fed by exec
 	inputVars []*expr.Var   // ordered; used to concretize bug inputs
 	deadline  time.Time
 
@@ -138,6 +143,7 @@ type Engine struct {
 	truncated  atomic.Int64
 	forks      atomic.Int64
 	instrs     atomic.Int64
+	explored   atomic.Int64 // states whose execution began
 	timedOut   atomic.Bool
 	stopped    atomic.Bool // a global limit fired; all workers bail out
 }
@@ -160,6 +166,7 @@ func NewEngine(mod *ir.Module, opts Options) *Engine {
 		Mod:   mod,
 		B:     b,
 		cache: solver.NewCache(),
+		cov:   newCoverage(),
 		opts:  opts,
 	}
 }
@@ -264,18 +271,20 @@ func (e *Engine) Run(fnName string, args []SymVal, init *State) (*Report, error)
 	}
 
 	n := e.opts.effectiveWorkers()
-	fr := newFrontier(n, e.opts.Search, e.opts.MaxStates)
+	strat := newStrategy(e.opts.Strategy, n, e.opts.Seed, e.cov)
+	fr := newFrontier(n, strat, e.opts.MaxStates)
 	fr.put(0, []*State{init})
 
 	workers := make([]*worker, n)
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
 		w := &worker{
-			e:   e,
-			id:  i,
-			B:   e.B,
-			fr:  fr,
-			sol: solver.NewWithCache(e.opts.Solver, e.cache),
+			e:     e,
+			id:    i,
+			B:     e.B,
+			fr:    fr,
+			strat: strat,
+			sol:   solver.NewWithCache(e.opts.Solver, e.cache),
 		}
 		if !e.deadline.IsZero() {
 			w.sol.SetDeadline(e.deadline)
@@ -299,8 +308,11 @@ func (e *Engine) Run(fnName string, args []SymVal, init *State) (*Report, error)
 		TruncatedPaths: e.truncated.Load(),
 		Forks:          e.forks.Load(),
 		Instrs:         e.instrs.Load(),
+		StatesExplored: e.explored.Load(),
+		CoveredBlocks:  int(e.cov.count()),
 		MaxLiveStates:  fr.maxLive,
 		Workers:        n,
+		Strategy:       strat.Name(),
 		SharedCache:    e.cache.Snapshot(),
 		Elapsed:        time.Since(start),
 		TimedOut:       e.timedOut.Load(),

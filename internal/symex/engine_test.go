@@ -43,8 +43,8 @@ int f(unsigned char *in, int n) {
 
 // TestDFSandBFSAgree: exploration order must not change the verdicts.
 func TestDFSandBFSAgree(t *testing.T) {
-	dfs := explore(t, branchySrc, "f", 4, symex.Options{Search: symex.DFS}, pipeline.O0)
-	bfs := explore(t, branchySrc, "f", 4, symex.Options{Search: symex.BFS}, pipeline.O0)
+	dfs := explore(t, branchySrc, "f", 4, symex.Options{Strategy: symex.DFS}, pipeline.O0)
+	bfs := explore(t, branchySrc, "f", 4, symex.Options{Strategy: symex.BFS}, pipeline.O0)
 	if dfs.Stats.Paths != bfs.Stats.Paths {
 		t.Errorf("paths: dfs=%d bfs=%d", dfs.Stats.Paths, bfs.Stats.Paths)
 	}

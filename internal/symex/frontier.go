@@ -3,23 +3,24 @@ package symex
 import "sync"
 
 // frontier is the sharded set of pending states. Each worker owns one
-// shard and treats it as a stack (DFS: children are explored right
-// after their parent, keeping the solver's constraint-prefix caches
-// hot) or a queue (BFS). A worker whose shard drains steals from the
-// back of the longest other shard — the shallowest state there, which
-// is the one with the largest unexplored subtree, the classic
-// work-stealing heuristic.
+// shard; the order within a shard — and what a thief takes from a
+// victim — is delegated to the run's Strategy, so the same
+// work-distribution machinery serves DFS, BFS, coverage-weighted and
+// random-path exploration. A worker whose shard drains steals from the
+// longest other shard, asking the strategy which state to take so
+// stealing never demotes a high-priority state.
 //
-// A single mutex guards all shards. State transitions (fork, path end)
-// are orders of magnitude rarer than interpreted instructions and
-// solver work, so the lock is cold; what matters for scaling is that
-// each worker keeps its own depth-first run between transitions.
+// A single mutex guards all shards and strategy calls (except
+// NotifyCovered, which strategies handle lock-free). State transitions
+// (fork, path end) are orders of magnitude rarer than interpreted
+// instructions and solver work, so the lock is cold; what matters for
+// scaling is that each worker keeps its own run between transitions.
 type frontier struct {
 	mu   sync.Mutex
 	cond *sync.Cond
 
-	shards    [][]*State
-	search    SearchKind
+	strat     Strategy
+	workers   int
 	maxStates int
 
 	queued  int // states sitting in shards
@@ -28,10 +29,10 @@ type frontier struct {
 	done    bool
 }
 
-func newFrontier(workers int, search SearchKind, maxStates int) *frontier {
+func newFrontier(workers int, strat Strategy, maxStates int) *frontier {
 	f := &frontier{
-		shards:    make([][]*State, workers),
-		search:    search,
+		strat:     strat,
+		workers:   workers,
 		maxStates: maxStates,
 	}
 	f.cond = sync.NewCond(&f.mu)
@@ -39,26 +40,22 @@ func newFrontier(workers int, search SearchKind, maxStates int) *frontier {
 }
 
 // put publishes forked states to the worker's shard, returning how many
-// pending states it had to drop (the shallowest of the fullest shards)
-// to stay under maxStates — the caller accounts those as truncated.
+// pending states it had to evict (the strategy's least valuable) to
+// stay under maxStates — the caller accounts those as truncated.
 func (f *frontier) put(id int, states []*State) (dropped int64) {
 	if len(states) == 0 {
 		return 0
 	}
 	f.mu.Lock()
-	f.shards[id] = append(f.shards[id], states...)
+	f.strat.Insert(id, states)
 	f.queued += len(states)
 	if live := f.queued + f.active; live > f.maxLive {
 		f.maxLive = live
 	}
 	for f.maxStates > 0 && f.queued > f.maxStates {
-		big := 0
-		for i := range f.shards {
-			if len(f.shards[i]) > len(f.shards[big]) {
-				big = i
-			}
+		if f.strat.Evict() == nil {
+			break
 		}
-		f.shards[big] = f.shards[big][1:]
 		f.queued--
 		dropped++
 	}
@@ -97,36 +94,26 @@ func (f *frontier) take(id int, stopped func() bool) *State {
 	}
 }
 
-// popLocked pops from the worker's own shard, else steals.
+// popLocked pops from the worker's own shard, else steals the
+// strategy's choice from the longest other shard.
 func (f *frontier) popLocked(id int) *State {
-	own := f.shards[id]
-	if len(own) > 0 {
-		var st *State
-		if f.search == BFS {
-			st = own[0]
-			f.shards[id] = own[1:]
-		} else {
-			st = own[len(own)-1]
-			f.shards[id] = own[:len(own)-1]
-		}
+	if st := f.strat.Select(id); st != nil {
 		f.queued--
 		return st
 	}
-	// Steal from the longest other shard. For DFS steal the oldest
-	// (shallowest) state so the thief gets a big subtree and the victim
-	// keeps its hot deep states; for BFS the front is the oldest anyway.
 	victim, best := -1, 0
-	for i := range f.shards {
-		if i != id && len(f.shards[i]) > best {
-			victim, best = i, len(f.shards[i])
+	for i := 0; i < f.workers; i++ {
+		if i != id && f.strat.Len(i) > best {
+			victim, best = i, f.strat.Len(i)
 		}
 	}
 	if victim < 0 {
 		return nil
 	}
-	st := f.shards[victim][0]
-	f.shards[victim] = f.shards[victim][1:]
-	f.queued--
+	st := f.strat.Steal(victim)
+	if st != nil {
+		f.queued--
+	}
 	return st
 }
 
@@ -146,11 +133,13 @@ func (f *frontier) release() {
 // pending states were discarded, for truncation accounting.
 func (f *frontier) drain() int64 {
 	f.mu.Lock()
-	n := int64(f.queued)
-	for i := range f.shards {
-		f.shards[i] = nil
+	var n int64
+	for i := 0; i < f.workers; i++ {
+		for f.strat.Select(i) != nil {
+			n++
+		}
 	}
-	f.queued = 0
+	f.queued -= int(n)
 	f.done = true
 	f.cond.Broadcast()
 	f.mu.Unlock()

@@ -2,12 +2,17 @@ package symex
 
 import "testing"
 
+// testFrontier builds a frontier over a fresh strategy of the given kind.
+func testFrontier(workers int, kind SearchKind, maxStates int) *frontier {
+	return newFrontier(workers, newStrategy(kind, workers, 0, newCoverage()), maxStates)
+}
+
 func never() bool { return false }
 
 // TestFrontierStealing: a worker with an empty shard must steal the
 // shallowest state from the longest other shard.
 func TestFrontierStealing(t *testing.T) {
-	f := newFrontier(2, DFS, 0)
+	f := testFrontier(2, DFS, 0)
 	a, b, c := &State{ID: 1}, &State{ID: 2}, &State{ID: 3}
 	f.put(0, []*State{a, b, c})
 
@@ -25,7 +30,7 @@ func TestFrontierStealing(t *testing.T) {
 
 // TestFrontierBFSOrder: BFS pops the worker's own shard from the front.
 func TestFrontierBFSOrder(t *testing.T) {
-	f := newFrontier(1, BFS, 0)
+	f := testFrontier(1, BFS, 0)
 	a, b := &State{ID: 1}, &State{ID: 2}
 	f.put(0, []*State{a, b})
 	if got := f.take(0, never); got != a {
@@ -39,7 +44,7 @@ func TestFrontierBFSOrder(t *testing.T) {
 // TestFrontierTermination: take returns nil once all shards are empty
 // and no worker holds a state — and only then.
 func TestFrontierTermination(t *testing.T) {
-	f := newFrontier(2, DFS, 0)
+	f := testFrontier(2, DFS, 0)
 	f.put(0, []*State{{ID: 1}})
 
 	st := f.take(0, never)
@@ -63,7 +68,7 @@ func TestFrontierTermination(t *testing.T) {
 // TestFrontierMaxStates: overflowing the cap drops the shallowest
 // states and reports the count to the caller.
 func TestFrontierMaxStates(t *testing.T) {
-	f := newFrontier(1, DFS, 2)
+	f := testFrontier(1, DFS, 2)
 	if n := f.put(0, []*State{{ID: 1}, {ID: 2}, {ID: 3}, {ID: 4}}); n != 2 {
 		t.Errorf("dropped %d states, want 2", n)
 	}
@@ -79,7 +84,7 @@ func TestFrontierMaxStates(t *testing.T) {
 // TestFrontierDrain: drain empties every shard and wakes blocked
 // takers.
 func TestFrontierDrain(t *testing.T) {
-	f := newFrontier(2, DFS, 0)
+	f := testFrontier(2, DFS, 0)
 	f.put(0, []*State{{ID: 1}, {ID: 2}})
 	if st := f.take(0, never); st == nil {
 		t.Fatal("no state")
@@ -96,7 +101,7 @@ func TestFrontierDrain(t *testing.T) {
 // TestFrontierStopped: a stop request observed in take unblocks the
 // caller with nil.
 func TestFrontierStopped(t *testing.T) {
-	f := newFrontier(1, DFS, 0)
+	f := testFrontier(1, DFS, 0)
 	f.put(0, []*State{{ID: 1}})
 	if st := f.take(0, func() bool { return true }); st != nil {
 		t.Error("take ignored the stop request")

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"overify/internal/expr"
+	"overify/internal/ir"
 	"overify/internal/solver"
 )
 
@@ -19,14 +20,16 @@ const instrFlushStride = 1024
 // bug list (merged deterministically after the run), and a local
 // instruction counter batched into the engine totals.
 type worker struct {
-	e   *Engine
-	id  int
-	B   *expr.Builder
-	fr  *frontier
-	sol *solver.Solver
+	e     *Engine
+	id    int
+	B     *expr.Builder
+	fr    *frontier
+	strat Strategy
+	sol   *solver.Solver
 
 	bugs        []Bug
-	localInstrs int64 // not yet flushed to e.instrs
+	localInstrs int64     // not yet flushed to e.instrs
+	lastBlock   *ir.Block // last block fed to the coverage map
 }
 
 // run is the worker loop: take a state, explore its whole subtree
@@ -38,6 +41,7 @@ func (w *worker) run() {
 		if st == nil {
 			return
 		}
+		w.e.explored.Add(1)
 		w.explore(st)
 	}
 }
@@ -68,7 +72,11 @@ func (w *worker) explore(st *State) {
 			}
 			return
 		}
-		if w.e.opts.Search == BFS {
+		if w.e.opts.Strategy != DFS {
+			// Every non-DFS strategy fully owns the order: publish all
+			// continuations and let Select pick the next state, so a
+			// worker's inline continuation cannot jump the queue ahead of
+			// a higher-priority pending state.
 			w.e.truncated.Add(w.fr.put(w.id, forked))
 			w.fr.release()
 			return
@@ -76,6 +84,7 @@ func (w *worker) explore(st *State) {
 		// DFS: continue with the deepest continuation (step returns it
 		// last), publish the rest for stealing.
 		st = forked[len(forked)-1]
+		w.e.explored.Add(1)
 		w.e.truncated.Add(w.fr.put(w.id, forked[:len(forked)-1]))
 	}
 }
@@ -93,6 +102,24 @@ func (w *worker) flushInstrs() {
 	if w.localInstrs > 0 {
 		w.e.instrs.Add(w.localInstrs)
 		w.localInstrs = 0
+	}
+}
+
+// coverBlock feeds the engine's coverage map as execution enters b.
+// The lastBlock memo keeps the per-instruction cost at one pointer
+// compare; first-time covers notify the strategy (covnew rescores
+// lazily off that signal) and check the CoverTarget stop condition.
+func (w *worker) coverBlock(b *ir.Block) {
+	if b == w.lastBlock {
+		return
+	}
+	w.lastBlock = b
+	if !w.e.cov.cover(b) {
+		return
+	}
+	w.strat.NotifyCovered(b)
+	if t := w.e.opts.CoverTarget; t > 0 && w.e.cov.count() >= int64(t) {
+		w.e.requestStop()
 	}
 }
 

@@ -1,9 +1,9 @@
 // Command overify-bench regenerates the paper's tables and figures:
 //
-//	overify-bench -table1 [-n 10] [-words 50000] [-j workers]
+//	overify-bench -table1 [-n 10] [-words 50000] [-j workers] [-passes spec]
 //	overify-bench -table2 [-n 3]
 //	overify-bench -table3
-//	overify-bench -figure4 [-n 5] [-timeout 10s] [-j workers] [-search dfs|bfs|covnew|rand]
+//	overify-bench -figure4 [-n 5] [-timeout 10s] [-j workers] [-search dfs|bfs|covnew|rand|interleave] [-budget [-cover N]] [-json FILE]
 //	overify-bench -scaling [-prog wc] [-n 5] [-timeout 60s]
 //	overify-bench -search all [-n 3] [-timeout 5s] [-json BENCH_strategies.json]
 //	overify-bench -all
@@ -11,7 +11,13 @@
 // -search all runs the strategy comparison (per-strategy t_verify and
 // states-explored for every corpus program at -O0 and -O2); any single
 // strategy name instead selects the exploration order for the other
-// experiments. Output is the text rendering recorded in EXPERIMENTS.md.
+// experiments. -budget extends Figure 4 with per-strategy
+// time-to-coverage columns (each strategy under the timeout with
+// CoverTarget set; -cover overrides the per-cell full-coverage
+// target), and -figure4 -json records the study machine-readably.
+// -passes overrides every level's pass pipeline for Table 1/Figure 4;
+// -j also parallelizes the pass manager. Output is the text rendering
+// recorded in EXPERIMENTS.md.
 package main
 
 import (
@@ -21,6 +27,7 @@ import (
 	"time"
 
 	"overify/internal/bench"
+	"overify/internal/pipeline"
 	"overify/internal/symex"
 )
 
@@ -36,10 +43,20 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "per-run budget for Figure 4 / Table 1 / scaling / strategy verification")
 	workers := flag.Int("j", 0, "symbolic-execution workers for Table 1 / Figure 4 (0/1 serial, -1 = NumCPU)")
 	prog := flag.String("prog", "", "corpus target for the scaling study (default wc)")
-	search := flag.String("search", "", "search strategy (dfs, bfs, covnew, rand) — or 'all' to run the strategy comparison")
+	search := flag.String("search", "", "search strategy (dfs, bfs, covnew, rand, interleave) — or 'all' to run the strategy comparison")
 	seed := flag.Int64("seed", 0, "random-path seed")
-	jsonPath := flag.String("json", "", "also write the strategy comparison as JSON to this path")
+	jsonPath := flag.String("json", "", "write the strategy comparison (or, with -figure4, the figure 4 study) as JSON to this path")
+	passSpec := flag.String("passes", "", "explicit pass pipeline for Table 1 / Figure 4 compiles")
+	budget := flag.Bool("budget", false, "add per-strategy time-to-coverage columns to Figure 4")
+	coverTarget := flag.Int("cover", 0, "block-coverage target for -budget (0 = each cell's full coverage)")
 	flag.Parse()
+
+	var pipeSpec *pipeline.PipelineSpec
+	if *passSpec != "" {
+		spec, err := pipeline.ParsePipeline(*passSpec)
+		check(err)
+		pipeSpec = &spec
+	}
 
 	strategies := *search == "all"
 	var strat symex.SearchKind
@@ -79,7 +96,7 @@ func main() {
 	}
 
 	if *t1 {
-		opts := bench.Table1Options{InputBytes: *n, RunWords: *words, VerifyTimeout: *timeout, Workers: *workers, Strategy: strat, Seed: *seed}
+		opts := bench.Table1Options{InputBytes: *n, RunWords: *words, VerifyTimeout: *timeout, Workers: *workers, Strategy: strat, Seed: *seed, Pipeline: pipeSpec}
 		rows, err := bench.Table1(opts)
 		check(err)
 		fmt.Println(bench.RenderTable1(rows, opts))
@@ -96,12 +113,25 @@ func main() {
 		fmt.Println(bench.RenderTable3(rows))
 	}
 	if *f4 {
-		opts := bench.Figure4Options{InputBytes: *n, Timeout: *timeout, Workers: *workers, Strategy: strat, Seed: *seed}
+		opts := bench.Figure4Options{
+			InputBytes: *n, Timeout: *timeout, Workers: *workers,
+			Strategy: strat, Seed: *seed, Pipeline: pipeSpec,
+			Budget: *budget, CoverTarget: *coverTarget,
+		}
+		if *prog != "" {
+			opts.Programs = []string{*prog}
+		}
 		start := time.Now()
 		rows, summary, err := bench.Figure4(opts)
 		check(err)
 		fmt.Println(bench.RenderFigure4(rows, summary, opts))
 		fmt.Printf("(figure 4 harness wall time: %s)\n", time.Since(start).Round(time.Millisecond))
+		if *jsonPath != "" && !strategies {
+			data, err := bench.Figure4JSON(rows, summary, opts)
+			check(err)
+			check(os.WriteFile(*jsonPath, append(data, '\n'), 0o644))
+			fmt.Printf("(wrote %s)\n", *jsonPath)
+		}
 	}
 	if *scaling {
 		opts := bench.ScalingOptions{Program: *prog, InputBytes: *n, Timeout: *timeout, Strategy: strat, Seed: *seed}

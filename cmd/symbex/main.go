@@ -5,8 +5,13 @@
 //
 // Usage:
 //
-//	symbex [-O level] [-n bytes] [-timeout d] [-search dfs|bfs|covnew|rand] [-seed s] [-cover blocks] [-j workers] file.c
+//	symbex [-O level] [-passes spec] [-n bytes] [-timeout d] [-search dfs|bfs|covnew|rand|interleave] [-seed s] [-cover blocks] [-j workers] file.c
 //	symbex [-O level] [-n bytes] [-j workers] -prog tr
+//
+// -passes overrides the level's pass pipeline with an explicit spec,
+// e.g. "mem2reg,fixpoint:12(ifconvert,simplify,cse,simplifycfg,dce)";
+// the level still supplies the cost model. -j parallelizes both the
+// pass manager's function passes and the symbolic-execution workers.
 package main
 
 import (
@@ -23,9 +28,10 @@ import (
 
 func main() {
 	level := flag.String("O", "-OVERIFY", "optimization level")
+	passSpec := flag.String("passes", "", "explicit pass pipeline, e.g. mem2reg,fixpoint(ifconvert,simplify,cse,simplifycfg,dce)")
 	n := flag.Int("n", 4, "symbolic input bytes (the paper uses 2-10)")
 	timeout := flag.Duration("timeout", 60*time.Second, "exploration budget")
-	search := flag.String("search", "dfs", "exploration order: dfs, bfs, covnew or rand")
+	search := flag.String("search", "dfs", "exploration order: dfs, bfs, covnew, rand or interleave")
 	seed := flag.Int64("seed", 0, "random-path seed (0 = fixed default)")
 	coverTarget := flag.Int("cover", 0, "stop once this many basic blocks are covered (0 = off)")
 	workers := flag.Int("j", 1, "exploration workers (-1 = one per CPU)")
@@ -56,7 +62,16 @@ func main() {
 		os.Exit(2)
 	}
 
-	c, err := core.CompileSource(name, src, lvl, core.DefaultLibc(lvl))
+	cfg := pipeline.LevelConfig(lvl)
+	cfg.Jobs = *workers
+	if *passSpec != "" {
+		spec, err := pipeline.ParsePipeline(*passSpec)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Pipeline = &spec
+	}
+	c, err := core.CompileWithConfig(name, src, cfg, core.DefaultLibc(lvl))
 	if err != nil {
 		fatal(err)
 	}
@@ -77,7 +92,9 @@ func main() {
 
 	s := rep.Stats
 	fmt.Printf("%s at %s, %d symbolic input bytes, %d workers, %s search\n", name, lvl, *n, s.Workers, s.Strategy)
-	fmt.Printf("  compile:        %s\n", c.Result.CompileTime)
+	fmt.Printf("  compile:        %s  (%d pass invocations, %d skipped, %.0f%% analysis-cache hits)\n",
+		c.Result.CompileTime, c.Result.PassInvocations, c.Result.SkippedFuncRuns,
+		100*c.Result.Analysis.HitRate())
 	fmt.Printf("  verify:         %s", s.Elapsed)
 	if s.TimedOut {
 		fmt.Printf("  (TIMED OUT)")

@@ -90,6 +90,21 @@ func CompileAt(name, src string, level pipeline.Level) (*core.Compiled, error) {
 	return core.CompileSource(name, src, level, core.DefaultLibc(level))
 }
 
+// CompileOpts are the pass-manager knobs the experiment drivers share:
+// an explicit -passes pipeline and the compile-side worker count.
+type CompileOpts struct {
+	Pipeline *pipeline.PipelineSpec
+	Jobs     int
+}
+
+// CompileAtOpts is CompileAt with pass-manager overrides.
+func CompileAtOpts(name, src string, level pipeline.Level, co CompileOpts) (*core.Compiled, error) {
+	cfg := pipeline.LevelConfig(level)
+	cfg.Pipeline = co.Pipeline
+	cfg.Jobs = co.Jobs
+	return core.CompileWithConfig(name, src, cfg, core.DefaultLibc(level))
+}
+
 // CompileAtWithLibc pins the libc variant.
 func CompileAtWithLibc(name, src string, level pipeline.Level, lk libc.Kind) (*core.Compiled, error) {
 	return core.CompileSource(name, src, level, lk)

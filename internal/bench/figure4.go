@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
@@ -27,6 +28,21 @@ type Figure4Options struct {
 	Seed int64
 	// Programs restricts the corpus (default: all).
 	Programs []string
+	// Pipeline overrides every level's pass sequence (-passes=).
+	Pipeline *pipeline.PipelineSpec
+
+	// Budget adds the time-to-coverage study: after each cell's
+	// exhaustive run, every strategy in BudgetStrategies re-explores
+	// under the cell's Timeout with CoverTarget set, measuring how fast
+	// each search order reaches coverage rather than how fast it
+	// exhausts the program.
+	Budget bool
+	// CoverTarget is the block count the budget runs stop at; 0 uses
+	// each cell's own exhaustive coverage (full coverage of that
+	// program at that level).
+	CoverTarget int
+	// BudgetStrategies defaults to every built-in strategy.
+	BudgetStrategies []symex.SearchKind
 }
 
 // Figure4Levels are the three configurations the paper compares.
@@ -42,6 +58,21 @@ type Figure4Cell struct {
 	TimedOut bool
 	Bugs     int
 	Err      string
+
+	// Budget holds the per-strategy time-to-coverage columns (strategy
+	// name -> measurement), present when Figure4Options.Budget is set.
+	Budget map[string]*Figure4Budget `json:",omitempty"`
+}
+
+// Figure4Budget is one strategy's run against a coverage target under
+// the cell's timeout.
+type Figure4Budget struct {
+	Target   int // block-coverage stop condition
+	Covered  int // blocks actually covered when the run stopped
+	States   int64
+	Paths    int64
+	Elapsed  time.Duration
+	TimedOut bool // hit the timeout before the coverage target
 }
 
 // Figure4Row is one program's measurements across levels.
@@ -67,15 +98,23 @@ type Figure4Summary struct {
 	OVerifySlower     int // programs where -O3 beat -OVERIFY
 }
 
+// normalized fills the option defaults. Figure4, RenderFigure4 and
+// Figure4JSON all normalize, so the rendered and recorded
+// budget/timeout values always match what the runs actually used.
+func (o Figure4Options) normalized() Figure4Options {
+	if o.InputBytes == 0 {
+		o.InputBytes = 4
+	}
+	if o.Timeout == 0 {
+		o.Timeout = 5 * time.Second
+	}
+	return o
+}
+
 // Figure4 runs the corpus study: compile+verify every program at -O0,
 // -O3 and -OVERIFY.
 func Figure4(opts Figure4Options) ([]Figure4Row, *Figure4Summary, error) {
-	if opts.InputBytes == 0 {
-		opts.InputBytes = 4
-	}
-	if opts.Timeout == 0 {
-		opts.Timeout = 5 * time.Second
-	}
+	opts = opts.normalized()
 	names := opts.Programs
 	if names == nil {
 		names = coreutils.Names()
@@ -91,7 +130,7 @@ func Figure4(opts Figure4Options) ([]Figure4Row, *Figure4Summary, error) {
 		for _, level := range Figure4Levels {
 			cell := &Figure4Cell{}
 			row.Cells[level] = cell
-			c, err := CompileAt(p.Name, p.Src, level)
+			c, err := CompileAtOpts(p.Name, p.Src, level, CompileOpts{Pipeline: opts.Pipeline, Jobs: opts.Workers})
 			if err != nil {
 				cell.Err = err.Error()
 				continue
@@ -111,10 +150,53 @@ func Figure4(opts Figure4Options) ([]Figure4Row, *Figure4Summary, error) {
 			cell.Instrs = rep.Stats.Instrs
 			cell.TimedOut = rep.Stats.TimedOut
 			cell.Bugs = len(rep.Bugs)
+			if opts.Budget {
+				budgetCells(c.Mod, cell, rep.Stats.CoveredBlocks, opts)
+			}
 		}
 		rows = append(rows, row)
 	}
 	return rows, summarizeFigure4(rows, opts), nil
+}
+
+// budgetCells runs the per-strategy time-to-coverage study for one
+// (program, level) cell: each strategy explores under the same timeout
+// with CoverTarget set, so the columns compare how fast the orderings
+// reach coverage — the regime where search strategy actually matters
+// (exhaustive runs do identical work by the conformance theorem).
+func budgetCells(mod *ir.Module, cell *Figure4Cell, fullCoverage int, opts Figure4Options) {
+	target := opts.CoverTarget
+	if target <= 0 {
+		target = fullCoverage
+	}
+	strategies := opts.BudgetStrategies
+	if strategies == nil {
+		strategies = symex.Strategies()
+	}
+	cell.Budget = make(map[string]*Figure4Budget, len(strategies))
+	for _, strat := range strategies {
+		eng := symex.NewEngine(mod, symex.Options{
+			Timeout:     opts.Timeout,
+			Workers:     opts.Workers,
+			Strategy:    strat,
+			Seed:        opts.Seed,
+			CoverTarget: target,
+		})
+		buf := eng.SymbolicBuffer("input", opts.InputBytes, true)
+		length := eng.IntArg(ir.I32, uint64(opts.InputBytes))
+		rep, err := eng.Run("umain", []symex.SymVal{buf, length}, nil)
+		if err != nil {
+			continue
+		}
+		cell.Budget[strat.String()] = &Figure4Budget{
+			Target:   target,
+			Covered:  rep.Stats.CoveredBlocks,
+			States:   rep.Stats.StatesExplored,
+			Paths:    rep.Stats.TotalPaths(),
+			Elapsed:  rep.Stats.Elapsed,
+			TimedOut: rep.Stats.TimedOut || rep.Stats.CoveredBlocks < target,
+		}
+	}
 }
 
 func summarizeFigure4(rows []Figure4Row, opts Figure4Options) *Figure4Summary {
@@ -165,6 +247,7 @@ func summarizeFigure4(rows []Figure4Row, opts Figure4Options) *Figure4Summary {
 // the paper's Figure 4 (one bar per experiment), followed by the
 // summary lines the paper quotes.
 func RenderFigure4(rows []Figure4Row, s *Figure4Summary, opts Figure4Options) string {
+	opts = opts.normalized()
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "Figure 4: compile+verify time per program (%d symbolic bytes, timeout %s)\n\n",
 		opts.InputBytes, opts.Timeout)
@@ -210,6 +293,8 @@ func RenderFigure4(rows []Figure4Row, s *Figure4Summary, opts Figure4Options) st
 			row.Program, cellStr(o0), cellStr(o3), cellStr(ov), bar)
 	}
 
+	renderFigure4Budget(&sb, sorted, opts)
+
 	fmt.Fprintf(&sb, "\nSummary over %d programs:\n", s.Programs)
 	fmt.Fprintf(&sb, "  total time: -O0 %s, -O3 %s, -OSYMBEX %s\n",
 		s.TotalO0.Round(time.Millisecond), s.TotalO3.Round(time.Millisecond),
@@ -221,4 +306,98 @@ func RenderFigure4(rows []Figure4Row, s *Figure4Summary, opts Figure4Options) st
 		s.TimeoutsO0, s.TimeoutsO3, s.TimeoutsOVerify, s.RescuedFromO3)
 	fmt.Fprintf(&sb, "  programs where -O3 beat -OSYMBEX: %d\n", s.OVerifySlower)
 	return sb.String()
+}
+
+// renderFigure4Budget draws the per-strategy time-to-coverage columns
+// when the budget study ran: states explored (and wall time) until the
+// coverage target, ">" marking runs that hit the timeout first.
+func renderFigure4Budget(sb *strings.Builder, rows []Figure4Row, opts Figure4Options) {
+	strategies := opts.BudgetStrategies
+	if strategies == nil {
+		strategies = symex.Strategies()
+	}
+	any := false
+	for _, row := range rows {
+		for _, cell := range row.Cells {
+			if len(cell.Budget) > 0 {
+				any = true
+			}
+		}
+	}
+	if !any {
+		return
+	}
+	fmt.Fprintf(sb, "\nTime to coverage (states until target, wall ms; timeout %s):\n", opts.Timeout)
+	fmt.Fprintf(sb, "%-10s %-9s %7s", "program", "level", "target")
+	for _, strat := range strategies {
+		fmt.Fprintf(sb, " %16s", strat)
+	}
+	sb.WriteByte('\n')
+	for _, row := range rows {
+		for _, level := range Figure4Levels {
+			cell := row.Cells[level]
+			if cell == nil || len(cell.Budget) == 0 {
+				continue
+			}
+			target := 0
+			for _, b := range cell.Budget {
+				target = b.Target
+			}
+			fmt.Fprintf(sb, "%-10s %-9s %7d", row.Program, level, target)
+			for _, strat := range strategies {
+				b := cell.Budget[strat.String()]
+				if b == nil {
+					fmt.Fprintf(sb, " %16s", "err")
+					continue
+				}
+				mark := ""
+				if b.TimedOut {
+					mark = ">"
+				}
+				fmt.Fprintf(sb, " %16s", fmt.Sprintf("%s%d(%sms)", mark, b.States, fmtDur(b.Elapsed)))
+			}
+			sb.WriteByte('\n')
+		}
+	}
+}
+
+// Figure4JSON renders the study (rows, summary, options) as JSON — the
+// machine-readable record overify-bench -figure4 -json writes, with
+// the budget columns included when they ran.
+func Figure4JSON(rows []Figure4Row, s *Figure4Summary, opts Figure4Options) ([]byte, error) {
+	opts = opts.normalized()
+	type cellJSON struct {
+		Level string
+		*Figure4Cell
+	}
+	type rowJSON struct {
+		Program string
+		Cells   []cellJSON
+	}
+	out := struct {
+		InputBytes  int
+		TimeoutMs   float64
+		Workers     int
+		Budget      bool
+		CoverTarget int
+		Rows        []rowJSON
+		Summary     *Figure4Summary
+	}{
+		InputBytes:  opts.InputBytes,
+		TimeoutMs:   float64(opts.Timeout.Microseconds()) / 1000,
+		Workers:     opts.Workers,
+		Budget:      opts.Budget,
+		CoverTarget: opts.CoverTarget,
+		Summary:     s,
+	}
+	for _, row := range rows {
+		rj := rowJSON{Program: row.Program}
+		for _, level := range Figure4Levels {
+			if cell := row.Cells[level]; cell != nil {
+				rj.Cells = append(rj.Cells, cellJSON{Level: level.String(), Figure4Cell: cell})
+			}
+		}
+		out.Rows = append(out.Rows, rj)
+	}
+	return json.MarshalIndent(out, "", "  ")
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"overify/internal/pipeline"
+	"overify/internal/symex"
 )
 
 // TestStrategyCompareConformance: the bench harness must surface the
@@ -26,9 +27,10 @@ func TestStrategyCompareConformance(t *testing.T) {
 	if len(rows) != 2 {
 		t.Fatalf("got %d rows, want 2", len(rows))
 	}
+	nStrats := len(symex.Strategies())
 	for _, row := range rows {
-		if len(row.Cells) != 4 {
-			t.Fatalf("%s: got %d cells, want 4 strategies", row.Program, len(row.Cells))
+		if len(row.Cells) != nStrats {
+			t.Fatalf("%s: got %d cells, want %d strategies", row.Program, len(row.Cells), nStrats)
 		}
 		base := row.Cells[0]
 		for _, cell := range row.Cells {
@@ -47,7 +49,7 @@ func TestStrategyCompareConformance(t *testing.T) {
 	}
 
 	text := RenderStrategyCompare(rows, opts)
-	for _, name := range []string{"dfs", "bfs", "covnew", "rand", "fastest"} {
+	for _, name := range []string{"dfs", "bfs", "covnew", "rand", "interleave", "fastest"} {
 		if !strings.Contains(text, name) {
 			t.Errorf("rendering lacks %q:\n%s", name, text)
 		}
@@ -63,7 +65,7 @@ func TestStrategyCompareConformance(t *testing.T) {
 	if err := json.Unmarshal(data, &doc); err != nil {
 		t.Fatalf("JSON round trip: %v", err)
 	}
-	if len(doc.Rows) != 2 || len(doc.Rows[0].Cells) != 4 {
+	if len(doc.Rows) != 2 || len(doc.Rows[0].Cells) != nStrats {
 		t.Errorf("JSON lost rows: %d rows", len(doc.Rows))
 	}
 }

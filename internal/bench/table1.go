@@ -29,6 +29,8 @@ type Table1Options struct {
 	// Levels to measure (default: O0, O2, O3, OVerify — the paper's
 	// columns).
 	Levels []pipeline.Level
+	// Pipeline overrides every level's pass sequence (-passes=).
+	Pipeline *pipeline.PipelineSpec
 }
 
 // Table1Row is one column of the paper's Table 1 (transposed: one row
@@ -65,7 +67,7 @@ func Table1(opts Table1Options) ([]Table1Row, error) {
 
 	var rows []Table1Row
 	for _, level := range opts.Levels {
-		c, err := CompileAt("wc", WcSource, level)
+		c, err := CompileAtOpts("wc", WcSource, level, CompileOpts{Pipeline: opts.Pipeline, Jobs: opts.Workers})
 		if err != nil {
 			return nil, fmt.Errorf("table1 %s: %w", level, err)
 		}

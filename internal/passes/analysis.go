@@ -1,0 +1,175 @@
+package passes
+
+import "overify/internal/ir"
+
+// AnalysisSet is a bitset of the per-function analyses the pass manager
+// caches. A pass declares what it keeps valid via Pass.Preserves; the
+// manager invalidates only what a changed pass clobbers, so a chain of
+// analysis-preserving passes (mem2reg, simplify, cse, dce's
+// instruction-only path, checks, annotate) shares one dominator tree
+// and one loop forest instead of recomputing them per pass — the
+// t_compile term of the paper's end-to-end verification budget.
+type AnalysisSet uint32
+
+// The cached analyses.
+const (
+	// AnalysisDom is the dominator tree (ir.ComputeDom).
+	AnalysisDom AnalysisSet = 1 << iota
+	// AnalysisLoops is the natural-loop forest (ir.FindLoops). Loops
+	// are derived from the dominator tree, so invalidating AnalysisDom
+	// always invalidates AnalysisLoops too.
+	AnalysisLoops
+)
+
+// Convenience sets for Preserves declarations.
+const (
+	NoAnalyses  AnalysisSet = 0
+	AllAnalyses             = AnalysisDom | AnalysisLoops
+)
+
+// Has reports whether every analysis in q is in s.
+func (s AnalysisSet) Has(q AnalysisSet) bool { return s&q == q }
+
+// AnalysisStats counts analysis-cache effectiveness across a pipeline
+// run; pipeline.Result surfaces it next to the per-pass timings.
+type AnalysisStats struct {
+	DomHits      int64 // Dom() served from cache
+	DomComputes  int64 // Dom() recomputed (cache miss or caching off)
+	LoopHits     int64
+	LoopComputes int64
+}
+
+// Add accumulates o into s.
+func (s *AnalysisStats) Add(o AnalysisStats) {
+	s.DomHits += o.DomHits
+	s.DomComputes += o.DomComputes
+	s.LoopHits += o.LoopHits
+	s.LoopComputes += o.LoopComputes
+}
+
+// HitRate is the fraction of Dom/Loops requests served from cache.
+func (s AnalysisStats) HitRate() float64 {
+	total := s.DomHits + s.DomComputes + s.LoopHits + s.LoopComputes
+	if total == 0 {
+		return 0
+	}
+	return float64(s.DomHits+s.LoopHits) / float64(total)
+}
+
+// analysisEntry caches one function's analyses. Entries are touched
+// only by the goroutine currently running passes on that function (the
+// manager never schedules one function on two workers), so no locking
+// is needed; the per-entry counters are merged after the run.
+type analysisEntry struct {
+	dom   *ir.DomTree
+	loops []*ir.Loop
+	stats AnalysisStats
+}
+
+// Dom returns f's dominator tree, from cache when this Context caches
+// analyses (pipeline runs do; a bare &Context{} recomputes fresh every
+// call, which is also the stance of the cached-vs-fresh equivalence
+// test's baseline).
+func (cx *Context) Dom(f *ir.Function) *ir.DomTree {
+	e := cx.entry(f)
+	if e == nil {
+		return ir.ComputeDom(f)
+	}
+	if e.dom == nil {
+		e.dom = ir.ComputeDom(f)
+		e.stats.DomComputes++
+	} else {
+		e.stats.DomHits++
+	}
+	return e.dom
+}
+
+// Loops returns f's natural loops, cached like Dom.
+func (cx *Context) Loops(f *ir.Function) []*ir.Loop {
+	e := cx.entry(f)
+	if e == nil {
+		return ir.FindLoops(f, cx.Dom(f))
+	}
+	if e.loops == nil {
+		e.loops = ir.FindLoops(f, cx.Dom(f))
+		e.stats.LoopComputes++
+	} else {
+		e.stats.LoopHits++
+	}
+	return e.loops
+}
+
+// Invalidate drops f's cached analyses except those in preserved.
+// Passes call this at the precise points where they mutate the CFG
+// (jump threading an edge, peeling a loop, creating a preheader,
+// removing an unreachable block); the manager additionally calls it
+// with the pass's static Preserves set after every changed run.
+// Invalidating the dominator tree always drops the loop forest too,
+// since loops are derived from it.
+func (cx *Context) Invalidate(f *ir.Function, preserved AnalysisSet) {
+	e := cx.entry(f)
+	if e == nil {
+		return
+	}
+	if preserved&AnalysisDom == 0 {
+		e.dom = nil
+		e.loops = nil
+		return
+	}
+	if preserved&AnalysisLoops == 0 {
+		e.loops = nil
+	}
+}
+
+// EnableAnalysisCache turns on per-function analysis caching for this
+// context. pipeline.Optimize enables it unless the configuration asks
+// for the fresh-analysis baseline.
+func (cx *Context) EnableAnalysisCache() {
+	if cx.analyses == nil {
+		cx.analyses = make(map[*ir.Function]*analysisEntry)
+	}
+}
+
+// AnalysisCached reports whether this context caches analyses.
+func (cx *Context) AnalysisCached() bool { return cx.analyses != nil }
+
+// AnalysisStats sums the cache counters over every function seen.
+func (cx *Context) AnalysisStats() AnalysisStats {
+	var total AnalysisStats
+	for _, e := range cx.analyses {
+		total.Add(e.stats)
+	}
+	return total
+}
+
+// prime pre-creates cache entries for every defined function so the
+// parallel manager never writes the entry map from two goroutines (the
+// per-entry fields are only touched by the function's current owner).
+func (cx *Context) prime(m *ir.Module) {
+	if cx.analyses == nil {
+		return
+	}
+	for _, f := range m.Funcs {
+		if f.IsDeclaration() {
+			continue
+		}
+		if cx.analyses[f] == nil {
+			cx.analyses[f] = &analysisEntry{}
+		}
+	}
+}
+
+// entry returns f's cache slot, or nil when caching is off. The lazy
+// insert only happens on serial paths (tests building a bare Context
+// then enabling the cache); the manager primes all entries up front.
+func (cx *Context) entry(f *ir.Function) *analysisEntry {
+	if cx.analyses == nil {
+		return nil
+	}
+	e := cx.analyses[f]
+	if e == nil {
+		e = &analysisEntry{}
+		cx.analyses[f] = e
+	}
+	return e
+}

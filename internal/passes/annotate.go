@@ -8,8 +8,9 @@ import "overify/internal/ir"
 // argues it should be preserved for verification tools, which is exactly
 // what the symbolic executor does with it: a branch whose condition's
 // range excludes a value needs no solver query.
+// Annotation attaches metadata only: the CFG analyses survive.
 func Annotate() Pass {
-	return funcPass{name: "annotate", run: annotateFunc}
+	return funcPass{name: "annotate", preserves: AllAnalyses, run: annotateFunc}
 }
 
 const maxU64 = ^uint64(0)

@@ -13,8 +13,10 @@ import (
 // makes verification *simpler*: every class of illegal behavior becomes
 // the single property "the program does not crash", which a symbolic
 // executor checks natively at each Check instruction.
+// Checks are straight-line instruction insertions: the CFG analyses
+// survive.
 func InsertChecks() Pass {
-	return funcPass{name: "checks", run: insertChecksFunc}
+	return funcPass{name: "checks", preserves: AllAnalyses, run: insertChecksFunc}
 }
 
 func insertChecksFunc(f *ir.Function, cx *Context) bool {

@@ -12,13 +12,14 @@ import (
 // they are interpreted again and they enlarge the constraint terms sent
 // to the solver, so deduplication helps verification even more than it
 // helps a CPU (paper Table 2, "arithmetic simplifications").
+// CSE only deletes pure instructions; the CFG analyses survive.
 func CSE() Pass {
-	return funcPass{name: "cse", run: cseFunc}
+	return funcPass{name: "cse", preserves: AllAnalyses, run: cseFunc}
 }
 
 func cseFunc(f *ir.Function, cx *Context) bool {
 	defer dumpOnPanic("cse", f)
-	dt := ir.ComputeDom(f)
+	dt := cx.Dom(f)
 	children := dt.Children()
 	changed := false
 

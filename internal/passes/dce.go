@@ -5,8 +5,12 @@ import "overify/internal/ir"
 // DCE removes instructions whose results are never used and blocks that
 // can never execute. Fewer instructions mean less work per path for a
 // symbolic executor, and -O0 output is full of dead loads.
+//
+// The steady-state work is instruction-only, which preserves the CFG
+// analyses; the one CFG mutation (dropping unreachable blocks) is rare
+// after the first cleanup and invalidates precisely when it fires.
 func DCE() Pass {
-	return funcPass{name: "dce", run: dceFunc}
+	return funcPass{name: "dce", preserves: AllAnalyses, run: dceFunc}
 }
 
 func dceFunc(f *ir.Function, cx *Context) bool {
@@ -14,6 +18,7 @@ func dceFunc(f *ir.Function, cx *Context) bool {
 	changed := false
 	if n := ir.RemoveUnreachable(f); n > 0 {
 		cx.Stats.DeadBlocks += n
+		cx.Invalidate(f, NoAnalyses)
 		changed = true
 	}
 	// Iterate: removing one dead instruction can make its operands dead.

@@ -19,8 +19,9 @@ import "overify/internal/ir"
 //	          symmetrically F jumps to T).
 //
 // Phi nodes in the join block become selects on c.
+// Converting a branch removes blocks and edges: preserves nothing.
 func IfConvert() Pass {
-	return funcPass{name: "ifconvert", run: ifConvertFunc}
+	return funcPass{name: "ifconvert", preserves: NoAnalyses, run: ifConvertFunc}
 }
 
 func ifConvertFunc(f *ir.Function, cx *Context) bool {

@@ -14,6 +14,11 @@ type inlinePass struct{}
 
 func (inlinePass) Name() string { return "inline" }
 
+// Inlining splices blocks into the caller: preserves nothing. It is
+// the one module pass (it reads callee bodies while rewriting the
+// caller), so the manager runs it serially.
+func (inlinePass) Preserves() AnalysisSet { return NoAnalyses }
+
 func (inlinePass) Run(m *ir.Module, cx *Context) bool {
 	changed := false
 	rounds := cx.Cost.InlineRounds
@@ -27,6 +32,7 @@ func (inlinePass) Run(m *ir.Module, cx *Context) bool {
 				continue
 			}
 			if inlineIntoFunc(f, cx) {
+				cx.Invalidate(f, NoAnalyses)
 				any = true
 			}
 		}

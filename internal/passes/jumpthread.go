@@ -15,8 +15,12 @@ import "overify/internal/ir"
 //  2. A condbr on a condition v in a block dominated by an edge that
 //     already decided v (the predecessor branched on v too): the
 //     predecessor's edge is redirected past the re-test.
+//
+// Threading redirects edges: preserves nothing. Each successful
+// thread invalidates before returning so the next round's dominance
+// query (through the Context cache) is fresh.
 func JumpThread() Pass {
-	return funcPass{name: "jumpthread", run: jumpThreadFunc}
+	return funcPass{name: "jumpthread", preserves: NoAnalyses, run: jumpThreadFunc}
 }
 
 func jumpThreadFunc(f *ir.Function, cx *Context) bool {
@@ -33,6 +37,7 @@ func jumpThreadFunc(f *ir.Function, cx *Context) bool {
 	if changed {
 		if r := ir.RemoveUnreachable(f); r > 0 {
 			cx.Stats.DeadBlocks += r
+			cx.Invalidate(f, NoAnalyses)
 		}
 	}
 	return changed
@@ -80,7 +85,7 @@ func branchDecider(f *ir.Function, b *ir.Block, t *ir.Instr) (*ir.Instr, *ir.Ins
 
 func threadPhiConstants(f *ir.Function, cx *Context) int {
 	n := 0
-	dt := ir.ComputeDom(f)
+	dt := cx.Dom(f)
 	// domOK reports whether value v is available at the end of block p.
 	domOK := func(v ir.Value, p *ir.Block) bool {
 		in, ok := v.(*ir.Instr)
@@ -168,8 +173,9 @@ func threadPhiConstants(f *ir.Function, cx *Context) int {
 				bphi.RemovePhiIncoming(pred)
 			}
 			cx.Stats.JumpsThreaded++
-			// The CFG changed: return so the caller recomputes dominance
-			// before the next transformation.
+			// The CFG changed: invalidate and return so the caller's next
+			// dominance query recomputes before the next transformation.
+			cx.Invalidate(f, NoAnalyses)
 			return n + 1
 		}
 	}
@@ -210,7 +216,7 @@ func bDefsEscape(f *ir.Function, b, dest *ir.Block) bool {
 
 func threadSameCondition(f *ir.Function, cx *Context) int {
 	preds := f.Preds()
-	dt := ir.ComputeDom(f)
+	dt := cx.Dom(f)
 	domOK := func(v ir.Value, p *ir.Block) bool {
 		in, ok := v.(*ir.Instr)
 		if !ok {
@@ -277,6 +283,7 @@ func threadSameCondition(f *ir.Function, cx *Context) int {
 					}
 				}
 				cx.Stats.JumpsThreaded++
+				cx.Invalidate(f, NoAnalyses)
 				return n + 1
 			}
 		}

@@ -6,22 +6,25 @@ import "overify/internal/ir"
 // symbolic executor this removes work from *every explored iteration of
 // every path*, a multiplicative saving the paper attributes to standard
 // simplifications (§3, Table 2 row 1).
+// Hoisting moves instructions between existing blocks, which the CFG
+// analyses survive; the one CFG edit — ensurePreheader creating a
+// block — invalidates through the Context at the point it happens.
 func LICM() Pass {
-	return funcPass{name: "licm", run: licmFunc}
+	return funcPass{name: "licm", preserves: AllAnalyses, run: licmFunc}
 }
 
 func licmFunc(f *ir.Function, cx *Context) bool {
 	defer dumpOnPanic("licm", f)
 	changed := false
-	// Recompute loops after each change: hoisting can change block
-	// contents but not the CFG, so one discovery pass suffices.
-	dt := ir.ComputeDom(f)
-	loops := ir.FindLoops(f, dt)
+	// Hoisting changes block contents but not the loop structure, so
+	// one discovery pass suffices.
+	dt := cx.Dom(f)
+	loops := cx.Loops(f)
 	// Innermost-first (deepest first) so inner-loop invariants can then
 	// be hoisted further out by the enclosing loop's turn.
 	for i := len(loops) - 1; i >= 0; i-- {
 		l := loops[i]
-		ph := ensurePreheader(f, l)
+		ph := ensurePreheader(cx, f, l)
 		if ph == nil {
 			continue
 		}

@@ -5,8 +5,11 @@ import "overify/internal/ir"
 // ensurePreheader returns the loop's preheader, creating one if the
 // header has multiple outside predecessors or a conditional entry edge.
 // Returns nil when the header is the function entry (such loops are left
-// alone).
-func ensurePreheader(f *ir.Function, l *ir.Loop) *ir.Block {
+// alone). Creating a preheader is a CFG edit, so it invalidates the
+// function's cached analyses even when the calling pass otherwise
+// preserves them (the callers keep using their already-computed — and
+// still structurally valid — trees for the rest of their run).
+func ensurePreheader(cx *Context, f *ir.Function, l *ir.Loop) *ir.Block {
 	if l.Header == f.Entry() {
 		return nil
 	}
@@ -23,6 +26,7 @@ func ensurePreheader(f *ir.Function, l *ir.Loop) *ir.Block {
 	if len(outside) == 0 {
 		return nil
 	}
+	cx.Invalidate(f, NoAnalyses)
 	ph := f.NewBlock(l.Header.Name + ".ph")
 
 	// Header phis: fold the outside incoming edges into the preheader.

@@ -10,8 +10,10 @@ import (
 // else: the clang-style -O0 output keeps every variable in memory, which
 // hides all structure from the other passes (and from verification
 // tools, as the paper's "Instruction simplification" section notes).
+// Promotion adds phis and deletes loads/stores/allocas but never
+// touches an edge, so the CFG analyses survive.
 func Mem2Reg() Pass {
-	return funcPass{name: "mem2reg", run: mem2regFunc}
+	return funcPass{name: "mem2reg", preserves: AllAnalyses, run: mem2regFunc}
 }
 
 func mem2regFunc(f *ir.Function, cx *Context) bool {
@@ -20,7 +22,7 @@ func mem2regFunc(f *ir.Function, cx *Context) bool {
 	if len(allocas) == 0 {
 		return false
 	}
-	dt := ir.ComputeDom(f)
+	dt := cx.Dom(f)
 	df := dt.DominanceFrontiers()
 
 	// Phi placement at iterated dominance frontiers of the defs.
@@ -38,9 +40,14 @@ func mem2regFunc(f *ir.Function, cx *Context) bool {
 				}
 			}
 		}
+		// Seed the worklist in block order, not map order: phi IDs are
+		// claimed in pop order, and the module text must be identical
+		// across runs (and across manager schedules).
 		work := make([]*ir.Block, 0, len(defBlocks))
-		for b := range defBlocks {
-			work = append(work, b)
+		for _, b := range f.Blocks {
+			if defBlocks[b] {
+				work = append(work, b)
+			}
 		}
 		placed := make(map[*ir.Block]bool)
 		for len(work) > 0 {

@@ -104,25 +104,68 @@ func (s *Stats) Add(other Stats) {
 	s.RangesAttached += other.RangesAttached
 }
 
-// Context carries the cost model and statistics through a pipeline run.
+// Context carries the cost model, statistics and the per-function
+// analysis cache through a pipeline run. The zero value (plus a cost
+// model) is a valid uncached context: Dom/Loops recompute on every
+// call, which is what the fresh-analysis baseline and the pass unit
+// tests use.
 type Context struct {
 	Cost  CostModel
 	Stats Stats
+
+	// analyses caches Dom/Loops per function; nil disables caching.
+	// See analysis.go.
+	analyses map[*ir.Function]*analysisEntry
 }
 
-// Pass transforms a module in place, returning whether anything changed.
+// NewContext returns a context with analysis caching enabled.
+func NewContext(cost CostModel) *Context {
+	cx := &Context{Cost: cost}
+	cx.EnableAnalysisCache()
+	return cx
+}
+
+// child derives a per-function context sharing the parent's cost model
+// and analysis cache but accumulating its own Stats, so the parallel
+// manager can merge function results in deterministic module order.
+func (cx *Context) child() *Context {
+	return &Context{Cost: cx.Cost, analyses: cx.analyses}
+}
+
+// Pass transforms a module in place, returning whether anything
+// changed, and declares which cached analyses survive a changed run
+// (LLVM-NewPM-style PreservedAnalyses, reduced to the two analyses
+// this compiler has). A pass whose mutations are instruction-only may
+// declare AllAnalyses and call Context.Invalidate itself at the rare
+// points where it does touch the CFG (DCE and LICM do exactly that).
 type Pass interface {
 	Name() string
 	Run(m *ir.Module, cx *Context) bool
+	Preserves() AnalysisSet
+}
+
+// FunctionPass is a Pass that works one function at a time with no
+// cross-function effects. The manager runs FunctionPasses across
+// functions in a bounded worker pool and drives fixpoints over them as
+// a per-function worklist.
+type FunctionPass interface {
+	Pass
+	RunOnFunc(f *ir.Function, cx *Context) bool
 }
 
 // funcPass adapts a per-function transform into a Pass.
 type funcPass struct {
-	name string
-	run  func(f *ir.Function, cx *Context) bool
+	name      string
+	preserves AnalysisSet
+	run       func(f *ir.Function, cx *Context) bool
 }
 
-func (p funcPass) Name() string { return p.name }
+func (p funcPass) Name() string           { return p.name }
+func (p funcPass) Preserves() AnalysisSet { return p.preserves }
+
+func (p funcPass) RunOnFunc(f *ir.Function, cx *Context) bool {
+	return p.run(f, cx)
+}
 
 func (p funcPass) Run(m *ir.Module, cx *Context) bool {
 	changed := false
@@ -132,6 +175,7 @@ func (p funcPass) Run(m *ir.Module, cx *Context) bool {
 		}
 		if p.run(f, cx) {
 			changed = true
+			cx.Invalidate(f, p.preserves)
 		}
 	}
 	return changed
@@ -141,6 +185,10 @@ func (p funcPass) Run(m *ir.Module, cx *Context) bool {
 // reports no change (or maxRounds is hit). Cleanup passes expose new
 // opportunities for structural passes and vice versa, so pipelines
 // compose them with this combinator instead of guessing a fixed length.
+// Under the Manager, a fixpoint over FunctionPasses becomes a
+// per-function worklist: each function iterates until *it* stops
+// changing and is then skipped, instead of riding along for every
+// other function's remaining rounds.
 func Fixpoint(maxRounds int, ps ...Pass) Pass {
 	return fixpointPass{max: maxRounds, seq: ps}
 }
@@ -151,6 +199,22 @@ type fixpointPass struct {
 }
 
 func (p fixpointPass) Name() string { return "fixpoint" }
+
+// Rounds is the round cap; the Manager reads it to drive the worklist.
+func (p fixpointPass) Rounds() int { return p.max }
+
+// Body is the pass sequence iterated each round.
+func (p fixpointPass) Body() []Pass { return p.seq }
+
+// Preserves is the intersection of the body's declarations: what every
+// inner pass keeps valid, the whole fixpoint keeps valid.
+func (p fixpointPass) Preserves() AnalysisSet {
+	set := AllAnalyses
+	for _, inner := range p.seq {
+		set &= inner.Preserves()
+	}
+	return set
+}
 
 func (p fixpointPass) Run(m *ir.Module, cx *Context) bool {
 	changed := false

@@ -1,0 +1,44 @@
+package passes
+
+import (
+	"fmt"
+	"sort"
+)
+
+// registry maps the textual pass names of -passes= pipelines (and of
+// pipeline.PipelineSpec stages) onto their constructors. The names are
+// the same spellings Pass.Name reports.
+var registry = map[string]func() Pass{
+	"mem2reg":     Mem2Reg,
+	"simplify":    Simplify,
+	"cse":         CSE,
+	"simplifycfg": SimplifyCFG,
+	"dce":         DCE,
+	"jumpthread":  JumpThread,
+	"licm":        LICM,
+	"unswitch":    Unswitch,
+	"unroll":      Unroll,
+	"ifconvert":   IfConvert,
+	"inline":      Inline,
+	"checks":      InsertChecks,
+	"annotate":    Annotate,
+}
+
+// ByName constructs the named pass, or errors with the known names.
+func ByName(name string) (Pass, error) {
+	ctor, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("passes: unknown pass %q (known: %v)", name, Names())
+	}
+	return ctor(), nil
+}
+
+// Names lists every registered pass name, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -10,8 +10,11 @@ import (
 // for execution speed, but can be even better for verification": every
 // folded instruction is one the symbolic executor never interprets and
 // one fewer term in its path constraints.
+// Folding replaces and deletes instructions but never rewrites a
+// terminator's successors (simplifycfg does that), so the CFG analyses
+// survive.
 func Simplify() Pass {
-	return funcPass{name: "simplify", run: simplifyFunc}
+	return funcPass{name: "simplify", preserves: AllAnalyses, run: simplifyFunc}
 }
 
 func simplifyFunc(f *ir.Function, cx *Context) bool {

@@ -7,8 +7,9 @@ import "overify/internal/ir"
 // flow shape is the dominant verification cost (paper §2.1), so every
 // removed edge pays off twice: fewer blocks to interpret and fewer
 // places where path merging loses precision.
+// Every change this pass makes is a CFG change; it preserves nothing.
 func SimplifyCFG() Pass {
-	return funcPass{name: "simplifycfg", run: simplifyCFGFunc}
+	return funcPass{name: "simplifycfg", preserves: NoAnalyses, run: simplifyCFGFunc}
 }
 
 func simplifyCFGFunc(f *ir.Function, cx *Context) bool {

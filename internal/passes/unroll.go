@@ -8,8 +8,10 @@ import "overify/internal/ir"
 // a symbolic executor that converts "fork at the header every iteration"
 // into straight-line code (paper §4: -OSYMBEX "removes loops from the
 // program whenever possible, even if this increases the program size").
+// Peeling clones blocks and rewires edges: preserves nothing. Each
+// peel round invalidates so the next round's discovery is fresh.
 func Unroll() Pass {
-	return funcPass{name: "unroll", run: unrollFunc}
+	return funcPass{name: "unroll", preserves: NoAnalyses, run: unrollFunc}
 }
 
 func unrollFunc(f *ir.Function, cx *Context) bool {
@@ -17,8 +19,8 @@ func unrollFunc(f *ir.Function, cx *Context) bool {
 	changed := false
 	budget := cx.Cost.UnrollGrowthCap
 	for rounds := 0; rounds < 4*cx.Cost.UnrollMaxTrip+16; rounds++ {
-		dt := ir.ComputeDom(f)
-		loops := ir.FindLoops(f, dt)
+		dt := cx.Dom(f)
+		loops := cx.Loops(f)
 		peeled := false
 		// Innermost first.
 		for i := len(loops) - 1; i >= 0; i-- {
@@ -34,7 +36,7 @@ func unrollFunc(f *ir.Function, cx *Context) bool {
 			if growth > budget {
 				continue
 			}
-			if !peelOnce(f, l, dt) {
+			if !peelOnce(cx, f, l, dt) {
 				continue
 			}
 			budget -= l.NumInstrs()
@@ -51,6 +53,9 @@ func unrollFunc(f *ir.Function, cx *Context) bool {
 		if !peeled {
 			break
 		}
+		// The peel cloned blocks and the cleanup below rewrites the CFG:
+		// the next round must rediscover dominance and loops.
+		cx.Invalidate(f, NoAnalyses)
 		// Fold the peeled iteration so the next trip count is visible.
 		cxLocal := &Context{Cost: cx.Cost}
 		simplifyFunc(f, cxLocal)
@@ -190,11 +195,11 @@ func swapCmp(op ir.Op) ir.Op {
 // peelOnce executes one loop iteration before the loop: the body is
 // cloned, the preheader enters the clone, and the clone's back edges
 // land on the original header.
-func peelOnce(f *ir.Function, l *ir.Loop, dt *ir.DomTree) bool {
+func peelOnce(cx *Context, f *ir.Function, l *ir.Loop, dt *ir.DomTree) bool {
 	if !lcssa(f, l, dt) {
 		return false
 	}
-	ph := ensurePreheader(f, l)
+	ph := ensurePreheader(cx, f, l)
 	if ph == nil {
 		return false
 	}

@@ -11,8 +11,10 @@ import "overify/internal/ir"
 //
 // The price is code growth, which a CPU-oriented pipeline strictly
 // limits (UnswitchMaxSize/UnswitchMaxClones); -OVERIFY pays it gladly.
+// Unswitching clones the loop: preserves nothing. Each successful
+// round invalidates so the next round's discovery is fresh.
 func Unswitch() Pass {
-	return funcPass{name: "unswitch", run: unswitchFunc}
+	return funcPass{name: "unswitch", preserves: NoAnalyses, run: unswitchFunc}
 }
 
 func unswitchFunc(f *ir.Function, cx *Context) bool {
@@ -23,6 +25,9 @@ func unswitchFunc(f *ir.Function, cx *Context) bool {
 			break
 		}
 		changed = true
+		// The clone and the cleanup below rewrite the CFG: rediscover
+		// before the next round.
+		cx.Invalidate(f, NoAnalyses)
 		// Clean up the specialized copies before looking again, so the
 		// size estimate for the next round sees the folded loops.
 		cxLocal := &Context{Cost: cx.Cost}
@@ -38,8 +43,8 @@ func unswitchFunc(f *ir.Function, cx *Context) bool {
 }
 
 func unswitchOne(f *ir.Function, cx *Context) bool {
-	dt := ir.ComputeDom(f)
-	loops := ir.FindLoops(f, dt)
+	dt := cx.Dom(f)
+	loops := cx.Loops(f)
 	// Innermost loops first: their bodies are smallest, and unswitching
 	// an inner loop often unlocks the outer one.
 	for i := len(loops) - 1; i >= 0; i-- {
@@ -54,7 +59,7 @@ func unswitchOne(f *ir.Function, cx *Context) bool {
 		if br == nil {
 			continue
 		}
-		if doUnswitch(f, l, dt, br) {
+		if doUnswitch(cx, f, l, dt, br) {
 			cx.Stats.LoopsUnswitched++
 			return true
 		}
@@ -125,13 +130,13 @@ func hoistInvariantChain(l *ir.Loop, ph *ir.Block, v ir.Value) {
 	ph.InsertBefore(in, ph.Term())
 }
 
-func doUnswitch(f *ir.Function, l *ir.Loop, dt *ir.DomTree, br *ir.Instr) bool {
+func doUnswitch(cx *Context, f *ir.Function, l *ir.Loop, dt *ir.DomTree, br *ir.Instr) bool {
 	// Loop-closed SSA first: cloning adds exit edges, which is only safe
 	// when outside uses go through exit phis.
 	if !lcssa(f, l, dt) {
 		return false
 	}
-	ph := ensurePreheader(f, l)
+	ph := ensurePreheader(cx, f, l)
 	if ph == nil {
 		return false
 	}

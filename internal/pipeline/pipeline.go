@@ -108,6 +108,26 @@ type Config struct {
 	// VerifyEachPass re-runs the IR verifier after every pass; used in
 	// tests to localize pass bugs.
 	VerifyEachPass bool
+
+	// Pipeline overrides the level's canonical pass sequence (the
+	// -passes= flag parses into this). nil uses Passes(cfg).
+	Pipeline *PipelineSpec
+
+	// Jobs bounds concurrent per-function pass executions inside the
+	// pass manager; 0 or 1 compiles serially, negative uses one job
+	// per CPU. Threaded from the same -j the symbolic-execution engine
+	// uses.
+	Jobs int
+
+	// NoAnalysisCache disables the per-function Dom/Loops cache —
+	// every pass recomputes fresh, the pre-manager behavior. The
+	// equivalence suite uses this as its baseline.
+	NoAnalysisCache bool
+
+	// NoFuncSkip disables function-level change tracking in fixpoints,
+	// reproducing the pre-manager global-round schedule (and its
+	// invocation count).
+	NoFuncSkip bool
 }
 
 // LevelConfig returns the canonical configuration for a level.
@@ -124,76 +144,73 @@ func LevelConfig(level Level) Config {
 	return cfg
 }
 
-// Passes returns the pass sequence for the configuration.
-func Passes(cfg Config) []passes.Pass {
-	cleanup := func() []passes.Pass {
-		return []passes.Pass{
-			passes.Simplify(),
-			passes.CSE(),
-			passes.SimplifyCFG(),
-			passes.DCE(),
-		}
+// Passes returns the pass pipeline for the configuration as data: the
+// same spec the -passes= flag parses, prints and Build()s. The paper's
+// point survives the representation change — every level is the same
+// stage structure with different cost constants — and becomes visible:
+// the -O3 and -OVERIFY specs differ only in fixpoint composition.
+func Passes(cfg Config) PipelineSpec {
+	cleanup := []Stage{
+		{Pass: "simplify"}, {Pass: "cse"}, {Pass: "simplifycfg"}, {Pass: "dce"},
 	}
-	var seq []passes.Pass
-	add := func(ps ...passes.Pass) { seq = append(seq, ps...) }
+	var spec PipelineSpec
+	add := func(sts ...Stage) { spec.Stages = append(spec.Stages, sts...) }
 
 	switch cfg.Level {
 	case O0:
 		// Nothing: the clang-style -O0 lowering is the program.
 	case O1:
-		add(passes.Mem2Reg())
-		add(cleanup()...)
+		add(Stage{Pass: "mem2reg"})
+		add(cleanup...)
 	case O2:
-		add(passes.Mem2Reg())
-		add(cleanup()...)
-		add(passes.Inline(), passes.Mem2Reg())
-		add(cleanup()...)
-		add(passes.JumpThread(), passes.LICM())
-		add(cleanup()...)
+		add(Stage{Pass: "mem2reg"})
+		add(cleanup...)
+		add(Stage{Pass: "inline"}, Stage{Pass: "mem2reg"})
+		add(cleanup...)
+		add(Stage{Pass: "jumpthread"}, Stage{Pass: "licm"})
+		add(cleanup...)
 	case O3:
-		add(passes.Mem2Reg())
-		add(cleanup()...)
-		add(passes.Inline(), passes.Mem2Reg())
-		add(cleanup()...)
+		add(Stage{Pass: "mem2reg"})
+		add(cleanup...)
+		add(Stage{Pass: "inline"}, Stage{Pass: "mem2reg"})
+		add(cleanup...)
 		// CPU-oriented loop work: unswitch (bounded), unroll (bounded),
 		// and if-convert only tiny diamonds (SpeculationBudget ~2).
-		add(passes.Fixpoint(6,
-			passes.JumpThread(), passes.LICM(),
-			passes.Unswitch(), passes.Unroll(), passes.IfConvert(),
-			passes.Simplify(), passes.CSE(), passes.SimplifyCFG(), passes.DCE(),
-		))
+		add(Stage{MaxRounds: 6, Fixpoint: []string{
+			"jumpthread", "licm", "unswitch", "unroll", "ifconvert",
+			"simplify", "cse", "simplifycfg", "dce",
+		}})
 	case OVerify:
-		add(passes.Mem2Reg())
-		add(cleanup()...)
+		add(Stage{Pass: "mem2reg"})
+		add(cleanup...)
 		// Aggressive inlining first: function specialization exposes the
 		// constants and loads that the later passes need (§4).
-		add(passes.Inline(), passes.Mem2Reg())
-		add(cleanup()...)
+		add(Stage{Pass: "inline"}, Stage{Pass: "mem2reg"})
+		add(cleanup...)
 		// Branch removal before loop restructuring: a branch folded into
 		// a select (Listing 2) costs the verifier nothing per iteration,
 		// whereas unswitching doubles the loop. Iterate to fixpoint —
 		// each cleanup (load-CSE in particular) exposes new convertible
 		// diamonds.
-		add(passes.Fixpoint(12,
-			passes.JumpThread(), passes.LICM(), passes.IfConvert(),
-			passes.Simplify(), passes.CSE(), passes.SimplifyCFG(), passes.DCE(),
-		))
+		add(Stage{MaxRounds: 12, Fixpoint: []string{
+			"jumpthread", "licm", "ifconvert",
+			"simplify", "cse", "simplifycfg", "dce",
+		}})
 		// Loop restructuring with verification-oriented budgets; unswitch
 		// handles only the branches if-conversion could not remove
 		// (side-effecting arms).
-		add(passes.Fixpoint(8,
-			passes.Unroll(), passes.LICM(), passes.Unswitch(),
-			passes.IfConvert(), passes.JumpThread(),
-			passes.Simplify(), passes.CSE(), passes.SimplifyCFG(), passes.DCE(),
-		))
+		add(Stage{MaxRounds: 8, Fixpoint: []string{
+			"unroll", "licm", "unswitch", "ifconvert", "jumpthread",
+			"simplify", "cse", "simplifycfg", "dce",
+		}})
 		if cfg.Checks {
-			add(passes.InsertChecks())
+			add(Stage{Pass: "checks"})
 		}
 		if cfg.AnnotateRanges {
-			add(passes.Annotate())
+			add(Stage{Pass: "annotate"})
 		}
 	}
-	return seq
+	return spec
 }
 
 // Result reports what one pipeline run did.
@@ -203,29 +220,58 @@ type Result struct {
 	CompileTime time.Duration
 	InstrsIn    int // static instruction count before
 	InstrsOut   int // static instruction count after
-	PassesRun   int
+	PassesRun   int // top-level stages run
+
+	// PassInvocations counts function-level pass executions (module
+	// passes count one per run); SkippedFuncRuns counts executions the
+	// change-driven fixpoints avoided relative to the global-round
+	// schedule.
+	PassInvocations int
+	SkippedFuncRuns int
+	// PassTimings breaks invocations, changes, skips and wall time down
+	// per pass name.
+	PassTimings []passes.PassMetric
+	// Analysis reports the Dom/Loops cache counters.
+	Analysis passes.AnalysisStats
 }
 
-// Optimize runs the configured pipeline over the module in place.
+// Optimize runs the configured pipeline over the module in place,
+// through the pass manager: analyses cached per function (unless
+// cfg.NoAnalysisCache), fixpoints change-driven per function (unless
+// cfg.NoFuncSkip), function passes parallel across functions when
+// cfg.Jobs > 1. All four schedule corners emit byte-identical IR.
 func Optimize(m *ir.Module, cfg Config) (*Result, error) {
+	spec := Passes(cfg)
+	if cfg.Pipeline != nil {
+		spec = *cfg.Pipeline
+	}
+	seq, err := spec.Build()
+	if err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	cx := &passes.Context{Cost: cfg.Cost}
-	res := &Result{Level: cfg.Level, InstrsIn: m.NumInstrs()}
-	for _, p := range Passes(cfg) {
-		p.Run(m, cx)
-		res.PassesRun++
-		if cfg.VerifyEachPass {
+	if !cfg.NoAnalysisCache {
+		cx.EnableAnalysisCache()
+	}
+	mgr := &passes.Manager{Jobs: cfg.Jobs, NoSkip: cfg.NoFuncSkip}
+	if cfg.VerifyEachPass {
+		mgr.AfterPass = func(p passes.Pass) error {
 			if err := ir.VerifyModule(m); err != nil {
-				return nil, fmt.Errorf("after pass %s: %w", p.Name(), err)
+				return fmt.Errorf("after pass %s: %w", p.Name(), err)
 			}
+			return nil
 		}
+	}
+	res := &Result{Level: cfg.Level, InstrsIn: m.NumInstrs()}
+	metrics, err := mgr.Run(m, seq, cx)
+	if err != nil {
+		return nil, err
 	}
 	if err := ir.VerifyModule(m); err != nil {
 		return nil, fmt.Errorf("after %s pipeline: %w", cfg.Level, err)
 	}
-	res.Stats = cx.Stats
-	res.CompileTime = time.Since(start)
-	res.InstrsOut = m.NumInstrs()
+	res.finish(m, cx, metrics, start)
 	return res, nil
 }
 
@@ -236,20 +282,31 @@ func OptimizeAtLevel(m *ir.Module, level Level) (*Result, error) {
 
 // OptimizeWithPasses runs an explicit pass list with an explicit cost
 // model — the ablation harness (Table 2) uses this to measure passes in
-// isolation.
+// isolation. The list goes through the same manager (serial, cached).
 func OptimizeWithPasses(m *ir.Module, cost passes.CostModel, seq []passes.Pass) (*Result, error) {
 	start := time.Now()
-	cx := &passes.Context{Cost: cost}
+	cx := passes.NewContext(cost)
+	mgr := &passes.Manager{}
 	res := &Result{InstrsIn: m.NumInstrs()}
-	for _, p := range seq {
-		p.Run(m, cx)
-		res.PassesRun++
+	metrics, err := mgr.Run(m, seq, cx)
+	if err != nil {
+		return nil, err
 	}
 	if err := ir.VerifyModule(m); err != nil {
 		return nil, fmt.Errorf("after custom pipeline: %w", err)
 	}
+	res.finish(m, cx, metrics, start)
+	return res, nil
+}
+
+// finish folds the manager's metrics into the result.
+func (res *Result) finish(m *ir.Module, cx *passes.Context, metrics *passes.RunMetrics, start time.Time) {
 	res.Stats = cx.Stats
 	res.CompileTime = time.Since(start)
 	res.InstrsOut = m.NumInstrs()
-	return res, nil
+	res.PassesRun = metrics.StagesRun
+	res.PassInvocations = metrics.Invocations
+	res.SkippedFuncRuns = metrics.Skipped
+	res.PassTimings = metrics.Passes
+	res.Analysis = cx.AnalysisStats()
 }

@@ -1,0 +1,167 @@
+package pipeline
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"overify/internal/passes"
+)
+
+// DefaultFixpointRounds is the round cap a textual "fixpoint(...)"
+// stage gets when it does not spell one ("fixpoint:N(...)").
+const DefaultFixpointRounds = 12
+
+// Stage is one step of a declarative pipeline: either a single named
+// pass or a fixpoint over a sequence of named passes. Stages are data,
+// not code — the same spec prints as the -passes= textual form,
+// round-trips through ParsePipeline, and instantiates real passes via
+// Build.
+type Stage struct {
+	// Pass is the pass name for a single-pass stage ("" for fixpoint).
+	Pass string
+	// Fixpoint lists the body pass names of a fixpoint stage.
+	Fixpoint []string
+	// MaxRounds caps the fixpoint's rounds (fixpoint stages only).
+	MaxRounds int
+}
+
+// PipelineSpec is an optimization pipeline as data. pipeline.Passes
+// produces one per level; -passes= parses one from text.
+type PipelineSpec struct {
+	Stages []Stage
+}
+
+// String renders the spec in the -passes= syntax, e.g.
+// "mem2reg,fixpoint:12(ifconvert,simplify,cse,simplifycfg,dce)".
+func (s PipelineSpec) String() string {
+	var sb strings.Builder
+	for i, st := range s.Stages {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		if st.Pass != "" {
+			sb.WriteString(st.Pass)
+			continue
+		}
+		fmt.Fprintf(&sb, "fixpoint:%d(%s)", st.MaxRounds, strings.Join(st.Fixpoint, ","))
+	}
+	return sb.String()
+}
+
+// ParsePipeline parses the -passes= syntax:
+//
+//	pipeline := stage ("," stage)*
+//	stage    := pass-name | "fixpoint" [":" rounds] "(" pass-name ("," pass-name)* ")"
+//
+// Pass names are validated against the pass registry; fixpoints do not
+// nest. An empty string is an error (spell an empty pipeline as a
+// custom Config instead).
+func ParsePipeline(text string) (PipelineSpec, error) {
+	var spec PipelineSpec
+	rest := strings.TrimSpace(text)
+	if rest == "" {
+		return spec, fmt.Errorf("pipeline: empty -passes= pipeline")
+	}
+	for len(rest) > 0 {
+		rest = strings.TrimSpace(rest)
+		var stage string
+		if strings.HasPrefix(rest, "fixpoint") {
+			close := strings.IndexByte(rest, ')')
+			if close < 0 {
+				return spec, fmt.Errorf("pipeline: unclosed fixpoint in %q", text)
+			}
+			stage, rest = rest[:close+1], strings.TrimSpace(rest[close+1:])
+			if rest != "" {
+				if !strings.HasPrefix(rest, ",") {
+					return spec, fmt.Errorf("pipeline: expected ',' after %q", stage)
+				}
+				rest = rest[1:]
+			}
+		} else if i := strings.IndexByte(rest, ','); i >= 0 {
+			stage, rest = rest[:i], rest[i+1:]
+		} else {
+			stage, rest = rest, ""
+		}
+		st, err := parseStage(strings.TrimSpace(stage))
+		if err != nil {
+			return spec, err
+		}
+		spec.Stages = append(spec.Stages, st)
+	}
+	return spec, nil
+}
+
+func parseStage(stage string) (Stage, error) {
+	if stage == "" {
+		return Stage{}, fmt.Errorf("pipeline: empty stage (double comma?)")
+	}
+	if !strings.HasPrefix(stage, "fixpoint") {
+		if err := checkPassName(stage); err != nil {
+			return Stage{}, err
+		}
+		return Stage{Pass: stage}, nil
+	}
+	head, body, ok := strings.Cut(stage, "(")
+	if !ok || !strings.HasSuffix(body, ")") {
+		return Stage{}, fmt.Errorf("pipeline: malformed fixpoint stage %q", stage)
+	}
+	body = strings.TrimSuffix(body, ")")
+	rounds := DefaultFixpointRounds
+	if colon := strings.TrimPrefix(head, "fixpoint"); colon != "" {
+		n, err := strconv.Atoi(strings.TrimPrefix(colon, ":"))
+		if err != nil || !strings.HasPrefix(colon, ":") || n <= 0 {
+			return Stage{}, fmt.Errorf("pipeline: bad fixpoint round count in %q", stage)
+		}
+		rounds = n
+	}
+	st := Stage{MaxRounds: rounds}
+	for _, name := range strings.Split(body, ",") {
+		name = strings.TrimSpace(name)
+		if strings.HasPrefix(name, "fixpoint") {
+			return Stage{}, fmt.Errorf("pipeline: fixpoints do not nest in %q", stage)
+		}
+		if err := checkPassName(name); err != nil {
+			return Stage{}, err
+		}
+		st.Fixpoint = append(st.Fixpoint, name)
+	}
+	if len(st.Fixpoint) == 0 {
+		return Stage{}, fmt.Errorf("pipeline: empty fixpoint body in %q", stage)
+	}
+	return st, nil
+}
+
+func checkPassName(name string) error {
+	_, err := passes.ByName(name)
+	return err
+}
+
+// Build instantiates the spec into runnable passes.
+func (s PipelineSpec) Build() ([]passes.Pass, error) {
+	seq := make([]passes.Pass, 0, len(s.Stages))
+	for _, st := range s.Stages {
+		if st.Pass != "" {
+			p, err := passes.ByName(st.Pass)
+			if err != nil {
+				return nil, err
+			}
+			seq = append(seq, p)
+			continue
+		}
+		body := make([]passes.Pass, 0, len(st.Fixpoint))
+		for _, name := range st.Fixpoint {
+			p, err := passes.ByName(name)
+			if err != nil {
+				return nil, err
+			}
+			body = append(body, p)
+		}
+		rounds := st.MaxRounds
+		if rounds <= 0 {
+			rounds = DefaultFixpointRounds
+		}
+		seq = append(seq, passes.Fixpoint(rounds, body...))
+	}
+	return seq, nil
+}

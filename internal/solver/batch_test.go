@@ -1,0 +1,142 @@
+package solver
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"overify/internal/expr"
+	"overify/internal/ir"
+)
+
+// TestGetBatchMatchesGet: a batched lookup must return exactly what
+// per-key gets would. Hits are counted in the batch; misses are left
+// for the solve path's per-key get to count (else every prefetch miss
+// would be double-counted in the snapshot).
+func TestGetBatchMatchesGet(t *testing.T) {
+	c := NewCache()
+	var keys []string
+	for i := 0; i < 200; i++ {
+		k := fmt.Sprintf("group-%d", i)
+		keys = append(keys, k)
+		if i%3 == 0 {
+			c.put(k, cacheEntry{sat: i%2 == 0})
+		}
+	}
+	before := c.Snapshot()
+	got := c.getBatch(keys)
+	after := c.Snapshot()
+	hits, misses := 0, 0
+	for i, k := range keys {
+		e, ok := got[k]
+		wantOK := i%3 == 0
+		if ok != wantOK {
+			t.Fatalf("key %s: present=%v, want %v", k, ok, wantOK)
+		}
+		if ok {
+			hits++
+			if e.sat != (i%2 == 0) {
+				t.Fatalf("key %s: wrong entry", k)
+			}
+		} else {
+			misses++
+		}
+	}
+	_ = misses
+	if after.Hits-before.Hits != int64(hits) {
+		t.Errorf("accounting: hits %d, want %d", after.Hits-before.Hits, hits)
+	}
+	if after.Misses != before.Misses {
+		t.Errorf("getBatch counted %d misses; the solve path's get() counts those", after.Misses-before.Misses)
+	}
+	if c.getBatch(nil) != nil {
+		t.Error("getBatch(nil) should return nil")
+	}
+}
+
+// siblingQueries builds a random path condition plus the cond/!cond
+// sibling pair, the exact shape the engine's condBr batching sees.
+func siblingQueries(b *expr.Builder, vs []*expr.Var, rng *rand.Rand) (qa, qb []*expr.Expr) {
+	var pc []*expr.Expr
+	for i := 0; i < 1+rng.Intn(4); i++ {
+		v := b.Var(vs[rng.Intn(len(vs))])
+		pc = append(pc, b.Cmp(ir.OpULt, v, b.Const(8, uint64(1+rng.Intn(250)))))
+	}
+	cond := b.Cmp(ir.OpEq, b.Var(vs[rng.Intn(len(vs))]), b.Const(8, uint64(rng.Intn(256))))
+	qa = append(append([]*expr.Expr(nil), pc...), cond)
+	qb = append(append([]*expr.Expr(nil), pc...), b.Not(cond))
+	return qa, qb
+}
+
+// TestPrefetchPairEquivalence: prefetching sibling queries must not
+// change any verdict or model compared to plain Sat on a fresh solver,
+// across shared-cache hit and miss regimes.
+func TestPrefetchPairEquivalence(t *testing.T) {
+	b := expr.NewBuilder()
+	vs := vars(4)
+	shared := NewCache()
+	warm := NewWithCache(Options{}, shared)    // populates the shared cache
+	batched := NewWithCache(Options{}, shared) // prefetches against it
+	rng := rand.New(rand.NewSource(7))
+	for round := 0; round < 200; round++ {
+		qa, qb := siblingQueries(b, vs, rng)
+		if round%2 == 0 {
+			// Warm the shared cache through a different solver so the
+			// batched one exercises the prefetch-hit path.
+			warm.Sat(qa)
+			warm.Sat(qb)
+		}
+		plain := New(Options{})
+		wantA, _, errA := plain.Sat(qa)
+		wantB, _, errB := plain.Sat(qb)
+
+		batched.Prefetch(qa, qb)
+		gotA, mA, eA := batched.Sat(qa)
+		gotB, mB, eB := batched.Sat(qb)
+		if (errA == nil) != (eA == nil) || (errB == nil) != (eB == nil) {
+			t.Fatalf("round %d: error drift", round)
+		}
+		if gotA != wantA || gotB != wantB {
+			t.Fatalf("round %d: verdicts (%v,%v), want (%v,%v)", round, gotA, gotB, wantA, wantB)
+		}
+		if gotA && !satisfies(qa, mA) {
+			t.Fatalf("round %d: model A does not satisfy query", round)
+		}
+		if gotB && !satisfies(qb, mB) {
+			t.Fatalf("round %d: model B does not satisfy query", round)
+		}
+	}
+}
+
+// TestPrefetchWarmsL1: after a prefetch of decided groups, Sat answers
+// from the private L1 — the shared cache sees no additional lookups.
+func TestPrefetchWarmsL1(t *testing.T) {
+	b := expr.NewBuilder()
+	vs := vars(2)
+	shared := NewCache()
+	producer := NewWithCache(Options{}, shared)
+	x := b.Var(vs[0])
+	cond := b.Cmp(ir.OpEq, x, b.Const(8, 9))
+	pc := []*expr.Expr{b.Cmp(ir.OpULt, b.Var(vs[1]), b.Const(8, 100))}
+	qa := append(append([]*expr.Expr(nil), pc...), cond)
+	qb := append(append([]*expr.Expr(nil), pc...), b.Not(cond))
+	producer.Sat(qa)
+	producer.Sat(qb)
+
+	consumer := NewWithCache(Options{ModelHistory: 1}, shared)
+	consumer.Prefetch(qa, qb)
+	after := shared.Snapshot()
+	if _, _, err := consumer.Sat(qa); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := consumer.Sat(qb); err != nil {
+		t.Fatal(err)
+	}
+	final := shared.Snapshot()
+	if final.Hits != after.Hits || final.Misses != after.Misses {
+		t.Errorf("Sat after Prefetch touched the shared cache: %+v -> %+v", after, final)
+	}
+	if consumer.Stats.CacheHits == 0 {
+		t.Error("prefetched groups did not count as solver cache hits")
+	}
+}

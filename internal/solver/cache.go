@@ -54,6 +54,42 @@ func (c *Cache) shard(key string) *cacheShard {
 	return &c.shards[fnv1a(key)&(cacheShards-1)]
 }
 
+// getBatch looks up many keys in one striped-lock round trip: keys are
+// grouped by shard and each touched shard's read lock is taken exactly
+// once, instead of once per key. The symbolic-execution engine batches
+// the two sibling queries of a conditional branch (pc+cond, pc+!cond)
+// through here via Solver.Prefetch.
+//
+// Only hits are counted here: a batched hit satisfies the caller for
+// good (the solver's L1 absorbs it), while a batched miss is re-probed
+// by the per-group get() on the solve path, which counts it — counting
+// both would double every miss in the snapshot.
+func (c *Cache) getBatch(keys []string) map[string]cacheEntry {
+	if len(keys) == 0 {
+		return nil
+	}
+	byShard := make(map[uint32][]string)
+	for _, k := range keys {
+		idx := fnv1a(k) & (cacheShards - 1)
+		byShard[idx] = append(byShard[idx], k)
+	}
+	found := make(map[string]cacheEntry, len(keys))
+	var hits int64
+	for idx, ks := range byShard {
+		sh := &c.shards[idx]
+		sh.mu.RLock()
+		for _, k := range ks {
+			if e, ok := sh.m[k]; ok {
+				found[k] = e
+				hits++
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	c.hits.Add(hits)
+	return found
+}
+
 // get looks up a previously decided group.
 func (c *Cache) get(key string) (cacheEntry, bool) {
 	sh := c.shard(key)

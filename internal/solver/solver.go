@@ -118,6 +118,60 @@ func (s *Solver) SharedCache() *Cache { return s.cache }
 // the exploration budget.
 func (s *Solver) SetDeadline(t time.Time) { s.deadline = t }
 
+// Prefetch warms the private L1 with the shared-cache entries for
+// every independent group of the given queries, in one batched
+// striped-lock round trip (Cache.getBatch). The symbolic executor
+// calls it with the two sibling queries of a conditional branch before
+// deciding them, so the true and false sides cost one shared-cache
+// visit instead of two. Queries that constant-filter away or that a
+// recent model already satisfies contribute no keys — Sat answers
+// those without ever consulting the cache.
+func (s *Solver) Prefetch(queries ...[]*expr.Expr) {
+	var keys []string
+	seen := make(map[string]bool)
+	for _, q := range queries {
+		live := q[:0:0]
+		trivial := false
+		for _, c := range q {
+			if c.IsTrue() {
+				continue
+			}
+			if c.IsFalse() {
+				trivial = true
+				break
+			}
+			live = append(live, c)
+		}
+		if trivial || len(live) == 0 {
+			continue
+		}
+		reused := false
+		for _, m := range s.recent {
+			if satisfies(live, m) {
+				reused = true
+				break
+			}
+		}
+		if reused {
+			continue
+		}
+		for _, g := range independentGroups(live) {
+			key := groupKey(g)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			if _, ok := s.l1[key]; ok {
+				continue
+			}
+			keys = append(keys, key)
+		}
+	}
+	for key, e := range s.cache.getBatch(keys) {
+		s.l1[key] = e
+	}
+}
+
 // Sat reports whether the conjunction of the constraints is satisfiable,
 // and if so returns a model (an assignment of every mentioned variable).
 func (s *Solver) Sat(constraints []*expr.Expr) (bool, map[*expr.Var]uint64, error) {

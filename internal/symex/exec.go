@@ -38,8 +38,7 @@ func (w *worker) step(st *State) (stop bool, forked []*State) {
 				continue
 			}
 			notC := w.B.Not(c)
-			resT, _ := w.satTri(st, c)
-			resF, _ := w.satTri(st, notC)
+			resT, resF := w.satTriPair(st, c, notC)
 			switch {
 			case resT == satYes && resF == satYes:
 				other := w.fork(st)

@@ -50,15 +50,18 @@ type SearchKind int
 // hot (children share their parent's constraint prefix) and is the
 // default; BFS finds shallow bugs first; CovNew weights states by the
 // uncovered blocks their next step can reach (KLEE's --search=covnew);
-// RandPath picks uniformly from the pending pool under a fixed seed.
+// RandPath picks uniformly from the pending pool under a fixed seed;
+// Interleave round-robins CovNew and DFS picks (KLEE's interleaved
+// searcher), pairing coverage-seeking jumps with cache-hot deep dives.
 const (
 	DFS SearchKind = iota
 	BFS
 	CovNew
 	RandPath
+	Interleave
 )
 
-var searchNames = [...]string{"dfs", "bfs", "covnew", "rand"}
+var searchNames = [...]string{"dfs", "bfs", "covnew", "rand", "interleave"}
 
 // String returns the flag spelling, e.g. "covnew".
 func (k SearchKind) String() string {
@@ -79,12 +82,16 @@ func ParseSearch(s string) (SearchKind, error) {
 		return CovNew, nil
 	case "rand", "random", "random-path":
 		return RandPath, nil
+	case "interleave", "covnew+dfs", "interleaved":
+		return Interleave, nil
 	}
-	return DFS, fmt.Errorf("symex: unknown search strategy %q (want dfs, bfs, covnew or rand)", s)
+	return DFS, fmt.Errorf("symex: unknown search strategy %q (want dfs, bfs, covnew, rand or interleave)", s)
 }
 
 // Strategies lists every built-in kind, in flag order.
-func Strategies() []SearchKind { return []SearchKind{DFS, BFS, CovNew, RandPath} }
+func Strategies() []SearchKind {
+	return []SearchKind{DFS, BFS, CovNew, RandPath, Interleave}
+}
 
 // newStrategy builds the shard containers for one engine run. cov is
 // the engine's coverage map (only covnew reads it); seed feeds the
@@ -106,6 +113,16 @@ func newStrategy(kind SearchKind, shards int, seed int64, cov *coverage) Strateg
 			s.rngs[i] = (uint64(seed) + uint64(i)*0x9E3779B97F4A7C15) | 1
 		}
 		return s
+	case Interleave:
+		return &interleaveStrategy{
+			subs: [2]Strategy{
+				newStrategy(CovNew, shards, seed, cov),
+				newStrategy(DFS, shards, seed, cov),
+			},
+			turn: make([]uint8, shards),
+			live: make([]int, shards),
+			ref:  make(map[*State]*ilRef),
+		}
 	default:
 		return &listStrategy{name: "dfs", shards: make([][]*State, shards)}
 	}
@@ -349,6 +366,121 @@ func (c *covnewStrategy) Evict() *State {
 		}
 	}
 	return heap.Remove(&c.heaps[big], worst).(*covItem).st
+}
+
+// interleaveStrategy is KLEE's interleaved searcher over the covnew
+// and dfs orderings: per shard, picks alternate between the
+// coverage-weighted heap (jump to unexplored territory) and the DFS
+// stack (deep dives with hot solver prefixes).
+//
+// Every inserted state lives in both sub-strategies; ref tracks how
+// many copies remain, whether the state is still pending delivery, and
+// which shard holds it. Popping a pending state from one side delivers
+// it and marks the remaining copies stale; stale copies are dropped
+// lazily when they surface later. Because the engine re-publishes the
+// *same* State pointer after partial execution, an Insert may find
+// leftover stale copies from the previous cycle — they stack onto the
+// copy count and drain the same way. The conservation law the fuzz
+// suite enforces (no state lost, duplicated or fabricated) holds
+// because each insertion flips pending exactly once, and Len reports
+// pending states only.
+//
+// All mutators run under the frontier lock like every other strategy;
+// NotifyCovered stays lock-free by forwarding to covnew's atomic
+// generation bump.
+type interleaveStrategy struct {
+	subs [2]Strategy // covnew, dfs
+	turn []uint8     // per-shard round-robin cursor
+	live []int       // per-shard pending-state count
+	ref  map[*State]*ilRef
+}
+
+type ilRef struct {
+	copies  int  // copies still sitting inside the two subs
+	pending bool // not yet delivered since its last Insert
+	shard   int
+}
+
+func (il *interleaveStrategy) Name() string              { return "interleave" }
+func (il *interleaveStrategy) Len(shard int) int         { return il.live[shard] }
+func (il *interleaveStrategy) NotifyCovered(b *ir.Block) { il.subs[0].NotifyCovered(b) }
+
+func (il *interleaveStrategy) Insert(shard int, states []*State) {
+	for _, st := range states {
+		if r := il.ref[st]; r != nil {
+			// Re-inserted while stale copies of its previous cycle are
+			// still queued: stack the new pair on top.
+			r.copies += 2
+			r.pending = true
+			r.shard = shard
+		} else {
+			il.ref[st] = &ilRef{copies: 2, pending: true, shard: shard}
+		}
+	}
+	il.subs[0].Insert(shard, states)
+	il.subs[1].Insert(shard, states)
+	il.live[shard] += len(states)
+}
+
+// take delivers st if it is still pending, dropping stale copies as
+// they surface; reports whether the caller got a live state.
+func (il *interleaveStrategy) take(st *State) bool {
+	r := il.ref[st]
+	r.copies--
+	delivered := r.pending
+	if delivered {
+		r.pending = false
+		il.live[r.shard]--
+	}
+	if r.copies == 0 {
+		delete(il.ref, st)
+	}
+	return delivered
+}
+
+// pop draws from one sub-strategy, skipping stale copies.
+func (il *interleaveStrategy) pop(sub Strategy, shard int) *State {
+	for {
+		st := sub.Select(shard)
+		if st == nil {
+			return nil
+		}
+		if il.take(st) {
+			return st
+		}
+	}
+}
+
+func (il *interleaveStrategy) Select(shard int) *State {
+	first := il.subs[il.turn[shard]%2]
+	second := il.subs[(il.turn[shard]+1)%2]
+	il.turn[shard]++
+	if st := il.pop(first, shard); st != nil {
+		return st
+	}
+	return il.pop(second, shard)
+}
+
+// Steal follows the victim shard's own round-robin order, so stealing
+// removes exactly the state the victim would have run next.
+func (il *interleaveStrategy) Steal(shard int) *State { return il.Select(shard) }
+
+// Evict drops the DFS side's choice (the shallowest state of its
+// fullest shard), skipping stale copies; covnew is only consulted when
+// the DFS stacks hold nothing live.
+func (il *interleaveStrategy) Evict() *State {
+	for _, sub := range []Strategy{il.subs[1], il.subs[0]} {
+		for {
+			st := sub.Evict()
+			if st == nil {
+				break
+			}
+			if il.take(st) {
+				return st
+			}
+		}
+	}
+	return nil
 }
 
 // fullest returns the index with the largest non-zero length, or -1.

@@ -133,6 +133,54 @@ func TestStrategyEvict(t *testing.T) {
 	}
 }
 
+// TestInterleaveRoundRobin: picks alternate covnew, dfs, covnew, ...
+// per shard, with stale copies (the other ordering's view of an
+// already-delivered state) skipped silently.
+func TestInterleaveRoundRobin(t *testing.T) {
+	hot := &ir.Block{Name: "hot"}
+	cold := &ir.Block{Name: "cold"}
+	cov := newCoverage()
+	cov.cover(hot)
+	strat := newStrategy(Interleave, 1, 0, cov)
+	// Two covered-block states inserted first, the uncovered one last:
+	// dfs order favors 3 (deepest), covnew order also favors 3 (score);
+	// after 3 is gone the two orderings disagree — dfs wants 2 (top of
+	// stack), covnew wants the freshest insert, also 2, then both drain
+	// to 1.
+	strat.Insert(0, []*State{mkState(1, hot), mkState(2, hot), mkState(3, cold)})
+	var got []int64
+	for st := strat.Select(0); st != nil; st = strat.Select(0) {
+		got = append(got, st.ID)
+	}
+	if fmt.Sprint(got) != fmt.Sprint([]int64{3, 2, 1}) {
+		t.Errorf("pop order %v, want [3 2 1]", got)
+	}
+	if strat.Len(0) != 0 {
+		t.Errorf("Len = %d after drain", strat.Len(0))
+	}
+}
+
+// TestInterleaveReinsert: the engine republishes the same *State after
+// a partial run; the strategy must deliver it exactly once per insert
+// even while stale copies of the previous cycle are still queued.
+func TestInterleaveReinsert(t *testing.T) {
+	b := &ir.Block{Name: "b"}
+	strat := newStrategy(Interleave, 1, 0, newCoverage())
+	st := mkState(1, b)
+	for cycle := 0; cycle < 3; cycle++ {
+		strat.Insert(0, []*State{st})
+		if got := strat.Select(0); got != st {
+			t.Fatalf("cycle %d: Select = %v, want the reinserted state", cycle, got)
+		}
+		if got := strat.Select(0); got != nil {
+			t.Fatalf("cycle %d: duplicate delivery of %v", cycle, got)
+		}
+		if strat.Len(0) != 0 {
+			t.Fatalf("cycle %d: Len = %d, want 0", cycle, strat.Len(0))
+		}
+	}
+}
+
 // TestCoverageMap: cover is idempotent, covered reflects it, count
 // tracks distinct blocks.
 func TestCoverageMap(t *testing.T) {

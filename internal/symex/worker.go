@@ -188,6 +188,24 @@ func (w *worker) satTri(st *State, extra *expr.Expr) (satResult, map[*expr.Var]u
 	if extra != nil {
 		q = append(append([]*expr.Expr(nil), st.PC...), extra)
 	}
+	return w.satQ(q)
+}
+
+// satTriPair decides the two sibling queries of a conditional branch
+// (pc+a, pc+b with b = !a). The queries share every path-condition
+// group and differ in one, so both shared-cache lookups go through one
+// batched striped-lock round trip (Solver.Prefetch) instead of two.
+func (w *worker) satTriPair(st *State, a, b *expr.Expr) (resA, resB satResult) {
+	qa := append(append([]*expr.Expr(nil), st.PC...), a)
+	qb := append(append([]*expr.Expr(nil), st.PC...), b)
+	w.sol.Prefetch(qa, qb)
+	resA, _ = w.satQ(qa)
+	resB, _ = w.satQ(qb)
+	return resA, resB
+}
+
+// satQ maps a raw solver query onto the three-valued result.
+func (w *worker) satQ(q []*expr.Expr) (satResult, map[*expr.Var]uint64) {
 	ok, model, err := w.sol.Sat(q)
 	if err != nil {
 		return satUnknown, nil

@@ -6,6 +6,7 @@
 //	overify-bench -figure4 [-n 5] [-timeout 10s] [-j workers] [-search dfs|bfs|covnew|rand|interleave] [-budget [-cover N]] [-json FILE]
 //	overify-bench -scaling [-prog wc] [-n 5] [-timeout 60s]
 //	overify-bench -search all [-n 3] [-timeout 5s] [-json BENCH_strategies.json]
+//	overify-bench -solver [-json BENCH_solver.json]
 //	overify-bench -all
 //
 // -search all runs the strategy comparison (per-strategy t_verify and
@@ -16,8 +17,12 @@
 // CoverTarget set; -cover overrides the per-cell full-coverage
 // target), and -figure4 -json records the study machine-readably.
 // -passes overrides every level's pass pipeline for Table 1/Figure 4;
-// -j also parallelizes the pass manager. Output is the text rendering
-// recorded in EXPERIMENTS.md.
+// -j also parallelizes the pass manager (and, in the Table 1/Figure 4
+// drivers, compiles whole modules in parallel). -solver runs the
+// solver microbenchmarks over a captured corpus query stream — the
+// before/after sections of BENCH_solver.json are its -json output
+// across solver changes. Output is the text rendering recorded in
+// EXPERIMENTS.md.
 package main
 
 import (
@@ -49,6 +54,7 @@ func main() {
 	passSpec := flag.String("passes", "", "explicit pass pipeline for Table 1 / Figure 4 compiles")
 	budget := flag.Bool("budget", false, "add per-strategy time-to-coverage columns to Figure 4")
 	coverTarget := flag.Int("cover", 0, "block-coverage target for -budget (0 = each cell's full coverage)")
+	solverBench := flag.Bool("solver", false, "run the solver microbenchmarks on a captured corpus query stream")
 	flag.Parse()
 
 	var pipeSpec *pipeline.PipelineSpec
@@ -84,8 +90,20 @@ func main() {
 		}
 	}
 
+	if *solverBench {
+		results, err := bench.SolverBench()
+		check(err)
+		fmt.Println(bench.RenderSolverBench(results))
+		if *jsonPath != "" {
+			data, err := bench.SolverBenchJSON(results)
+			check(err)
+			check(os.WriteFile(*jsonPath, append(data, '\n'), 0o644))
+			fmt.Printf("(wrote %s)\n", *jsonPath)
+		}
+	}
+
 	if !(*t1 || *t2 || *t3 || *f4 || *scaling || *all) {
-		if strategies {
+		if strategies || *solverBench {
 			return
 		}
 		flag.Usage()

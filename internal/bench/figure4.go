@@ -7,6 +7,7 @@ import (
 	"strings"
 	"time"
 
+	"overify/internal/core"
 	"overify/internal/coreutils"
 	"overify/internal/ir"
 	"overify/internal/pipeline"
@@ -112,7 +113,12 @@ func (o Figure4Options) normalized() Figure4Options {
 }
 
 // Figure4 runs the corpus study: compile+verify every program at -O0,
-// -O3 and -OVERIFY.
+// -O3 and -OVERIFY. Phase 1 compiles every (program, level) module —
+// in parallel when Workers allows, results landing in index-addressed
+// slots so the study's ordering stays deterministic; phase 2 verifies
+// serially so the wall-clock columns are not perturbed by concurrent
+// compilation (each module's compile time was already measured inside
+// pipeline.Optimize).
 func Figure4(opts Figure4Options) ([]Figure4Row, *Figure4Summary, error) {
 	opts = opts.normalized()
 	names := opts.Programs
@@ -120,17 +126,32 @@ func Figure4(opts Figure4Options) ([]Figure4Row, *Figure4Summary, error) {
 		names = coreutils.Names()
 	}
 
-	var rows []Figure4Row
-	for _, name := range names {
+	programs := make([]coreutils.Program, len(names))
+	for i, name := range names {
 		p, ok := coreutils.Get(name)
 		if !ok {
 			return nil, nil, fmt.Errorf("figure4: unknown program %q", name)
 		}
-		row := Figure4Row{Program: name, Cells: make(map[pipeline.Level]*Figure4Cell)}
-		for _, level := range Figure4Levels {
+		programs[i] = p
+	}
+
+	// Phase 1: compile every cell, per-program × per-level parallelism.
+	nl := len(Figure4Levels)
+	compiled := make([]*core.Compiled, len(programs)*nl)
+	cerrs := make([]error, len(programs)*nl)
+	parallelDo(len(programs)*nl, opts.Workers, func(i int) {
+		p, level := programs[i/nl], Figure4Levels[i%nl]
+		compiled[i], cerrs[i] = CompileAtOpts(p.Name, p.Src, level, CompileOpts{Pipeline: opts.Pipeline, Jobs: opts.Workers})
+	})
+
+	// Phase 2: verify serially, in the deterministic study order.
+	var rows []Figure4Row
+	for pi, p := range programs {
+		row := Figure4Row{Program: p.Name, Cells: make(map[pipeline.Level]*Figure4Cell)}
+		for li, level := range Figure4Levels {
 			cell := &Figure4Cell{}
 			row.Cells[level] = cell
-			c, err := CompileAtOpts(p.Name, p.Src, level, CompileOpts{Pipeline: opts.Pipeline, Jobs: opts.Workers})
+			c, err := compiled[pi*nl+li], cerrs[pi*nl+li]
 			if err != nil {
 				cell.Err = err.Error()
 				continue

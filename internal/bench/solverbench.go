@@ -1,0 +1,152 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+
+	"overify/internal/core"
+	"overify/internal/coreutils"
+	"overify/internal/expr"
+	"overify/internal/ir"
+	"overify/internal/pipeline"
+	"overify/internal/solver"
+	"overify/internal/symex"
+)
+
+// SolverBenchResult is one microbenchmark measurement.
+type SolverBenchResult struct {
+	Name        string
+	Iterations  int
+	NsPerOp     float64
+	AllocsPerOp int64
+	BytesPerOp  int64
+}
+
+// SolverBench measures the solver's per-query constant factors on
+// captured corpus workload: wc's real exploration queries (serial,
+// -OVERIFY), replayed through fresh and long-lived solvers, plus the
+// incremental-partition variant of the same stream. overify-bench
+// -solver -json records the results — the before/after trajectory in
+// BENCH_solver.json comes from running it across solver changes.
+func SolverBench() ([]SolverBenchResult, error) {
+	queries, err := captureQueries("wc", 4)
+	if err != nil {
+		return nil, err
+	}
+
+	run := func(name string, fn func(b *testing.B)) SolverBenchResult {
+		r := testing.Benchmark(fn)
+		return SolverBenchResult{
+			Name:        name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+	}
+
+	results := []SolverBenchResult{
+		run("Sat/replay-cold", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s := solver.New(solver.Options{})
+				for _, q := range queries {
+					if _, _, err := s.Sat(q); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}),
+		run("Sat/replay-hot", func(b *testing.B) {
+			s := solver.New(solver.Options{})
+			for _, q := range queries {
+				if _, _, err := s.Sat(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, q := range queries {
+					if _, _, err := s.Sat(q); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}),
+		run("SatPartition/replay", func(b *testing.B) {
+			parts := make([]*solver.Partition, len(queries))
+			for i, q := range queries {
+				parts[i] = solver.PartitionOf(q)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s := solver.New(solver.Options{})
+				for _, p := range parts {
+					if _, _, err := s.SatPartition(p); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}),
+	}
+	return results, nil
+}
+
+// captureQueries replays a corpus program's exploration (serial DFS,
+// -OVERIFY) with solver.CaptureQuery installed and returns every live
+// query in issue order. Deterministic: the same build captures the
+// same stream every time.
+func captureQueries(program string, n int) ([][]*expr.Expr, error) {
+	p, ok := coreutils.Get(program)
+	if !ok {
+		return nil, fmt.Errorf("solverbench: unknown program %q", program)
+	}
+	c, err := core.CompileProgram(p, pipeline.OVerify)
+	if err != nil {
+		return nil, err
+	}
+	var queries [][]*expr.Expr
+	solver.CaptureQuery = func(q []*expr.Expr) {
+		queries = append(queries, append([]*expr.Expr(nil), q...))
+	}
+	defer func() { solver.CaptureQuery = nil }()
+	eng := symex.NewEngine(c.Mod, symex.Options{})
+	buf := eng.SymbolicBuffer("input", n, true)
+	length := eng.IntArg(ir.I32, uint64(n))
+	if _, err := eng.Run("umain", []symex.SymVal{buf, length}, nil); err != nil {
+		return nil, err
+	}
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("solverbench: no queries captured from %s", program)
+	}
+	return queries, nil
+}
+
+// RenderSolverBench formats the measurements as a table.
+func RenderSolverBench(results []SolverBenchResult) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Solver microbenchmarks (captured wc query stream, %s)\n", runtime.Version())
+	fmt.Fprintf(&sb, "%-24s %12s %12s %12s\n", "benchmark", "ns/op", "B/op", "allocs/op")
+	for _, r := range results {
+		fmt.Fprintf(&sb, "%-24s %12.0f %12d %12d\n", r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+	}
+	return sb.String()
+}
+
+// SolverBenchJSON renders the measurements machine-readably (the
+// BENCH_solver.json sections).
+func SolverBenchJSON(results []SolverBenchResult) ([]byte, error) {
+	out := struct {
+		Workload string
+		Results  []SolverBenchResult
+	}{
+		Workload: "wc -OVERIFY serial exploration, 4 symbolic bytes, captured via solver.CaptureQuery",
+		Results:  results,
+	}
+	return json.MarshalIndent(out, "", "  ")
+}

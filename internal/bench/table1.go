@@ -5,9 +5,11 @@ import (
 	"strings"
 	"time"
 
+	"overify/internal/core"
 	"overify/internal/interp"
 	"overify/internal/ir"
 	"overify/internal/pipeline"
+	"overify/internal/solver"
 	"overify/internal/symex"
 )
 
@@ -45,11 +47,14 @@ type Table1Row struct {
 	Paths       int64
 	TimedOut    bool
 	Bugs        int
+	Solver      solver.Stats // the per-query cost the paper says dominates
 }
 
 // Table1 reproduces the paper's Table 1: exhaustively explore wc for
 // strings up to InputBytes characters at each level, measure compile,
-// verify and concrete-run time.
+// verify and concrete-run time. All levels compile up front — in
+// parallel when Workers allows — then verify and run serially so the
+// timing columns are not perturbed by concurrent work.
 func Table1(opts Table1Options) ([]Table1Row, error) {
 	if opts.InputBytes == 0 {
 		opts.InputBytes = 10
@@ -65,12 +70,18 @@ func Table1(opts Table1Options) ([]Table1Row, error) {
 	}
 	text := WordText(opts.RunWords)
 
+	compiled := make([]*core.Compiled, len(opts.Levels))
+	errs := make([]error, len(opts.Levels))
+	parallelDo(len(opts.Levels), opts.Workers, func(i int) {
+		compiled[i], errs[i] = CompileAtOpts("wc", WcSource, opts.Levels[i], CompileOpts{Pipeline: opts.Pipeline, Jobs: opts.Workers})
+	})
+
 	var rows []Table1Row
-	for _, level := range opts.Levels {
-		c, err := CompileAtOpts("wc", WcSource, level, CompileOpts{Pipeline: opts.Pipeline, Jobs: opts.Workers})
-		if err != nil {
-			return nil, fmt.Errorf("table1 %s: %w", level, err)
+	for i, level := range opts.Levels {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("table1 %s: %w", level, errs[i])
 		}
+		c := compiled[i]
 		row := Table1Row{Level: level, CompileTime: c.Result.CompileTime}
 
 		rep, err := VerifyWc(c, opts.InputBytes, symex.Options{Timeout: opts.VerifyTimeout, Workers: opts.Workers, Strategy: opts.Strategy, Seed: opts.Seed})
@@ -82,6 +93,7 @@ func Table1(opts Table1Options) ([]Table1Row, error) {
 		row.Paths = rep.Stats.TotalPaths()
 		row.TimedOut = rep.Stats.TimedOut
 		row.Bugs = len(rep.Bugs)
+		row.Solver = rep.Stats.SolverStats
 
 		rt, ri, err := TimeConcreteRun(c, "wc", text, interp.IntVal(ir.I32, 0))
 		if err != nil {
@@ -126,5 +138,10 @@ func RenderTable1(rows []Table1Row, opts Table1Options) string {
 	line("trun [ms]", func(r Table1Row) string { return fmtDur(r.RunTime) })
 	line("# instructions", func(r Table1Row) string { return fmtCount(r.Instrs) })
 	line("# paths", func(r Table1Row) string { return fmtCount(r.Paths) })
+	line("solver queries", func(r Table1Row) string { return fmtCount(r.Solver.Queries) })
+	line("cache hits", func(r Table1Row) string { return fmtCount(r.Solver.CacheHits) })
+	line("partition hits", func(r Table1Row) string { return fmtCount(r.Solver.PartitionHits) })
+	line("model reuse", func(r Table1Row) string { return fmtCount(r.Solver.ModelReuseHits) })
+	line("tape compiles", func(r Table1Row) string { return fmtCount(r.Solver.TapeCompiles) })
 	return sb.String()
 }

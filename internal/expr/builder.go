@@ -28,6 +28,11 @@ type Builder struct {
 	plain      map[string]*Expr // single-goroutine interning
 	shared     sync.Map         // concurrent interning: string -> *Expr
 	nextID     atomic.Int64
+	// nextVarOrd assigns each distinct variable a dense builder-local
+	// ordinal — the bit position in every node's interned VarSet. A
+	// losing racer in concurrent interning wastes an ordinal (harmless:
+	// the bitset is merely one bit sparser).
+	nextVarOrd atomic.Int64
 
 	// nodesBuilt counts interning misses, a proxy for symbolic work.
 	nodesBuilt atomic.Int64
@@ -85,7 +90,7 @@ func (b *Builder) Const(bits int, v uint64) *Expr {
 	v = ir.Mask(bits, v)
 	key := "c" + strconv.Itoa(bits) + ":" + strconv.FormatUint(v, 10)
 	return b.intern(key, func() *Expr {
-		return &Expr{Kind: KConst, Bits: bits, Val: v}
+		return &Expr{Kind: KConst, Bits: bits, Val: v, vset: emptyVarSet}
 	})
 }
 
@@ -107,7 +112,8 @@ func (b *Builder) Bool(v bool) *Expr {
 func (b *Builder) Var(v *Var) *Expr {
 	key := "v" + v.Name
 	return b.intern(key, func() *Expr {
-		return &Expr{Kind: KVar, Bits: v.Bits, V: v}
+		ord := int32(b.nextVarOrd.Add(1) - 1)
+		return &Expr{Kind: KVar, Bits: v.Bits, V: v, vset: singletonVarSet(v, ord)}
 	})
 }
 
@@ -152,7 +158,8 @@ func (b *Builder) Bin(op ir.Op, x, y *Expr) *Expr {
 	}
 	key := "b" + strconv.Itoa(int(op)) + ":" + strconv.Itoa(bits) + argKey(x, y)
 	return b.intern(key, func() *Expr {
-		return &Expr{Kind: KBin, Bits: bits, Op: op, Args: []*Expr{x, y}}
+		args := []*Expr{x, y}
+		return &Expr{Kind: KBin, Bits: bits, Op: op, Args: args, vset: unionArgSets(args)}
 	})
 }
 
@@ -308,7 +315,8 @@ func (b *Builder) Cmp(op ir.Op, x, y *Expr) *Expr {
 	}
 	key := "p" + strconv.Itoa(int(op)) + ":" + strconv.Itoa(x.Bits) + argKey(x, y)
 	return b.intern(key, func() *Expr {
-		return &Expr{Kind: KCmp, Bits: 1, Op: op, Args: []*Expr{x, y}}
+		args := []*Expr{x, y}
+		return &Expr{Kind: KCmp, Bits: 1, Op: op, Args: args, vset: unionArgSets(args)}
 	})
 }
 
@@ -353,7 +361,8 @@ func (b *Builder) Select(c, t, f *Expr) *Expr {
 	}
 	key := "s" + strconv.Itoa(t.Bits) + argKey(c, t, f)
 	return b.intern(key, func() *Expr {
-		return &Expr{Kind: KSelect, Bits: t.Bits, Args: []*Expr{c, t, f}}
+		args := []*Expr{c, t, f}
+		return &Expr{Kind: KSelect, Bits: t.Bits, Args: args, vset: unionArgSets(args)}
 	})
 }
 
@@ -396,7 +405,8 @@ func (b *Builder) Cast(op ir.Op, x *Expr, toBits int) *Expr {
 	}
 	key := "x" + strconv.Itoa(int(op)) + ":" + strconv.Itoa(toBits) + argKey(x)
 	return b.intern(key, func() *Expr {
-		return &Expr{Kind: KCast, Bits: toBits, Op: op, Args: []*Expr{x}}
+		args := []*Expr{x}
+		return &Expr{Kind: KCast, Bits: toBits, Op: op, Args: args, vset: unionArgSets(args)}
 	})
 }
 
@@ -421,6 +431,7 @@ func (b *Builder) Read(table []uint64, bits int, idx *Expr) *Expr {
 	}
 	sb.WriteString(argKey(idx))
 	return b.intern(sb.String(), func() *Expr {
-		return &Expr{Kind: KRead, Bits: bits, Args: []*Expr{idx}, Table: table}
+		args := []*Expr{idx}
+		return &Expr{Kind: KRead, Bits: bits, Args: args, Table: table, vset: unionArgSets(args)}
 	})
 }

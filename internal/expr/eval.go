@@ -4,24 +4,58 @@ import "overify/internal/ir"
 
 // Eval evaluates e under a complete assignment of its variables, using
 // the shared ir scalar semantics. Missing variables evaluate to zero.
+// One-shot convenience over Evaluator (which amortizes the memo across
+// calls).
 func Eval(e *Expr, asn map[*Var]uint64) uint64 {
-	memo := make(map[*Expr]uint64)
-	return evalMemo(e, asn, memo)
+	ev := NewEvaluator()
+	ev.Bind(asn)
+	return ev.Eval(e)
 }
 
-func evalMemo(e *Expr, asn map[*Var]uint64, memo map[*Expr]uint64) uint64 {
-	if v, ok := memo[e]; ok {
-		return v
+// Evaluator evaluates expressions under complete assignments (missing
+// variables read as zero, matching Eval) without per-call allocation:
+// the memo map is reused across calls and invalidated in O(1) by a
+// generation stamp when the assignment is rebound. The solver's
+// model-reuse checks run every recent model over every query through
+// one of these.
+type Evaluator struct {
+	asn  map[*Var]uint64
+	memo map[*Expr]stampedVal
+	gen  uint32
+}
+
+type stampedVal struct {
+	gen uint32
+	val uint64
+}
+
+// NewEvaluator returns an evaluator with no assignment bound.
+func NewEvaluator() *Evaluator {
+	return &Evaluator{memo: make(map[*Expr]stampedVal, 256), gen: 1}
+}
+
+// Bind sets the assignment for subsequent Eval calls and invalidates
+// all memoized results.
+func (ev *Evaluator) Bind(asn map[*Var]uint64) {
+	ev.asn = asn
+	ev.gen++
+}
+
+// Eval evaluates e under the bound assignment; semantics match the
+// package-level Eval exactly.
+func (ev *Evaluator) Eval(e *Expr) uint64 {
+	if s, ok := ev.memo[e]; ok && s.gen == ev.gen {
+		return s.val
 	}
 	var r uint64
 	switch e.Kind {
 	case KConst:
 		r = e.Val
 	case KVar:
-		r = ir.Mask(e.Bits, asn[e.V])
+		r = ir.Mask(e.Bits, ev.asn[e.V])
 	case KBin:
-		a := evalMemo(e.Args[0], asn, memo)
-		b := evalMemo(e.Args[1], asn, memo)
+		a := ev.Eval(e.Args[0])
+		b := ev.Eval(e.Args[1])
 		// Division by zero evaluates to 0 here; the engine checks the
 		// denominator before ever building the expression.
 		res, ok := ir.EvalBin(e.Op, e.Bits, a, b)
@@ -30,27 +64,27 @@ func evalMemo(e *Expr, asn map[*Var]uint64, memo map[*Expr]uint64) uint64 {
 		}
 		r = res
 	case KCmp:
-		a := evalMemo(e.Args[0], asn, memo)
-		b := evalMemo(e.Args[1], asn, memo)
+		a := ev.Eval(e.Args[0])
+		b := ev.Eval(e.Args[1])
 		if ir.EvalCmp(e.Op, e.Args[0].Bits, a, b) {
 			r = 1
 		}
 	case KSelect:
-		if evalMemo(e.Args[0], asn, memo) != 0 {
-			r = evalMemo(e.Args[1], asn, memo)
+		if ev.Eval(e.Args[0]) != 0 {
+			r = ev.Eval(e.Args[1])
 		} else {
-			r = evalMemo(e.Args[2], asn, memo)
+			r = ev.Eval(e.Args[2])
 		}
 	case KCast:
-		r = ir.EvalCast(e.Op, e.Args[0].Bits, e.Bits, evalMemo(e.Args[0], asn, memo))
+		r = ir.EvalCast(e.Op, e.Args[0].Bits, e.Bits, ev.Eval(e.Args[0]))
 	case KRead:
-		idx := evalMemo(e.Args[0], asn, memo)
+		idx := ev.Eval(e.Args[0])
 		if idx < uint64(len(e.Table)) {
 			r = e.Table[idx]
 		}
 	}
 	r = ir.Mask(e.Bits, r)
-	memo[e] = r
+	ev.memo[e] = stampedVal{gen: ev.gen, val: r}
 	return r
 }
 

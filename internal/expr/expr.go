@@ -48,7 +48,8 @@ type Expr struct {
 	Args  []*Expr  // operands (KBin: 2, KCmp: 2, KSelect: 3, KCast: 1, KRead: 1)
 	Table []uint64 // KRead: the concrete cell values (masked to Bits)
 
-	id int64 // unique per Builder; used for canonical cache keys
+	id   int64   // unique per Builder; used for canonical cache keys
+	vset *VarSet // interned variable set, computed at construction
 }
 
 // ID returns the node's builder-unique id.
@@ -87,7 +88,8 @@ func (e *Expr) String() string {
 	return "?"
 }
 
-// Vars appends the distinct variables of e to out (deduplicated via seen).
+// Vars appends the distinct variables of e to out (deduplicated via
+// seen). This is the walking slow path; VarSet is the O(1) lookup.
 func (e *Expr) Vars(seen map[*Var]bool, visited map[*Expr]bool) {
 	if visited[e] {
 		return
@@ -102,18 +104,18 @@ func (e *Expr) Vars(seen map[*Var]bool, visited map[*Expr]bool) {
 	}
 }
 
-// VarsOf returns the distinct variables appearing in the expressions.
+// VarsOf returns the distinct variables appearing in the expressions,
+// in builder-ordinal order, by merging the interned per-node sets (no
+// DAG walk for builder-built expressions).
 func VarsOf(es ...*Expr) []*Var {
-	seen := make(map[*Var]bool)
-	visited := make(map[*Expr]bool)
+	var u *VarSet
 	for _, e := range es {
-		e.Vars(seen, visited)
+		u = MergeVarSets(u, e.VarSet())
 	}
-	out := make([]*Var, 0, len(seen))
-	for v := range seen {
-		out = append(out, v)
+	if u == nil {
+		return nil
 	}
-	return out
+	return append([]*Var(nil), u.Vars()...)
 }
 
 // Size returns the number of distinct DAG nodes reachable from e.

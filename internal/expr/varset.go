@@ -1,0 +1,192 @@
+package expr
+
+import (
+	"sort"
+	"sync/atomic"
+)
+
+// VarSet is the immutable set of distinct variables appearing in an
+// expression. The Builder computes one for every node at construction
+// time — a child-set union, almost always resolved by pointer reuse —
+// so the solver's per-query independence analysis never walks the DAG.
+//
+// Representation: a bitset over builder-local variable ordinals (dense,
+// assigned when a variable's node is first interned) plus the matching
+// ordinal-sorted variable list. Sets from different Builders must not
+// be mixed, the same rule that already governs node ids.
+type VarSet struct {
+	words []uint64
+	list  []*Var
+	ords  []int32
+}
+
+// emptyVarSet is the shared set of constant expressions.
+var emptyVarSet = &VarSet{}
+
+// Len returns the number of variables in the set.
+func (s *VarSet) Len() int { return len(s.list) }
+
+// Empty reports whether the set has no variables.
+func (s *VarSet) Empty() bool { return len(s.list) == 0 }
+
+// Vars returns the variables in ordinal order. The slice is shared and
+// must not be mutated.
+func (s *VarSet) Vars() []*Var { return s.list }
+
+// Intersects reports whether the two sets share a variable.
+func (s *VarSet) Intersects(o *VarSet) bool {
+	n := len(s.words)
+	if len(o.words) < n {
+		n = len(o.words)
+	}
+	for i := 0; i < n; i++ {
+		if s.words[i]&o.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// subsetOf reports whether every variable of s is in o.
+func (s *VarSet) subsetOf(o *VarSet) bool {
+	for i, w := range s.words {
+		if i >= len(o.words) {
+			return w == 0
+		}
+		if w&^o.words[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// MergeVarSets returns the union of two sets, reusing one of the inputs
+// when the other adds nothing (the common case on a growing path
+// condition).
+func MergeVarSets(a, b *VarSet) *VarSet {
+	switch {
+	case a == nil || a.Empty():
+		if b == nil {
+			return emptyVarSet
+		}
+		return b
+	case b == nil || b.Empty():
+		return a
+	case a == b:
+		return a
+	case b.subsetOf(a):
+		return a
+	case a.subsetOf(b):
+		return b
+	}
+	nw := len(a.words)
+	if len(b.words) > nw {
+		nw = len(b.words)
+	}
+	u := &VarSet{
+		words: make([]uint64, nw),
+		list:  make([]*Var, 0, len(a.list)+len(b.list)),
+		ords:  make([]int32, 0, len(a.list)+len(b.list)),
+	}
+	copy(u.words, a.words)
+	for i, w := range b.words {
+		u.words[i] |= w
+	}
+	// Sorted merge of the ordinal lists, dropping duplicates.
+	i, j := 0, 0
+	for i < len(a.list) && j < len(b.list) {
+		switch {
+		case a.ords[i] < b.ords[j]:
+			u.list = append(u.list, a.list[i])
+			u.ords = append(u.ords, a.ords[i])
+			i++
+		case a.ords[i] > b.ords[j]:
+			u.list = append(u.list, b.list[j])
+			u.ords = append(u.ords, b.ords[j])
+			j++
+		default:
+			u.list = append(u.list, a.list[i])
+			u.ords = append(u.ords, a.ords[i])
+			i++
+			j++
+		}
+	}
+	for ; i < len(a.list); i++ {
+		u.list = append(u.list, a.list[i])
+		u.ords = append(u.ords, a.ords[i])
+	}
+	for ; j < len(b.list); j++ {
+		u.list = append(u.list, b.list[j])
+		u.ords = append(u.ords, b.ords[j])
+	}
+	return u
+}
+
+// singletonVarSet builds the set {v} at the given builder ordinal.
+func singletonVarSet(v *Var, ord int32) *VarSet {
+	words := make([]uint64, ord/64+1)
+	words[ord/64] = 1 << uint(ord%64)
+	return &VarSet{words: words, list: []*Var{v}, ords: []int32{ord}}
+}
+
+// unionArgSets unions the interned sets of a node's operands.
+func unionArgSets(args []*Expr) *VarSet {
+	var u *VarSet
+	for _, a := range args {
+		u = MergeVarSets(u, a.VarSet())
+	}
+	if u == nil {
+		return emptyVarSet
+	}
+	return u
+}
+
+// varSetWalks counts fallback DAG walks — VarSet() calls on expressions
+// that were not produced by a Builder. The solver's white-box tests
+// assert this stays flat across its per-query path: builder-built
+// expressions always carry an interned set.
+var varSetWalks atomic.Int64
+
+// VarSetWalks returns the number of fallback DAG walks performed so far
+// (test instrumentation).
+func VarSetWalks() int64 { return varSetWalks.Load() }
+
+// VarSet returns e's variable set. Builder-built expressions carry an
+// interned set computed at construction; a literal-constructed Expr
+// (tests) falls back to a counted DAG walk using Var.Idx as the
+// ordinal.
+func (e *Expr) VarSet() *VarSet {
+	if e.vset != nil {
+		return e.vset
+	}
+	varSetWalks.Add(1)
+	seen := make(map[*Var]bool)
+	visited := make(map[*Expr]bool)
+	e.Vars(seen, visited)
+	if len(seen) == 0 {
+		return emptyVarSet
+	}
+	list := make([]*Var, 0, len(seen))
+	for v := range seen {
+		list = append(list, v)
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].Idx != list[j].Idx {
+			return list[i].Idx < list[j].Idx
+		}
+		return list[i].Name < list[j].Name
+	})
+	s := &VarSet{list: list, ords: make([]int32, len(list))}
+	maxOrd := 0
+	for i, v := range list {
+		s.ords[i] = int32(v.Idx)
+		if v.Idx > maxOrd {
+			maxOrd = v.Idx
+		}
+	}
+	s.words = make([]uint64, maxOrd/64+1)
+	for _, o := range s.ords {
+		s.words[o/64] |= 1 << uint(o%64)
+	}
+	return s
+}

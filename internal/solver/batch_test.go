@@ -1,7 +1,6 @@
 package solver
 
 import (
-	"fmt"
 	"math/rand"
 	"testing"
 
@@ -15,9 +14,9 @@ import (
 // would be double-counted in the snapshot).
 func TestGetBatchMatchesGet(t *testing.T) {
 	c := NewCache()
-	var keys []string
+	var keys []Fingerprint
 	for i := 0; i < 200; i++ {
-		k := fmt.Sprintf("group-%d", i)
+		k := fingerprintIDs([]int64{int64(i)})
 		keys = append(keys, k)
 		if i%3 == 0 {
 			c.put(k, cacheEntry{sat: i%2 == 0})
@@ -31,12 +30,12 @@ func TestGetBatchMatchesGet(t *testing.T) {
 		e, ok := got[k]
 		wantOK := i%3 == 0
 		if ok != wantOK {
-			t.Fatalf("key %s: present=%v, want %v", k, ok, wantOK)
+			t.Fatalf("key %d: present=%v, want %v", i, ok, wantOK)
 		}
 		if ok {
 			hits++
 			if e.sat != (i%2 == 0) {
-				t.Fatalf("key %s: wrong entry", k)
+				t.Fatalf("key %d: wrong entry", i)
 			}
 		} else {
 			misses++

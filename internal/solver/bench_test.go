@@ -1,0 +1,145 @@
+package solver
+
+import (
+	"testing"
+
+	"overify/internal/expr"
+	"overify/internal/ir"
+)
+
+// Corpus-shaped constraint generators. The shapes mirror what the
+// symbolic executor sends while exploring the coreutils corpus: per
+// input byte a NUL test and a classification-table read (isspace /
+// isalpha lower to KRead over a 256-entry table), with occasional
+// cross-byte constraints linking neighbors — the mix that dominates
+// solver time in Table 1 / Figure 4.
+
+func benchVars(n int) []*expr.Var {
+	out := make([]*expr.Var, n)
+	for i := range out {
+		out[i] = &expr.Var{Name: "input[" + string(rune('0'+i)) + "]", Bits: 8, Idx: i}
+	}
+	return out
+}
+
+func classTable() []uint64 {
+	t := make([]uint64, 256)
+	for _, c := range " \t\n\v\f\r" {
+		t[c] = 1
+	}
+	return t
+}
+
+// corpusPC builds a wc-shaped path condition over the given vars: byte
+// i is non-NUL, classified by a table read, and every third byte is
+// ordered against its neighbor.
+func corpusPC(b *expr.Builder, vs []*expr.Var) []*expr.Expr {
+	table := classTable()
+	var pc []*expr.Expr
+	for i, v := range vs {
+		x := b.Var(v)
+		pc = append(pc, b.Cmp(ir.OpNe, x, b.Const(8, 0)))
+		read := b.Read(table, 8, b.Cast(ir.OpZExt, x, 64))
+		pc = append(pc, b.Cmp(ir.OpEq, read, b.Const(8, 0)))
+		if i > 0 && i%3 == 0 {
+			pc = append(pc, b.Cmp(ir.OpULe, b.Var(vs[i-1]), x))
+		}
+	}
+	return pc
+}
+
+func BenchmarkIndependentGroups(b *testing.B) {
+	bld := expr.NewBuilder()
+	pc := corpusPC(bld, benchVars(8))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if g := independentGroups(pc); len(g) == 0 {
+			b.Fatal("no groups")
+		}
+	}
+}
+
+// BenchmarkIncrementalPC partitions a growing path condition the way
+// the engine sees it: one constraint appended per branch, the partition
+// available at every prefix (pre-change: a full union-find re-partition
+// per query; now: one carried Partition extended per append).
+func BenchmarkIncrementalPC(b *testing.B) {
+	bld := expr.NewBuilder()
+	pc := corpusPC(bld, benchVars(8))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var p *Partition
+		for _, c := range pc {
+			p = p.Extend(c)
+			if _, trivial := p.Trivial(); trivial {
+				b.Fatal("trivial partition")
+			}
+		}
+	}
+}
+
+func BenchmarkGroupKey(b *testing.B) {
+	bld := expr.NewBuilder()
+	pc := corpusPC(bld, benchVars(8))
+	groups := PartitionOf(pc).Groups()
+	ids := make([][]int64, len(groups))
+	for i, g := range groups {
+		ids[i] = g.ids
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, g := range ids {
+			_ = fingerprintIDs(g)
+		}
+	}
+}
+
+// BenchmarkPartitionExtend appends one constraint to an already-carried
+// partition — the per-branch incremental cost the engine actually pays.
+func BenchmarkPartitionExtend(b *testing.B) {
+	bld := expr.NewBuilder()
+	vs := benchVars(8)
+	pc := corpusPC(bld, vs)
+	base := PartitionOf(pc[:len(pc)-1])
+	last := pc[len(pc)-1]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if p := base.Extend(last); p == nil {
+			b.Fatal("nil partition")
+		}
+	}
+}
+
+// BenchmarkSearchTape measures one backtracking solve of a coupled
+// multi-var group (the constraint evaluator's hot loop), bypassing the
+// caches.
+func BenchmarkSearchTape(b *testing.B) {
+	bld := expr.NewBuilder()
+	vs := benchVars(3)
+	x := bld.Cast(ir.OpZExt, bld.Var(vs[0]), 32)
+	y := bld.Cast(ir.OpZExt, bld.Var(vs[1]), 32)
+	z := bld.Cast(ir.OpZExt, bld.Var(vs[2]), 32)
+	table := classTable()
+	g := []*expr.Expr{
+		bld.Cmp(ir.OpEq, bld.Bin(ir.OpAdd, bld.Bin(ir.OpAdd, x, y), z), bld.Const(32, 420)),
+		bld.Cmp(ir.OpULt, x, y),
+		bld.Cmp(ir.OpEq, bld.Read(table, 8, bld.Cast(ir.OpZExt, bld.Var(vs[2]), 64)), bld.Const(8, 0)),
+	}
+	grp := PartitionOf(g).Groups()
+	if len(grp) != 1 {
+		b.Fatalf("want one group, got %d", len(grp))
+	}
+	s := New(Options{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sat, _, err := s.search(grp[0])
+		if err != nil || !sat {
+			b.Fatalf("sat=%v err=%v", sat, err)
+		}
+	}
+}

@@ -12,15 +12,16 @@ const cacheShards = 64
 
 type cacheShard struct {
 	mu sync.RWMutex
-	m  map[string]cacheEntry
+	m  map[Fingerprint]cacheEntry
 }
 
 // Cache is a query-result cache shared between solvers: the parallel
 // symbolic-execution engine gives every worker its own Solver (the
 // search state is not concurrency-safe) but layers one Cache under all
 // of them, so a group decided by any worker is a hit for every other.
-// Keys are canonical group keys (sorted hash-consed expression ids),
-// which is why all workers must share one expr.Builder.
+// Keys are group fingerprints (sorted hash-consed expression ids mixed
+// into a fixed-size comparable value), which is why all workers must
+// share one expr.Builder.
 //
 // A Cache is safe for concurrent use.
 type Cache struct {
@@ -35,52 +36,48 @@ type Cache struct {
 func NewCache() *Cache {
 	c := &Cache{}
 	for i := range c.shards {
-		c.shards[i].m = make(map[string]cacheEntry)
+		c.shards[i].m = make(map[Fingerprint]cacheEntry)
 	}
 	return c
 }
 
-// fnv1a hashes the key onto a shard index.
-func fnv1a(s string) uint32 {
-	h := uint32(2166136261)
-	for i := 0; i < len(s); i++ {
-		h ^= uint32(s[i])
-		h *= 16777619
-	}
-	return h
+// shardIdx maps a fingerprint onto its lock stripe. The fingerprint is
+// already uniformly mixed, so the low bits are as good as a hash.
+func shardIdx(fp Fingerprint) uint32 {
+	return uint32(fp.lo) & (cacheShards - 1)
 }
 
-func (c *Cache) shard(key string) *cacheShard {
-	return &c.shards[fnv1a(key)&(cacheShards-1)]
+func (c *Cache) shard(fp Fingerprint) *cacheShard {
+	return &c.shards[shardIdx(fp)]
 }
 
 // getBatch looks up many keys in one striped-lock round trip: keys are
 // grouped by shard and each touched shard's read lock is taken exactly
 // once, instead of once per key. The symbolic-execution engine batches
 // the two sibling queries of a conditional branch (pc+cond, pc+!cond)
-// through here via Solver.Prefetch.
+// through here via Solver.PrefetchParts.
 //
 // Only hits are counted here: a batched hit satisfies the caller for
 // good (the solver's L1 absorbs it), while a batched miss is re-probed
 // by the per-group get() on the solve path, which counts it — counting
 // both would double every miss in the snapshot.
-func (c *Cache) getBatch(keys []string) map[string]cacheEntry {
-	if len(keys) == 0 {
+func (c *Cache) getBatch(fps []Fingerprint) map[Fingerprint]cacheEntry {
+	if len(fps) == 0 {
 		return nil
 	}
-	byShard := make(map[uint32][]string)
-	for _, k := range keys {
-		idx := fnv1a(k) & (cacheShards - 1)
-		byShard[idx] = append(byShard[idx], k)
+	byShard := make(map[uint32][]Fingerprint)
+	for _, fp := range fps {
+		idx := shardIdx(fp)
+		byShard[idx] = append(byShard[idx], fp)
 	}
-	found := make(map[string]cacheEntry, len(keys))
+	found := make(map[Fingerprint]cacheEntry, len(fps))
 	var hits int64
 	for idx, ks := range byShard {
 		sh := &c.shards[idx]
 		sh.mu.RLock()
-		for _, k := range ks {
-			if e, ok := sh.m[k]; ok {
-				found[k] = e
+		for _, fp := range ks {
+			if e, ok := sh.m[fp]; ok {
+				found[fp] = e
 				hits++
 			}
 		}
@@ -91,10 +88,10 @@ func (c *Cache) getBatch(keys []string) map[string]cacheEntry {
 }
 
 // get looks up a previously decided group.
-func (c *Cache) get(key string) (cacheEntry, bool) {
-	sh := c.shard(key)
+func (c *Cache) get(fp Fingerprint) (cacheEntry, bool) {
+	sh := c.shard(fp)
 	sh.mu.RLock()
-	e, ok := sh.m[key]
+	e, ok := sh.m[fp]
 	sh.mu.RUnlock()
 	if ok {
 		c.hits.Add(1)
@@ -106,11 +103,11 @@ func (c *Cache) get(key string) (cacheEntry, bool) {
 
 // put records a decided group. First writer wins; a concurrent
 // duplicate decision of the same group is identical anyway.
-func (c *Cache) put(key string, e cacheEntry) {
-	sh := c.shard(key)
+func (c *Cache) put(fp Fingerprint, e cacheEntry) {
+	sh := c.shard(fp)
 	sh.mu.Lock()
-	if _, dup := sh.m[key]; !dup {
-		sh.m[key] = e
+	if _, dup := sh.m[fp]; !dup {
+		sh.m[fp] = e
 		c.entries.Add(1)
 	}
 	sh.mu.Unlock()

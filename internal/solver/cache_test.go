@@ -1,7 +1,6 @@
 package solver
 
 import (
-	"fmt"
 	"sync"
 	"testing"
 
@@ -87,7 +86,7 @@ func TestCacheConcurrentAccess(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			for i := 0; i < 500; i++ {
-				key := fmt.Sprintf("k%d", i%97)
+				key := fingerprintIDs([]int64{int64(i % 97)})
 				if _, ok := c.get(key); !ok {
 					c.put(key, cacheEntry{sat: i%2 == 0})
 				}

@@ -1,0 +1,36 @@
+package solver
+
+// Fingerprint is a fixed-size comparable group key: the sorted
+// hash-consed node ids of a constraint group mixed into 128 bits.
+// It replaces the old sorted-strconv string keys, so cache lookups
+// neither allocate nor hash variable-length strings; at 128 bits a
+// collision between distinct groups is never expected in practice
+// (about 2^-64 per pair of groups).
+type Fingerprint struct {
+	hi, lo uint64
+}
+
+// mix64 is the splitmix64 finalizer, a full-avalanche 64-bit
+// permutation.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// fingerprintIDs hashes a sorted id list. The list must be canonical
+// (sorted, deduplicated) — Group maintains that invariant — so equal
+// groups map to equal fingerprints regardless of constraint order.
+func fingerprintIDs(ids []int64) Fingerprint {
+	hi := 0x9e3779b97f4a7c15 ^ uint64(len(ids))
+	lo := 0xc2b2ae3d27d4eb4f + uint64(len(ids))
+	for _, id := range ids {
+		x := mix64(uint64(id))
+		hi = mix64(hi ^ x)
+		lo = lo*0x100000001b3 + x
+	}
+	return Fingerprint{hi: hi, lo: lo}
+}

@@ -1,0 +1,205 @@
+package solver
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"overify/internal/expr"
+)
+
+// Group is one independence class of a path condition: constraints
+// transitively linked by shared variables. Groups are immutable after
+// construction and shared structurally between the partitions of forked
+// states; only the decided verdict is written, atomically, so any state
+// (on any worker) that still holds the group reuses the verdict without
+// even a cache probe.
+type Group struct {
+	cs  []*expr.Expr // constraints in append order (deduplicated)
+	ids []int64      // sorted node ids (canonical identity)
+	vs  *expr.VarSet // union of the constraints' variable sets
+	fp  Fingerprint  // memoized cache key over ids
+
+	// verdict holds the decided entry once any solver has decided the
+	// group. Stores are idempotent: the backtracking search is
+	// deterministic, so concurrent deciders store equivalent entries.
+	verdict atomic.Pointer[cacheEntry]
+}
+
+// Fingerprint returns the group's cache key.
+func (g *Group) Fingerprint() Fingerprint { return g.fp }
+
+// Constraints returns the group's constraints. The slice is shared and
+// must not be mutated.
+func (g *Group) Constraints() []*expr.Expr { return g.cs }
+
+// Vars returns the group's variable set.
+func (g *Group) Vars() *expr.VarSet { return g.vs }
+
+// contains reports whether the group already holds the node id.
+func (g *Group) contains(id int64) bool {
+	i := sort.Search(len(g.ids), func(i int) bool { return g.ids[i] >= id })
+	return i < len(g.ids) && g.ids[i] == id
+}
+
+func newGroup(c *expr.Expr) *Group {
+	g := &Group{cs: []*expr.Expr{c}, ids: []int64{c.ID()}, vs: c.VarSet()}
+	g.fp = fingerprintIDs(g.ids)
+	return g
+}
+
+// mergeGroups builds the group holding every constraint of gs plus c
+// (c skipped when already present in one of them).
+func mergeGroups(gs []*Group, c *expr.Expr) *Group {
+	n := 1
+	for _, g := range gs {
+		n += len(g.cs)
+	}
+	m := &Group{cs: make([]*expr.Expr, 0, n), ids: make([]int64, 0, n)}
+	dup := false
+	for _, g := range gs {
+		m.cs = append(m.cs, g.cs...)
+		m.ids = append(m.ids, g.ids...)
+		m.vs = expr.MergeVarSets(m.vs, g.vs)
+		if g.contains(c.ID()) {
+			dup = true
+		}
+	}
+	if !dup {
+		m.cs = append(m.cs, c)
+		m.ids = append(m.ids, c.ID())
+		m.vs = expr.MergeVarSets(m.vs, c.VarSet())
+	}
+	sort.Slice(m.ids, func(i, j int) bool { return m.ids[i] < m.ids[j] })
+	m.fp = fingerprintIDs(m.ids)
+	return m
+}
+
+// Partition is the persistent independence structure of a path
+// condition. Path conditions grow one constraint per branch, so the
+// symbolic-execution engine carries the partition forward on each
+// state: appending a constraint merges its variable set into the
+// existing groups in O(groups) instead of re-running union-find over
+// the whole condition, and forked states share it by pointer
+// (partitions are immutable; Extend returns a new one).
+//
+// A nil *Partition is the empty path condition.
+type Partition struct {
+	groups []*Group
+	unsat  bool // a constant-false constraint was appended
+}
+
+// Groups returns the partition's groups. The slice is shared and must
+// not be mutated.
+func (p *Partition) Groups() []*Group {
+	if p == nil {
+		return nil
+	}
+	return p.groups
+}
+
+// Trivial reports whether the partition decides itself: no live
+// constraints (trivially sat) or a constant-false constraint
+// (trivially unsat).
+func (p *Partition) Trivial() (sat, trivial bool) {
+	if p == nil || (len(p.groups) == 0 && !p.unsat) {
+		return true, true
+	}
+	if p.unsat {
+		return false, true
+	}
+	return false, false
+}
+
+// Len returns the number of live constraints.
+func (p *Partition) Len() int {
+	if p == nil {
+		return 0
+	}
+	n := 0
+	for _, g := range p.groups {
+		n += len(g.cs)
+	}
+	return n
+}
+
+// Extend returns the partition of the condition with c appended. The
+// receiver is unchanged: untouched groups are shared by pointer (their
+// decided verdicts ride along), and only the groups whose variables
+// intersect c's are merged. Constant-true constraints return the
+// receiver as is; a duplicate of a constraint already in its group
+// does too.
+func (p *Partition) Extend(c *expr.Expr) *Partition {
+	if c.IsTrue() {
+		return p
+	}
+	if p != nil && p.unsat {
+		return p
+	}
+	if c.IsFalse() {
+		return &Partition{unsat: true}
+	}
+	var groups []*Group
+	if p != nil {
+		groups = p.groups
+	}
+	vs := c.VarSet()
+	var touched []*Group
+	first := -1
+	for i, g := range groups {
+		if g.vs.Intersects(vs) {
+			if first < 0 {
+				first = i
+			}
+			touched = append(touched, g)
+		}
+	}
+	if len(touched) == 1 && touched[0].contains(c.ID()) {
+		return p
+	}
+	np := &Partition{groups: make([]*Group, 0, len(groups)+1)}
+	if first < 0 {
+		// Independent of everything so far: a fresh group at the end
+		// (mirroring first-constraint order).
+		np.groups = append(np.groups, groups...)
+		np.groups = append(np.groups, newGroup(c))
+		return np
+	}
+	merged := mergeGroups(touched, c)
+	for i, g := range groups {
+		switch {
+		case i == first:
+			np.groups = append(np.groups, merged)
+		case g.vs.Intersects(vs):
+			// folded into merged
+		default:
+			np.groups = append(np.groups, g)
+		}
+	}
+	return np
+}
+
+// PartitionOf partitions a whole constraint slice from scratch (the
+// non-incremental entry point used by the slice-based Sat API and by
+// callers that do not carry a partition).
+func PartitionOf(cs []*expr.Expr) *Partition {
+	var p *Partition
+	for _, c := range cs {
+		p = p.Extend(c)
+	}
+	return p
+}
+
+// independentGroups is the non-incremental view of the partition,
+// retained for tests and benchmarks: constraints that share variables
+// (transitively) are grouped, groups ordered by first constraint.
+func independentGroups(constraints []*expr.Expr) [][]*expr.Expr {
+	p := PartitionOf(constraints)
+	if p == nil {
+		return nil
+	}
+	out := make([][]*expr.Expr, 0, len(p.groups))
+	for _, g := range p.groups {
+		out = append(out, g.cs)
+	}
+	return out
+}

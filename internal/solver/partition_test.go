@@ -1,0 +1,201 @@
+package solver
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"overify/internal/expr"
+	"overify/internal/ir"
+)
+
+// randomStream builds a random path-condition stream over n byte vars:
+// single-var bounds, two-var links and table reads — the constraint mix
+// the engine appends branch by branch.
+func randomStream(b *expr.Builder, vs []*expr.Var, rng *rand.Rand, length int) []*expr.Expr {
+	table := classTable()
+	var pc []*expr.Expr
+	for len(pc) < length {
+		v := b.Var(vs[rng.Intn(len(vs))])
+		switch rng.Intn(4) {
+		case 0:
+			pc = append(pc, b.Cmp(ir.OpULt, v, b.Const(8, uint64(1+rng.Intn(250)))))
+		case 1:
+			w := b.Var(vs[rng.Intn(len(vs))])
+			c := b.Cmp(ir.OpULe, v, w)
+			if c.Kind != expr.KConst {
+				pc = append(pc, c)
+			}
+		case 2:
+			read := b.Read(table, 8, b.Cast(ir.OpZExt, v, 64))
+			pc = append(pc, b.Cmp(ir.OpEq, read, b.Const(8, 0)))
+		default:
+			pc = append(pc, b.Cmp(ir.OpNe, v, b.Const(8, uint64(rng.Intn(256)))))
+		}
+	}
+	return pc
+}
+
+// TestPartitionMatchesScratch: extending a carried partition one
+// constraint at a time must produce, at every prefix, exactly the
+// groups a from-scratch partition of that prefix produces — same
+// groups, same constraint order within groups, same group order.
+func TestPartitionMatchesScratch(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		b := expr.NewBuilder()
+		vs := vars(6)
+		pc := randomStream(b, vs, rng, 12)
+		var p *Partition
+		for k, c := range pc {
+			p = p.Extend(c)
+			scratch := PartitionOf(pc[:k+1])
+			got, want := p.Groups(), scratch.Groups()
+			if len(got) != len(want) {
+				t.Fatalf("trial %d prefix %d: %d groups, scratch has %d", trial, k+1, len(got), len(want))
+			}
+			for i := range got {
+				if fmt.Sprint(got[i].cs) != fmt.Sprint(want[i].cs) {
+					t.Fatalf("trial %d prefix %d group %d: %v != scratch %v",
+						trial, k+1, i, got[i].cs, want[i].cs)
+				}
+				if got[i].fp != want[i].fp {
+					t.Fatalf("trial %d prefix %d group %d: fingerprint drift", trial, k+1, i)
+				}
+			}
+		}
+	}
+}
+
+// TestSatPartitionEquivalence: deciding through a carried partition
+// must agree with the slice API on a fresh solver at every prefix, and
+// models must satisfy the query.
+func TestSatPartitionEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 60; trial++ {
+		b := expr.NewBuilder()
+		vs := vars(5)
+		pc := randomStream(b, vs, rng, 8)
+		carried := New(Options{})
+		var p *Partition
+		for k, c := range pc {
+			p = p.Extend(c)
+			fresh := New(Options{})
+			want, _, errW := fresh.Sat(pc[:k+1])
+			got, model, errG := carried.SatPartition(p)
+			if (errW == nil) != (errG == nil) {
+				t.Fatalf("trial %d prefix %d: error drift %v vs %v", trial, k+1, errW, errG)
+			}
+			if got != want {
+				t.Fatalf("trial %d prefix %d: sat=%v, fresh says %v", trial, k+1, got, want)
+			}
+			if got && !satisfies(pc[:k+1], model) {
+				t.Fatalf("trial %d prefix %d: model does not satisfy query", trial, k+1)
+			}
+		}
+	}
+}
+
+// TestPartitionVerdictReuse: groups decided on an earlier query are
+// reused straight off the carried partition — no cache probe, counted
+// as PartitionHits.
+func TestPartitionVerdictReuse(t *testing.T) {
+	b := expr.NewBuilder()
+	vs := vars(3)
+	s := New(Options{ModelHistory: 1})
+	p := PartitionOf([]*expr.Expr{
+		b.Cmp(ir.OpEq, b.Var(vs[0]), b.Const(8, 7)),
+		b.Cmp(ir.OpEq, b.Var(vs[1]), b.Const(8, 9)),
+	})
+	if sat, _, err := s.SatPartition(p); err != nil || !sat {
+		t.Fatalf("sat=%v err=%v", sat, err)
+	}
+	// Extend with a third, independent constraint. The old groups carry
+	// verdicts; only the new group needs any lookup. Defeat model reuse
+	// with a constraint the remembered model cannot satisfy.
+	p2 := p.Extend(b.Cmp(ir.OpEq, b.Var(vs[2]), b.Const(8, 1)))
+	before := s.Stats
+	if sat, _, err := s.SatPartition(p2); err != nil || !sat {
+		t.Fatalf("sat=%v err=%v", sat, err)
+	}
+	if hits := s.Stats.PartitionHits - before.PartitionHits; hits != 2 {
+		t.Errorf("PartitionHits delta = %d, want 2 (both untouched groups)", hits)
+	}
+	if s.Stats.CacheHits != before.CacheHits {
+		t.Errorf("untouched groups probed the cache (%d hits)", s.Stats.CacheHits-before.CacheHits)
+	}
+}
+
+// TestNoDagWalksOnQueryPath: the per-query path — partitioning,
+// prefetch, search — must consume the interned variable sets; a fresh
+// DAG walk anywhere shows up on the expr walk counter.
+func TestNoDagWalksOnQueryPath(t *testing.T) {
+	b := expr.NewBuilder()
+	vs := vars(6)
+	rng := rand.New(rand.NewSource(13))
+	pc := randomStream(b, vs, rng, 10)
+	start := expr.VarSetWalks()
+
+	s := New(Options{})
+	var p *Partition
+	for _, c := range pc {
+		p = p.Extend(c)
+		if _, _, err := s.SatPartition(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Prefetch(pc, pc[:len(pc)-1])
+	if _, _, err := s.Sat(pc); err != nil {
+		t.Fatal(err)
+	}
+	if walks := expr.VarSetWalks() - start; walks != 0 {
+		t.Errorf("per-query path performed %d fresh DAG walks; builder bitsets must cover it", walks)
+	}
+}
+
+// TestFingerprintCanonical: the fingerprint depends only on the group's
+// constraint set — append order and duplicates must not matter — and
+// distinct groups get distinct fingerprints.
+func TestFingerprintCanonical(t *testing.T) {
+	b := expr.NewBuilder()
+	vs := vars(2)
+	c1 := b.Cmp(ir.OpULt, b.Var(vs[0]), b.Const(8, 10))
+	c2 := b.Cmp(ir.OpUGe, b.Var(vs[0]), b.Const(8, 3))
+	c3 := b.Cmp(ir.OpEq, b.Var(vs[0]), b.Var(vs[1]))
+
+	fpOf := func(cs ...*expr.Expr) Fingerprint {
+		p := PartitionOf(cs)
+		if len(p.Groups()) != 1 {
+			t.Fatalf("want one group, got %d", len(p.Groups()))
+		}
+		return p.Groups()[0].Fingerprint()
+	}
+	if fpOf(c1, c2, c3) != fpOf(c3, c2, c1) {
+		t.Error("fingerprint depends on constraint order")
+	}
+	if fpOf(c1, c2, c3) != fpOf(c1, c2, c1, c3, c2) {
+		t.Error("fingerprint depends on duplicate constraints")
+	}
+	seen := map[Fingerprint]bool{fpOf(c1): true}
+	for _, fp := range []Fingerprint{fpOf(c2), fpOf(c3), fpOf(c1, c2), fpOf(c1, c2, c3)} {
+		if seen[fp] {
+			t.Error("distinct groups share a fingerprint")
+		}
+		seen[fp] = true
+	}
+}
+
+// TestOptionDefaults pins the documented defaults: the Options comments
+// and NewWithCache must not drift apart again.
+func TestOptionDefaults(t *testing.T) {
+	s := New(Options{})
+	if s.opts.MaxNodes != 65_536 {
+		t.Errorf("MaxNodes default = %d, want 65536", s.opts.MaxNodes)
+	}
+	if s.opts.MaxWork != 8_000_000 {
+		t.Errorf("MaxWork default = %d, want 8000000", s.opts.MaxWork)
+	}
+	if s.opts.ModelHistory != 8 {
+		t.Errorf("ModelHistory default = %d, want 8", s.opts.ModelHistory)
+	}
+}

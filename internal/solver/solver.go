@@ -9,13 +9,17 @@
 // checking, and results are cached per group (KLEE's counterexample
 // cache). Model reuse is attempted before any search: if a recently
 // produced model satisfies the whole query, no search happens at all.
+//
+// The per-query constant factors are engineered away: variable sets are
+// interned on expression nodes at construction (expr.VarSet), the
+// independence partition is carried incrementally across a growing path
+// condition (Partition), groups are keyed by fixed-size fingerprints
+// instead of strings, and the backtracking search runs each group as a
+// compiled flat tape (compile.go) rather than a memoized tree walk.
 package solver
 
 import (
 	"errors"
-	"sort"
-	"strconv"
-	"strings"
 	"time"
 
 	"overify/internal/expr"
@@ -23,10 +27,11 @@ import (
 
 // Options bound the solver's work.
 type Options struct {
-	// MaxNodes bounds backtracking nodes per query (default 100k).
+	// MaxNodes bounds backtracking nodes per query (default 65,536).
 	MaxNodes int64
-	// MaxWork bounds expression-node visits per query (default 50M) —
-	// the finer-grained budget that stops pathological searches.
+	// MaxWork bounds expression-slot evaluations per query (default
+	// 8,000,000) — the finer-grained budget that stops pathological
+	// searches.
 	MaxWork int64
 	// ModelHistory is how many recent models are tried for reuse
 	// (default 8).
@@ -36,12 +41,15 @@ type Options struct {
 // Stats counts solver work across a run; t_verify is dominated by these.
 type Stats struct {
 	Queries        int64
-	CacheHits      int64
+	CacheHits      int64 // group verdicts answered by the L1 or shared cache
+	PartitionHits  int64 // group verdicts reused off the carried partition (no cache probe)
 	ModelReuseHits int64
 	Sat            int64
 	Unsat          int64
 	Failures       int64 // budget exhaustion
 	Nodes          int64 // backtracking nodes explored
+	TapeCompiles   int64 // groups compiled to evaluation tapes (searches run)
+	TapeSlots      int64 // total slots across compiled tapes
 	MaxGroupVars   int
 }
 
@@ -50,11 +58,14 @@ type Stats struct {
 func (s *Stats) Add(o Stats) {
 	s.Queries += o.Queries
 	s.CacheHits += o.CacheHits
+	s.PartitionHits += o.PartitionHits
 	s.ModelReuseHits += o.ModelReuseHits
 	s.Sat += o.Sat
 	s.Unsat += o.Unsat
 	s.Failures += o.Failures
 	s.Nodes += o.Nodes
+	s.TapeCompiles += o.TapeCompiles
+	s.TapeSlots += o.TapeSlots
 	if o.MaxGroupVars > s.MaxGroupVars {
 		s.MaxGroupVars = o.MaxGroupVars
 	}
@@ -62,6 +73,11 @@ func (s *Stats) Add(o Stats) {
 
 // ErrBudget is returned when a query exceeds the node budget.
 var ErrBudget = errors.New("solver: node budget exhausted")
+
+// CaptureQuery, when non-nil, receives every constant-filtered query the
+// solver decides. Benchmark harnesses set it (from a serial run) to
+// capture corpus-shaped path conditions; production leaves it nil.
+var CaptureQuery func(q []*expr.Expr)
 
 var errTooWide = errors.New("solver: variable wider than 8 bits")
 
@@ -77,12 +93,16 @@ type cacheEntry struct {
 // front of the shared cache so repeat hits (the common case under DFS
 // exploration) never touch a lock.
 type Solver struct {
-	opts     Options
-	Stats    Stats
-	l1       map[string]cacheEntry
-	cache    *Cache
-	recent   []map[*expr.Var]uint64
-	deadline time.Time
+	opts      Options
+	Stats     Stats
+	l1        map[Fingerprint]cacheEntry
+	cache     *Cache
+	recent    []map[*expr.Var]uint64
+	reuseEval *expr.Evaluator
+	deadline  time.Time
+	// scratch is the compile/evaluation buffer set reused across this
+	// solver's searches (solvers are single-goroutine).
+	scratch tapeScratch
 }
 
 // New returns a solver with the given options and a private cache.
@@ -106,7 +126,12 @@ func NewWithCache(opts Options, cache *Cache) *Solver {
 	if cache == nil {
 		cache = NewCache()
 	}
-	return &Solver{opts: opts, l1: make(map[string]cacheEntry), cache: cache}
+	return &Solver{
+		opts:      opts,
+		l1:        make(map[Fingerprint]cacheEntry),
+		cache:     cache,
+		reuseEval: expr.NewEvaluator(),
+	}
 }
 
 // SharedCache returns the cache this solver decides into.
@@ -118,36 +143,37 @@ func (s *Solver) SharedCache() *Cache { return s.cache }
 // the exploration budget.
 func (s *Solver) SetDeadline(t time.Time) { s.deadline = t }
 
-// Prefetch warms the private L1 with the shared-cache entries for
-// every independent group of the given queries, in one batched
-// striped-lock round trip (Cache.getBatch). The symbolic executor
-// calls it with the two sibling queries of a conditional branch before
-// deciding them, so the true and false sides cost one shared-cache
-// visit instead of two. Queries that constant-filter away or that a
-// recent model already satisfies contribute no keys — Sat answers
-// those without ever consulting the cache.
+// Prefetch warms the private L1 with the shared-cache entries for every
+// independent group of the given queries, in one batched striped-lock
+// round trip. It is the slice-based convenience form of PrefetchParts.
 func (s *Solver) Prefetch(queries ...[]*expr.Expr) {
-	var keys []string
-	seen := make(map[string]bool)
-	for _, q := range queries {
-		live := q[:0:0]
-		trivial := false
-		for _, c := range q {
-			if c.IsTrue() {
-				continue
-			}
-			if c.IsFalse() {
-				trivial = true
-				break
-			}
-			live = append(live, c)
-		}
-		if trivial || len(live) == 0 {
+	parts := make([]*Partition, len(queries))
+	for i, q := range queries {
+		parts[i] = PartitionOf(q)
+	}
+	s.PrefetchParts(parts...)
+}
+
+// PrefetchParts warms the private L1 with the shared-cache entries for
+// every undecided group of the given partitions, in one batched
+// striped-lock round trip (Cache.getBatch). The symbolic executor calls
+// it with the two sibling partitions of a conditional branch before
+// deciding them, so the true and false sides cost one shared-cache
+// visit instead of two. Partitions that decide trivially, that a recent
+// model already satisfies, or whose groups carry verdicts contribute no
+// keys — Sat answers those without ever consulting the cache.
+func (s *Solver) PrefetchParts(parts ...*Partition) {
+	// With carried partitions the undecided set is tiny (usually just
+	// the one or two groups the branch condition touched), so dedup is
+	// a linear scan — no per-call map.
+	var fps []Fingerprint
+	for _, p := range parts {
+		if _, trivial := p.Trivial(); trivial {
 			continue
 		}
 		reused := false
 		for _, m := range s.recent {
-			if satisfies(live, m) {
+			if s.modelSatisfies(p, m) {
 				reused = true
 				break
 			}
@@ -155,58 +181,69 @@ func (s *Solver) Prefetch(queries ...[]*expr.Expr) {
 		if reused {
 			continue
 		}
-		for _, g := range independentGroups(live) {
-			key := groupKey(g)
-			if seen[key] {
+	groups:
+		for _, g := range p.groups {
+			if g.verdict.Load() != nil {
 				continue
 			}
-			seen[key] = true
-			if _, ok := s.l1[key]; ok {
+			for _, fp := range fps {
+				if fp == g.fp {
+					continue groups
+				}
+			}
+			if _, ok := s.l1[g.fp]; ok {
 				continue
 			}
-			keys = append(keys, key)
+			fps = append(fps, g.fp)
 		}
 	}
-	for key, e := range s.cache.getBatch(keys) {
-		s.l1[key] = e
+	for fp, e := range s.cache.getBatch(fps) {
+		s.l1[fp] = e
 	}
 }
 
 // Sat reports whether the conjunction of the constraints is satisfiable,
 // and if so returns a model (an assignment of every mentioned variable).
+// Callers with a growing path condition should carry a Partition and use
+// SatPartition instead; Sat re-partitions from scratch.
 func (s *Solver) Sat(constraints []*expr.Expr) (bool, map[*expr.Var]uint64, error) {
+	return s.SatPartition(PartitionOf(constraints))
+}
+
+// SatPartition decides a pre-partitioned query. Groups whose verdict was
+// already decided while the partition was carried forward are reused
+// without a cache probe; the remaining groups go through L1 → shared
+// cache → compiled search.
+func (s *Solver) SatPartition(p *Partition) (bool, map[*expr.Var]uint64, error) {
 	s.Stats.Queries++
 
-	// Constant filtering.
-	var live []*expr.Expr
-	for _, c := range constraints {
-		if c.IsTrue() {
-			continue
+	if sat, trivial := p.Trivial(); trivial {
+		if sat {
+			s.Stats.Sat++
+			return true, map[*expr.Var]uint64{}, nil
 		}
-		if c.IsFalse() {
-			s.Stats.Unsat++
-			return false, nil, nil
-		}
-		live = append(live, c)
+		s.Stats.Unsat++
+		return false, nil, nil
 	}
-	if len(live) == 0 {
-		s.Stats.Sat++
-		return true, map[*expr.Var]uint64{}, nil
+	if CaptureQuery != nil {
+		q := make([]*expr.Expr, 0, p.Len())
+		for _, g := range p.groups {
+			q = append(q, g.cs...)
+		}
+		CaptureQuery(q)
 	}
 
 	// Model reuse: does a recent model satisfy everything?
 	for _, m := range s.recent {
-		if satisfies(live, m) {
+		if s.modelSatisfies(p, m) {
 			s.Stats.ModelReuseHits++
 			s.Stats.Sat++
 			return true, m, nil
 		}
 	}
 
-	// Independence: split into groups sharing variables.
-	groups := independentGroups(live)
 	model := make(map[*expr.Var]uint64)
-	for _, g := range groups {
+	for _, g := range p.groups {
 		sat, gm, err := s.solveGroup(g)
 		if err != nil {
 			s.Stats.Failures++
@@ -225,6 +262,22 @@ func (s *Solver) Sat(constraints []*expr.Expr) (bool, map[*expr.Var]uint64, erro
 	return true, model, nil
 }
 
+// modelSatisfies reports whether the model satisfies every constraint
+// of the partition, through the allocation-free reusable evaluator
+// (missing variables read as zero, like expr.Eval).
+func (s *Solver) modelSatisfies(p *Partition, model map[*expr.Var]uint64) bool {
+	s.reuseEval.Bind(model)
+	for _, g := range p.groups {
+		for _, c := range g.cs {
+			if s.reuseEval.Eval(c) == 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// satisfies is the slice form of the model check (tests use it).
 func satisfies(constraints []*expr.Expr, model map[*expr.Var]uint64) bool {
 	for _, c := range constraints {
 		if expr.Eval(c, model) == 0 {
@@ -245,71 +298,20 @@ func (s *Solver) remember(model map[*expr.Var]uint64) {
 	}
 }
 
-// independentGroups unions constraints that share variables.
-func independentGroups(constraints []*expr.Expr) [][]*expr.Expr {
-	parent := make([]int, len(constraints))
-	for i := range parent {
-		parent[i] = i
-	}
-	var find func(int) int
-	find = func(x int) int {
-		for parent[x] != x {
-			parent[x] = parent[parent[x]]
-			x = parent[x]
-		}
-		return x
-	}
-	union := func(a, b int) { parent[find(a)] = find(b) }
-
-	varOwner := make(map[*expr.Var]int)
-	for i, c := range constraints {
-		for _, v := range expr.VarsOf(c) {
-			if j, ok := varOwner[v]; ok {
-				union(i, j)
-			} else {
-				varOwner[v] = i
-			}
-		}
-	}
-	byRoot := make(map[int][]*expr.Expr)
-	var order []int
-	for i, c := range constraints {
-		r := find(i)
-		if _, ok := byRoot[r]; !ok {
-			order = append(order, r)
-		}
-		byRoot[r] = append(byRoot[r], c)
-	}
-	out := make([][]*expr.Expr, 0, len(order))
-	for _, r := range order {
-		out = append(out, byRoot[r])
-	}
-	return out
-}
-
-func groupKey(g []*expr.Expr) string {
-	ids := make([]int64, len(g))
-	for i, c := range g {
-		ids[i] = c.ID()
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	var sb strings.Builder
-	for _, id := range ids {
-		sb.WriteString(strconv.FormatInt(id, 36))
-		sb.WriteByte(',')
-	}
-	return sb.String()
-}
-
-func (s *Solver) solveGroup(g []*expr.Expr) (bool, map[*expr.Var]uint64, error) {
-	key := groupKey(g)
-	if e, ok := s.l1[key]; ok {
-		s.Stats.CacheHits++
+func (s *Solver) solveGroup(g *Group) (bool, map[*expr.Var]uint64, error) {
+	if e := g.verdict.Load(); e != nil {
+		s.Stats.PartitionHits++
 		return e.sat, e.model, nil
 	}
-	if e, ok := s.cache.get(key); ok {
-		s.l1[key] = e
+	if e, ok := s.l1[g.fp]; ok {
 		s.Stats.CacheHits++
+		g.verdict.Store(&e)
+		return e.sat, e.model, nil
+	}
+	if e, ok := s.cache.get(g.fp); ok {
+		s.l1[g.fp] = e
+		s.Stats.CacheHits++
+		g.verdict.Store(&e)
 		return e.sat, e.model, nil
 	}
 	sat, model, err := s.search(g)
@@ -319,8 +321,9 @@ func (s *Solver) solveGroup(g []*expr.Expr) (bool, map[*expr.Var]uint64, error) 
 	// Cached models are shared across workers; they are never mutated
 	// after insertion (Sat only reads them, remember copies).
 	entry := cacheEntry{sat: sat, model: model}
-	s.l1[key] = entry
-	s.cache.put(key, entry)
+	s.l1[g.fp] = entry
+	s.cache.put(g.fp, entry)
+	g.verdict.Store(&entry)
 	return sat, model, nil
 }
 
@@ -349,91 +352,64 @@ func (d *domain) count() int {
 	return n
 }
 
-func (d *domain) first() (uint64, bool) {
-	for i, w := range d {
-		if w != 0 {
-			bit := uint64(0)
-			for w&1 == 0 {
-				w >>= 1
-				bit++
-			}
-			return uint64(i)*64 + bit, true
-		}
-	}
-	return 0, false
-}
-
-// search runs backtracking with forward checking over the group.
-func (s *Solver) search(g []*expr.Expr) (bool, map[*expr.Var]uint64, error) {
-	vars := expr.VarsOf(g...)
-	sort.Slice(vars, func(i, j int) bool { return vars[i].Name < vars[j].Name })
-	for _, v := range vars {
+// search runs backtracking with forward checking over the group,
+// evaluating constraints on the group's compiled tape.
+func (s *Solver) search(g *Group) (bool, map[*expr.Var]uint64, error) {
+	for _, v := range g.vs.Vars() {
 		if v.Bits > 8 {
 			return false, nil, errTooWide
 		}
 	}
+	t := s.scratch.compile(g)
+	s.Stats.TapeCompiles++
+	s.Stats.TapeSlots += int64(len(t.ops))
+	vars := t.vars
 	if len(vars) > s.Stats.MaxGroupVars {
 		s.Stats.MaxGroupVars = len(vars)
 	}
 
-	domains := make(map[*expr.Var]*domain, len(vars))
-	for _, v := range vars {
-		d := fullDomain(v.Bits)
-		domains[v] = &d
-	}
-	// constraint -> its variables (for unassigned counting).
-	cvars := make([][]*expr.Var, len(g))
-	for i, c := range g {
-		cvars[i] = expr.VarsOf(c)
+	domains := make([]domain, len(vars))
+	for i, v := range vars {
+		domains[i] = fullDomain(v.Bits)
 	}
 
-	asn := make(map[*expr.Var]uint64)
-	pe := expr.NewPartialEvaluator(asn)
+	ts := tapeStateFrom(&s.scratch, t)
 	var nodes int64
 	checkBudget := func() error {
-		if nodes > s.opts.MaxNodes || pe.Work > s.opts.MaxWork {
+		if nodes > s.opts.MaxNodes || ts.work > s.opts.MaxWork {
 			return ErrBudget
 		}
-		if !s.deadline.IsZero() && pe.Work%16384 < 64 && time.Now().After(s.deadline) {
+		if !s.deadline.IsZero() && ts.work%16384 < 64 && time.Now().After(s.deadline) {
 			return ErrBudget
 		}
 		return nil
 	}
 
+	nc := len(t.roots)
 	// filterUnary prunes the domain of v using constraints where v is the
 	// only unassigned variable. Returns false if a domain empties.
-	filterUnary := func(v *expr.Var) (bool, error) {
-		d := domains[v]
-		for i, c := range g {
+	filterUnary := func(vi int32) (bool, error) {
+		d := &domains[vi]
+		bits := vars[vi].Bits
+		for ci := 0; ci < nc; ci++ {
 			if err := checkBudget(); err != nil {
 				return false, err
 			}
-			un := 0
-			mentionsV := false
-			for _, cv := range cvars[i] {
-				if _, ok := asn[cv]; !ok {
-					un++
-					if cv == v {
-						mentionsV = true
-					}
-				}
-			}
-			if un != 1 || !mentionsV {
+			un, hasV := ts.unassignedIn(ci, vi)
+			if un != 1 || !hasV {
 				continue
 			}
-			for val := uint64(0); val < uint64(1)<<uint(v.Bits); val++ {
+			for val := uint64(0); val < uint64(1)<<uint(bits); val++ {
 				if !d.has(val) {
 					continue
 				}
-				asn[v] = val
-				pe.Reset()
-				r := pe.Eval(c)
-				delete(asn, v)
-				if r.Known && r.Val == 0 {
+				ts.assign(vi, val)
+				known, r := ts.root(ci)
+				ts.unassign(vi)
+				if known && r == 0 {
 					d.clear(val)
 				}
 			}
-			pe.Reset()
 			if d.count() == 0 {
 				return false, nil
 			}
@@ -444,26 +420,26 @@ func (s *Solver) search(g []*expr.Expr) (bool, map[*expr.Var]uint64, error) {
 	// allHold checks every constraint under the current (partial)
 	// assignment; returns false on a definite violation.
 	allHold := func() bool {
-		for _, c := range g {
-			r := pe.Eval(c)
-			if r.Known && r.Val == 0 {
+		for ci := 0; ci < nc; ci++ {
+			known, r := ts.root(ci)
+			if known && r == 0 {
 				return false
 			}
 		}
 		return true
 	}
 	complete := func() bool {
-		for _, c := range g {
-			r := pe.Eval(c)
-			if !r.Known || r.Val == 0 {
+		for ci := 0; ci < nc; ci++ {
+			known, r := ts.root(ci)
+			if !known || r == 0 {
 				return false
 			}
 		}
 		return true
 	}
 
-	var dfs func(remaining []*expr.Var) (bool, error)
-	dfs = func(remaining []*expr.Var) (bool, error) {
+	var dfs func(remaining []int32) (bool, error)
+	dfs = func(remaining []int32) (bool, error) {
 		nodes++
 		s.Stats.Nodes++
 		if err := checkBudget(); err != nil {
@@ -480,23 +456,22 @@ func (s *Solver) search(g []*expr.Expr) (bool, map[*expr.Var]uint64, error) {
 				best, bestCount = i, c
 			}
 		}
-		v := remaining[best]
-		rest := make([]*expr.Var, 0, len(remaining)-1)
+		vi := remaining[best]
+		rest := make([]int32, 0, len(remaining)-1)
 		rest = append(rest, remaining[:best]...)
 		rest = append(rest, remaining[best+1:]...)
 
-		d := *domains[v] // snapshot: restored by value semantics
-		for val := uint64(0); val < uint64(1)<<uint(v.Bits); val++ {
+		d := domains[vi] // snapshot: restored by value semantics
+		for val := uint64(0); val < uint64(1)<<uint(vars[vi].Bits); val++ {
 			if !d.has(val) {
 				continue
 			}
-			asn[v] = val
-			pe.Reset()
+			ts.assign(vi, val)
 			if allHold() {
 				// Forward-check: refilter domains of remaining vars.
-				saved := make(map[*expr.Var]domain, len(rest))
-				for _, rv := range rest {
-					saved[rv] = *domains[rv]
+				saved := make([]domain, len(rest))
+				for i, rv := range rest {
+					saved[i] = domains[rv]
 				}
 				alive := true
 				for _, rv := range rest {
@@ -518,19 +493,22 @@ func (s *Solver) search(g []*expr.Expr) (bool, map[*expr.Var]uint64, error) {
 						return true, nil
 					}
 				}
-				for rv, sd := range saved {
-					*domains[rv] = sd
+				for i, rv := range rest {
+					domains[rv] = saved[i]
 				}
 			}
-			delete(asn, v)
-			pe.Reset()
+			ts.unassign(vi)
 		}
 		return false, nil
 	}
 
 	// Initial unary filtering pass.
-	for _, v := range vars {
-		ok, err := filterUnary(v)
+	order := make([]int32, len(vars))
+	for i := range order {
+		order[i] = int32(i)
+	}
+	for _, vi := range order {
+		ok, err := filterUnary(vi)
 		if err != nil {
 			return false, nil, err
 		}
@@ -538,7 +516,7 @@ func (s *Solver) search(g []*expr.Expr) (bool, map[*expr.Var]uint64, error) {
 			return false, nil, nil
 		}
 	}
-	sat, err := dfs(vars)
+	sat, err := dfs(order)
 	if err != nil {
 		return false, nil, err
 	}
@@ -546,8 +524,8 @@ func (s *Solver) search(g []*expr.Expr) (bool, map[*expr.Var]uint64, error) {
 		return false, nil, nil
 	}
 	model := make(map[*expr.Var]uint64, len(vars))
-	for v, val := range asn {
-		model[v] = val
+	for i, v := range vars {
+		model[v] = ts.avals[i]
 	}
 	return true, model, nil
 }

@@ -38,23 +38,23 @@ func (w *worker) step(st *State) (stop bool, forked []*State) {
 				continue
 			}
 			notC := w.B.Not(c)
-			resT, resF := w.satTriPair(st, c, notC)
+			resT, resF, pT, pF := w.satTriPair(st, c, notC)
 			switch {
 			case resT == satYes && resF == satYes:
 				other := w.fork(st)
 				of := other.top()
-				st.addPC(c)
+				st.addPCPart(c, pT)
 				w.jump(st, f, in.Succs[0])
-				other.addPC(notC)
+				other.addPCPart(notC, pF)
 				w.jump(other, of, in.Succs[1])
 				// DFS continues with the last element: st (true side).
 				return false, []*State{other, st}
 			case resT == satYes || (resT == satUnknown && resF == satNo):
 				// True side feasible (or the only possibility).
-				st.addPC(c)
+				st.addPCPart(c, pT)
 				w.jump(st, f, in.Succs[0])
 			case resF == satYes || (resF == satUnknown && resT == satNo):
-				st.addPC(notC)
+				st.addPCPart(notC, pF)
 				w.jump(st, f, in.Succs[1])
 			case resT == satNo && resF == satNo:
 				// Contradictory path condition; the path dies silently.

@@ -12,6 +12,7 @@ import (
 
 	"overify/internal/expr"
 	"overify/internal/ir"
+	"overify/internal/solver"
 )
 
 // SymVal is a symbolic runtime value: an integer expression or a pointer
@@ -44,9 +45,15 @@ type Frame struct {
 
 // State is one execution path in progress.
 type State struct {
-	ID      int64
-	Frames  []*Frame
-	PC      []*expr.Expr // path constraints (conjunction)
+	ID     int64
+	Frames []*Frame
+	PC     []*expr.Expr // path constraints (conjunction)
+	// Part is the incremental independence partition of PC, kept in
+	// lock step by addPC: the solver extends it in O(groups) per
+	// appended constraint instead of re-partitioning the whole
+	// condition per query, and decided group verdicts ride along.
+	// Partitions are immutable, so forked states share one by pointer.
+	Part    *solver.Partition
 	Globals map[*ir.Global]*MemObject
 	Forks   int // how many forks led here (path depth in the fork tree)
 }
@@ -54,12 +61,26 @@ type State struct {
 // top returns the active frame.
 func (st *State) top() *Frame { return st.Frames[len(st.Frames)-1] }
 
-// addPC appends a constraint to the path condition.
+// addPC appends a constraint to the path condition, extending the
+// carried partition.
 func (st *State) addPC(c *expr.Expr) {
 	if c.IsTrue() {
 		return
 	}
 	st.PC = append(st.PC, c)
+	st.Part = st.Part.Extend(c)
+}
+
+// addPCPart appends a constraint whose extended partition the caller
+// already computed (the condBr sibling queries), so the extension —
+// and the group verdicts it was decided with — is reused instead of
+// recomputed.
+func (st *State) addPCPart(c *expr.Expr, p *solver.Partition) {
+	if c.IsTrue() {
+		return
+	}
+	st.PC = append(st.PC, c)
+	st.Part = p
 }
 
 // clone deep-copies the state's mutable parts. Read-only objects and all
@@ -68,6 +89,7 @@ func (st *State) clone(nextID int64) *State {
 	ns := &State{
 		ID:      nextID,
 		PC:      append([]*expr.Expr(nil), st.PC...),
+		Part:    st.Part, // immutable; shared across forks
 		Globals: make(map[*ir.Global]*MemObject, len(st.Globals)),
 		Forks:   st.Forks + 1,
 	}

@@ -87,10 +87,70 @@ func TestStrategyConformance(t *testing.T) {
 					if rep.Stats.CoveredBlocks != base.Stats.CoveredBlocks {
 						t.Errorf("%s: covered blocks %d != baseline %d", tag, rep.Stats.CoveredBlocks, base.Stats.CoveredBlocks)
 					}
+					// The solver's verdict surface is schedule-invariant
+					// on an exhaustive run: the same branches are queried
+					// and decide the same way no matter the order, so the
+					// per-query counters must match exactly. (Cache and
+					// reuse hit counters legitimately vary per schedule.)
+					bs, rs := base.Stats.SolverStats, rep.Stats.SolverStats
+					if rs.Queries != bs.Queries || rs.Sat != bs.Sat || rs.Unsat != bs.Unsat || rs.Failures != bs.Failures {
+						t.Errorf("%s: solver verdicts q=%d/sat=%d/unsat=%d/fail=%d != baseline q=%d/sat=%d/unsat=%d/fail=%d",
+							tag, rs.Queries, rs.Sat, rs.Unsat, rs.Failures, bs.Queries, bs.Sat, bs.Unsat, bs.Failures)
+					}
 					bk, bb := bugKeys(rep), bugKeys(base)
 					if fmt.Sprint(bk) != fmt.Sprint(bb) {
 						t.Errorf("%s: bug reports %v != baseline %v", tag, bk, bb)
 					}
+				}
+			}
+		})
+	}
+}
+
+// TestSolverConformanceAcrossLevels: the solver must be
+// verdict-invariant at every optimization level, not just -OVERIFY:
+// per (program, level), workers=4 must reproduce the serial baseline's
+// paths, instructions, coverage, bug reports and solver verdict
+// counters exactly. It sweeps the structurally diverse corpus subset
+// (full-corpus × all-level equivalence costs ~15 minutes serial and is
+// checked out-of-band; full corpus at -OVERIFY is TestStrategyConformance).
+func TestSolverConformanceAcrossLevels(t *testing.T) {
+	var programs []coreutils.Program
+	for _, name := range []string{"echo", "cat", "wc", "tr", "grep-v", "rev", "uniq", "seq"} {
+		p, ok := coreutils.Get(name)
+		if !ok {
+			t.Fatalf("no corpus program %q", name)
+		}
+		programs = append(programs, p)
+	}
+	levels := []pipeline.Level{pipeline.O0, pipeline.O1, pipeline.O2, pipeline.O3, pipeline.OVerify}
+	if testing.Short() {
+		levels = []pipeline.Level{pipeline.O0, pipeline.O2, pipeline.OVerify}
+	}
+	for _, level := range levels {
+		level := level
+		t.Run(level.String(), func(t *testing.T) {
+			for _, p := range programs {
+				base := verifyStrat(t, p, level, 3, 1, symex.DFS, 0)
+				rep := verifyStrat(t, p, level, 3, 4, symex.DFS, 0)
+				tag := fmt.Sprintf("%s %s", p.Name, level)
+				if rep.Stats.Paths != base.Stats.Paths || rep.Stats.ErrorPaths != base.Stats.ErrorPaths {
+					t.Errorf("%s: paths %d/%d != baseline %d/%d", tag,
+						rep.Stats.Paths, rep.Stats.ErrorPaths, base.Stats.Paths, base.Stats.ErrorPaths)
+				}
+				if rep.Stats.Instrs != base.Stats.Instrs {
+					t.Errorf("%s: instrs %d != baseline %d", tag, rep.Stats.Instrs, base.Stats.Instrs)
+				}
+				if rep.Stats.CoveredBlocks != base.Stats.CoveredBlocks {
+					t.Errorf("%s: covered %d != baseline %d", tag, rep.Stats.CoveredBlocks, base.Stats.CoveredBlocks)
+				}
+				bs, rs := base.Stats.SolverStats, rep.Stats.SolverStats
+				if rs.Queries != bs.Queries || rs.Sat != bs.Sat || rs.Unsat != bs.Unsat || rs.Failures != bs.Failures {
+					t.Errorf("%s: solver verdicts q=%d/sat=%d/unsat=%d/fail=%d != baseline q=%d/sat=%d/unsat=%d/fail=%d",
+						tag, rs.Queries, rs.Sat, rs.Unsat, rs.Failures, bs.Queries, bs.Sat, bs.Unsat, bs.Failures)
+				}
+				if fmt.Sprint(bugKeys(rep)) != fmt.Sprint(bugKeys(base)) {
+					t.Errorf("%s: bug reports diverged", tag)
 				}
 			}
 		})

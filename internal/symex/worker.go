@@ -182,31 +182,35 @@ func (w *worker) sat(st *State, extra *expr.Expr) (bool, map[*expr.Var]uint64) {
 	return res != satNo, model
 }
 
-// satTri is the three-valued feasibility query.
+// satTri is the three-valued feasibility query over the state's
+// carried partition (extended by one constraint, not rebuilt).
 func (w *worker) satTri(st *State, extra *expr.Expr) (satResult, map[*expr.Var]uint64) {
-	q := st.PC
+	p := st.Part
 	if extra != nil {
-		q = append(append([]*expr.Expr(nil), st.PC...), extra)
+		p = p.Extend(extra)
 	}
-	return w.satQ(q)
+	return w.satP(p)
 }
 
 // satTriPair decides the two sibling queries of a conditional branch
-// (pc+a, pc+b with b = !a). The queries share every path-condition
+// (pc+a, pc+b with b = !a) and returns the extended partitions so the
+// branch can carry them forward (group verdicts decided here ride
+// along to the forked states). The queries share every path-condition
 // group and differ in one, so both shared-cache lookups go through one
-// batched striped-lock round trip (Solver.Prefetch) instead of two.
-func (w *worker) satTriPair(st *State, a, b *expr.Expr) (resA, resB satResult) {
-	qa := append(append([]*expr.Expr(nil), st.PC...), a)
-	qb := append(append([]*expr.Expr(nil), st.PC...), b)
-	w.sol.Prefetch(qa, qb)
-	resA, _ = w.satQ(qa)
-	resB, _ = w.satQ(qb)
-	return resA, resB
+// batched striped-lock round trip (Solver.PrefetchParts) instead of
+// two.
+func (w *worker) satTriPair(st *State, a, b *expr.Expr) (resA, resB satResult, pa, pb *solver.Partition) {
+	pa = st.Part.Extend(a)
+	pb = st.Part.Extend(b)
+	w.sol.PrefetchParts(pa, pb)
+	resA, _ = w.satP(pa)
+	resB, _ = w.satP(pb)
+	return resA, resB, pa, pb
 }
 
-// satQ maps a raw solver query onto the three-valued result.
-func (w *worker) satQ(q []*expr.Expr) (satResult, map[*expr.Var]uint64) {
-	ok, model, err := w.sol.Sat(q)
+// satP maps a partitioned solver query onto the three-valued result.
+func (w *worker) satP(p *solver.Partition) (satResult, map[*expr.Var]uint64) {
+	ok, model, err := w.sol.SatPartition(p)
 	if err != nil {
 		return satUnknown, nil
 	}

@@ -7,6 +7,7 @@
 //	overify-bench -scaling [-prog wc] [-n 5] [-timeout 60s]
 //	overify-bench -search all [-n 3] [-timeout 5s] [-json BENCH_strategies.json]
 //	overify-bench -solver [-json BENCH_solver.json]
+//	overify-bench -verdicts [-n 3] [-j workers] [-json BENCH_verdicts.json]
 //	overify-bench -all
 //
 // -search all runs the strategy comparison (per-strategy t_verify and
@@ -21,8 +22,11 @@
 // drivers, compiles whole modules in parallel). -solver runs the
 // solver microbenchmarks over a captured corpus query stream — the
 // before/after sections of BENCH_solver.json are its -json output
-// across solver changes. Output is the text rendering recorded in
-// EXPERIMENTS.md.
+// across solver changes. -verdicts runs the warm-vs-cold verdict-store
+// sweep: the full corpus verified twice per level against one
+// content-addressed store, asserting the warm pass reproduces every
+// cold report byte-identically. Output is the text rendering recorded
+// in EXPERIMENTS.md.
 package main
 
 import (
@@ -55,6 +59,7 @@ func main() {
 	budget := flag.Bool("budget", false, "add per-strategy time-to-coverage columns to Figure 4")
 	coverTarget := flag.Int("cover", 0, "block-coverage target for -budget (0 = each cell's full coverage)")
 	solverBench := flag.Bool("solver", false, "run the solver microbenchmarks on a captured corpus query stream")
+	verdictSweep := flag.Bool("verdicts", false, "run the warm-vs-cold verdict-store sweep over the corpus")
 	flag.Parse()
 
 	var pipeSpec *pipeline.PipelineSpec
@@ -102,8 +107,24 @@ func main() {
 		}
 	}
 
+	if *verdictSweep {
+		opts := bench.VerdictSweepOptions{InputBytes: *n, Workers: *workers}
+		if *prog != "" {
+			opts.Programs = []string{*prog}
+		}
+		rows, err := bench.VerdictSweep(opts)
+		check(err)
+		fmt.Println(bench.RenderVerdictSweep(rows, opts))
+		if *jsonPath != "" {
+			data, err := bench.VerdictSweepJSON(rows, opts)
+			check(err)
+			check(os.WriteFile(*jsonPath, append(data, '\n'), 0o644))
+			fmt.Printf("(wrote %s)\n", *jsonPath)
+		}
+	}
+
 	if !(*t1 || *t2 || *t3 || *f4 || *scaling || *all) {
-		if strategies || *solverBench {
+		if strategies || *solverBench || *verdictSweep {
 			return
 		}
 		flag.Usage()

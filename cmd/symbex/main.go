@@ -24,6 +24,7 @@ import (
 	"overify/internal/coreutils"
 	"overify/internal/pipeline"
 	"overify/internal/symex"
+	"overify/internal/verdicts"
 )
 
 func main() {
@@ -37,13 +38,15 @@ func main() {
 	workers := flag.Int("j", 1, "exploration workers (-1 = one per CPU)")
 	progName := flag.String("prog", "", "verify a bundled corpus program")
 	entry := flag.String("entry", "umain", "entry function (signature: int f(unsigned char*, int))")
+	verdictDir := flag.String("verdict-cache", "", "content-addressed verdict store directory (e.g. .overify-cache); unchanged content skips exploration")
+	watch := flag.Bool("watch", false, "poll the source file for changes and re-verify on each edit (file input only; implies -verdict-cache)")
 	flag.Parse()
 
 	lvl, err := pipeline.ParseLevel(*level)
 	if err != nil {
 		fatal(err)
 	}
-	var name, src string
+	var name, src, file string
 	switch {
 	case *progName != "":
 		p, ok := coreutils.Get(*progName)
@@ -52,62 +55,134 @@ func main() {
 		}
 		name, src = p.Name, p.Src
 	case flag.NArg() == 1:
-		data, err := os.ReadFile(flag.Arg(0))
+		file = flag.Arg(0)
+		data, err := os.ReadFile(file)
 		if err != nil {
 			fatal(err)
 		}
-		name, src = flag.Arg(0), string(data)
+		name, src = file, string(data)
 	default:
 		fmt.Fprintln(os.Stderr, "usage: symbex [-O level] [-n bytes] file.c | -prog name")
 		os.Exit(2)
 	}
+	if *watch && file == "" {
+		fatal(fmt.Errorf("-watch needs a source file to poll; corpus programs do not change"))
+	}
 
-	cfg := pipeline.LevelConfig(lvl)
-	cfg.Jobs = *workers
+	var pipeSpec *pipeline.PipelineSpec
 	if *passSpec != "" {
 		spec, err := pipeline.ParsePipeline(*passSpec)
 		if err != nil {
 			fatal(err)
 		}
-		cfg.Pipeline = &spec
-	}
-	c, err := core.CompileWithConfig(name, src, cfg, core.DefaultLibc(lvl))
-	if err != nil {
-		fatal(err)
+		pipeSpec = &spec
 	}
 	strat, err := symex.ParseSearch(*search)
 	if err != nil {
 		fatal(err)
 	}
-	opts := core.VerifyOptions{InputBytes: *n}
+	var store *verdicts.Store
+	if dir := *verdictDir; dir != "" || *watch {
+		store, err = verdicts.Open(dir)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	opts := core.VerifyOptions{InputBytes: *n, Verdicts: store}
 	opts.Engine.Timeout = *timeout
 	opts.Engine.Workers = *workers
 	opts.Engine.Strategy = strat
 	opts.Engine.Seed = *seed
 	opts.Engine.CoverTarget = *coverTarget
-	rep, err := c.Verify(*entry, opts)
-	if err != nil {
-		fatal(err)
+
+	run := func(src string) bool {
+		cfg := pipeline.LevelConfig(lvl)
+		cfg.Jobs = *workers
+		cfg.Pipeline = pipeSpec
+		c, err := core.CompileWithConfig(name, src, cfg, core.DefaultLibc(lvl))
+		if err != nil {
+			if *watch {
+				fmt.Fprintln(os.Stderr, "symbex:", err)
+				return false
+			}
+			fatal(err)
+		}
+		rep, err := c.Verify(*entry, opts)
+		if err != nil {
+			if *watch {
+				fmt.Fprintln(os.Stderr, "symbex:", err)
+				return false
+			}
+			fatal(err)
+		}
+		report(name, lvl, *n, c, rep, store)
+		return len(rep.Bugs) == 0
 	}
 
-	s := rep.Stats
-	fmt.Printf("%s at %s, %d symbolic input bytes, %d workers, %s search\n", name, lvl, *n, s.Workers, s.Strategy)
-	fmt.Printf("  compile:        %s  (%d pass invocations, %d skipped, %.0f%% analysis-cache hits)\n",
-		c.Result.CompileTime, c.Result.PassInvocations, c.Result.SkippedFuncRuns,
-		100*c.Result.Analysis.HitRate())
-	fmt.Printf("  verify:         %s", s.Elapsed)
-	if s.TimedOut {
-		fmt.Printf("  (TIMED OUT)")
+	if !*watch {
+		if !run(src) {
+			os.Exit(1)
+		}
+		return
 	}
-	fmt.Println()
-	fmt.Printf("  paths:          %d completed, %d errored, %d truncated\n",
-		s.Paths, s.ErrorPaths, s.TruncatedPaths)
-	fmt.Printf("  instructions:   %d\n", s.Instrs)
-	fmt.Printf("  forks:          %d (max %d live states)\n", s.Forks, s.MaxLiveStates)
-	fmt.Printf("  states:         %d explored, %d blocks covered\n", s.StatesExplored, s.CoveredBlocks)
-	fmt.Printf("  solver:         %d queries, %d cache hits, %d model reuses, %d failures\n",
-		s.SolverStats.Queries, s.SolverStats.CacheHits,
-		s.SolverStats.ModelReuseHits, s.SolverStats.Failures)
+
+	// Watch mode: verify now, then re-verify on every mtime change.
+	// With the verdict store attached, an edit that touches nothing
+	// reachable from the entry (comments, unused functions) re-verifies
+	// in cache-hit time.
+	fmt.Printf("watching %s (poll %s, verdict cache %s) — ctrl-c to stop\n", file, watchPoll, store.Dir())
+	last := time.Time{}
+	for {
+		st, err := os.Stat(file)
+		if err == nil && st.ModTime() != last {
+			last = st.ModTime()
+			data, err := os.ReadFile(file)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "symbex:", err)
+			} else {
+				run(string(data))
+				fmt.Println()
+			}
+		}
+		time.Sleep(watchPoll)
+	}
+}
+
+// watchPoll is the -watch mtime polling interval.
+const watchPoll = 300 * time.Millisecond
+
+func report(name string, lvl pipeline.Level, n int, c *core.Compiled, rep *symex.Report, store *verdicts.Store) {
+	s := rep.Stats
+	if s.VerdictCacheHits > 0 {
+		fmt.Printf("%s at %s, %d symbolic input bytes\n", name, lvl, n)
+		fmt.Printf("  compile:        %s  (%d pass invocations, %d skipped, %.0f%% analysis-cache hits)\n",
+			c.Result.CompileTime, c.Result.PassInvocations, c.Result.SkippedFuncRuns,
+			100*c.Result.Analysis.HitRate())
+		fmt.Printf("  verdicts:       cache hit — exploration skipped (%d paths, %d queries reproduced from %s)\n",
+			s.Paths, s.SolverStats.Queries, store.Dir())
+	} else {
+		fmt.Printf("%s at %s, %d symbolic input bytes, %d workers, %s search\n", name, lvl, n, s.Workers, s.Strategy)
+		fmt.Printf("  compile:        %s  (%d pass invocations, %d skipped, %.0f%% analysis-cache hits)\n",
+			c.Result.CompileTime, c.Result.PassInvocations, c.Result.SkippedFuncRuns,
+			100*c.Result.Analysis.HitRate())
+		fmt.Printf("  verify:         %s", s.Elapsed)
+		if s.TimedOut {
+			fmt.Printf("  (TIMED OUT)")
+		}
+		fmt.Println()
+		fmt.Printf("  paths:          %d completed, %d errored, %d truncated\n",
+			s.Paths, s.ErrorPaths, s.TruncatedPaths)
+		fmt.Printf("  instructions:   %d\n", s.Instrs)
+		fmt.Printf("  forks:          %d (max %d live states)\n", s.Forks, s.MaxLiveStates)
+		fmt.Printf("  states:         %d explored, %d blocks covered\n", s.StatesExplored, s.CoveredBlocks)
+		fmt.Printf("  solver:         %d queries, %d cache hits, %d model reuses, %d failures\n",
+			s.SolverStats.Queries, s.SolverStats.CacheHits,
+			s.SolverStats.ModelReuseHits, s.SolverStats.Failures)
+		if store != nil {
+			fmt.Printf("  verdicts:       miss — outcome stored in %s (%d entries)\n", store.Dir(), store.Len())
+		}
+	}
 	if len(rep.Bugs) == 0 {
 		fmt.Printf("  bugs:           none — all %d paths verified\n", s.Paths)
 	} else {
@@ -118,7 +193,6 @@ func main() {
 				fmt.Printf("      reproducing input: %q\n", string(b.Input))
 			}
 		}
-		os.Exit(1)
 	}
 }
 

@@ -1,0 +1,189 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"overify/internal/core"
+	"overify/internal/coreutils"
+	"overify/internal/pipeline"
+	"overify/internal/verdicts"
+)
+
+// VerdictSweepOptions configure the warm-vs-cold verdict-store
+// measurement: the full corpus is verified twice per level against one
+// content-addressed store — once cold (populating it) and once warm
+// (served from it) — and the warm run must reproduce every cold report
+// byte-identically while skipping the exploration.
+type VerdictSweepOptions struct {
+	// Programs restricts the corpus (default: all).
+	Programs []string
+	// InputBytes is the symbolic input size (default 3, the full-corpus
+	// sweep setting).
+	InputBytes int
+	// MaxInstrs caps each cell's exploration (default 2,000,000, the
+	// recorded sweep cap). Truncated runs are not cacheable, so capped
+	// cells count against the skip rate honestly.
+	MaxInstrs int64
+	// Workers is the engine worker count (0/1 serial).
+	Workers int
+	// Levels to measure (default: all five).
+	Levels []pipeline.Level
+	// Dir is the store directory; empty uses a fresh temp directory.
+	Dir string
+}
+
+func (o VerdictSweepOptions) withDefaults() VerdictSweepOptions {
+	if len(o.Programs) == 0 {
+		for _, p := range coreutils.All() {
+			o.Programs = append(o.Programs, p.Name)
+		}
+	}
+	if o.InputBytes == 0 {
+		o.InputBytes = 3
+	}
+	if o.MaxInstrs == 0 {
+		o.MaxInstrs = 2_000_000
+	}
+	if len(o.Levels) == 0 {
+		o.Levels = []pipeline.Level{pipeline.O0, pipeline.O1, pipeline.O2, pipeline.O3, pipeline.OVerify}
+	}
+	return o
+}
+
+// VerdictRow is one level's warm-vs-cold measurement.
+type VerdictRow struct {
+	Level       string  `json:"level"`
+	Programs    int     `json:"programs"`
+	ColdMs      float64 `json:"t_verify_cold_ms"`
+	WarmMs      float64 `json:"t_verify_warm_ms"`
+	Stored      int64   `json:"stored"`
+	WarmHits    int64   `json:"warm_hits"`
+	WarmSkipped int64   `json:"warm_skipped_verifies"`
+	Identical   bool    `json:"identical"`
+}
+
+// VerdictSweep runs the cold and warm corpus sweeps. Both phases
+// recompile every program — compile time is excluded from the reported
+// verify times, so the warm column isolates what the store saves: the
+// exploration itself.
+func VerdictSweep(opts VerdictSweepOptions) ([]VerdictRow, error) {
+	opts = opts.withDefaults()
+	dir := opts.Dir
+	if dir == "" {
+		d, err := os.MkdirTemp("", "overify-verdicts-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(d)
+		dir = d
+	}
+	store, err := verdicts.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+
+	verify := func(p coreutils.Program, level pipeline.Level) (string, *VerdictRowCell, error) {
+		c, err := core.CompileProgram(p, level)
+		if err != nil {
+			return "", nil, fmt.Errorf("%s at %s: %w", p.Name, level, err)
+		}
+		vo := core.VerifyOptions{InputBytes: opts.InputBytes, Verdicts: store}
+		vo.Engine.MaxInstrs = opts.MaxInstrs
+		vo.Engine.Workers = opts.Workers
+		start := time.Now()
+		rep, err := c.Verify("umain", vo)
+		if err != nil {
+			return "", nil, fmt.Errorf("%s at %s: verify: %w", p.Name, level, err)
+		}
+		return verdicts.Render(rep), &VerdictRowCell{
+			Elapsed: time.Since(start),
+			Hits:    rep.Stats.VerdictCacheHits,
+			Skipped: rep.Stats.SkippedFuncVerifies,
+		}, nil
+	}
+
+	var rows []VerdictRow
+	for _, level := range opts.Levels {
+		row := VerdictRow{Level: level.String(), Programs: len(opts.Programs), Identical: true}
+		cold := make(map[string]string, len(opts.Programs))
+		before := store.Stores
+		for _, name := range opts.Programs {
+			p, ok := coreutils.Get(name)
+			if !ok {
+				return nil, fmt.Errorf("verdicts: unknown corpus program %q", name)
+			}
+			render, cell, err := verify(p, level)
+			if err != nil {
+				return nil, err
+			}
+			cold[name] = render
+			row.ColdMs += durMs(cell.Elapsed)
+		}
+		row.Stored = store.Stores - before
+		for _, name := range opts.Programs {
+			p, _ := coreutils.Get(name)
+			render, cell, err := verify(p, level)
+			if err != nil {
+				return nil, err
+			}
+			row.WarmMs += durMs(cell.Elapsed)
+			row.WarmHits += cell.Hits
+			row.WarmSkipped += cell.Skipped
+			if render != cold[name] {
+				row.Identical = false
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// VerdictRowCell carries one verify call's measurement.
+type VerdictRowCell struct {
+	Elapsed time.Duration
+	Hits    int64
+	Skipped int64
+}
+
+// RenderVerdictSweep renders the sweep as the text recorded in
+// EXPERIMENTS.md.
+func RenderVerdictSweep(rows []VerdictRow, opts VerdictSweepOptions) string {
+	opts = opts.withDefaults()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Verdict-store warm-vs-cold sweep: %d programs, %d symbolic bytes, %d-instr cap\n",
+		len(opts.Programs), opts.InputBytes, opts.MaxInstrs)
+	fmt.Fprintf(&sb, "  %-9s %14s %14s %8s %10s %10s %10s\n",
+		"level", "t_cold[ms]", "t_warm[ms]", "speedup", "stored", "warm hits", "identical")
+	var verifies, skipped int64
+	for _, r := range rows {
+		speedup := 0.0
+		if r.WarmMs > 0 {
+			speedup = r.ColdMs / r.WarmMs
+		}
+		fmt.Fprintf(&sb, "  %-9s %14.1f %14.1f %7.1fx %10d %10d %10v\n",
+			r.Level, r.ColdMs, r.WarmMs, speedup, r.Stored, r.WarmHits, r.Identical)
+		verifies += int64(r.Programs)
+		skipped += r.WarmSkipped
+	}
+	if verifies > 0 {
+		fmt.Fprintf(&sb, "  warm sweep skipped %d of %d per-function verifies (%.0f%%)\n",
+			skipped, verifies, 100*float64(skipped)/float64(verifies))
+	}
+	return sb.String()
+}
+
+// VerdictSweepJSON is the machine-readable form (BENCH_verdicts.json).
+func VerdictSweepJSON(rows []VerdictRow, opts VerdictSweepOptions) ([]byte, error) {
+	opts = opts.withDefaults()
+	doc := struct {
+		InputBytes int          `json:"input_bytes"`
+		MaxInstrs  int64        `json:"max_instrs"`
+		Programs   int          `json:"programs"`
+		Rows       []VerdictRow `json:"rows"`
+	}{opts.InputBytes, opts.MaxInstrs, len(opts.Programs), rows}
+	return json.MarshalIndent(doc, "", "  ")
+}

@@ -16,6 +16,7 @@ import (
 	"overify/internal/passes"
 	"overify/internal/pipeline"
 	"overify/internal/symex"
+	"overify/internal/verdicts"
 )
 
 // Compiled is a program compiled at a specific optimization level with a
@@ -26,6 +27,13 @@ type Compiled struct {
 	Level  pipeline.Level
 	Libc   libc.Kind
 	Result *pipeline.Result
+
+	// PipelineDesc identifies how the module was produced — level,
+	// rendered pass pipeline, checks/annotation switches, libc variant.
+	// It is the compilation half of the verdict store's content key;
+	// empty (the explicit-pass-list ablation path) disables verdict
+	// caching for this compile.
+	PipelineDesc string
 }
 
 // DefaultLibc returns the library variant a level links by default:
@@ -64,7 +72,9 @@ func CompileWithConfig(name, src string, cfg pipeline.Config, lk libc.Kind) (*Co
 	if err != nil {
 		return nil, fmt.Errorf("optimize %s at %s: %w", name, cfg.Level, err)
 	}
-	return &Compiled{Name: name, Mod: mod, Level: cfg.Level, Libc: lk, Result: res}, nil
+	desc := fmt.Sprintf("level=%s|pipeline=%s|checks=%v|ranges=%v|libc=%s",
+		cfg.Level, res.Spec, cfg.Checks, cfg.AnnotateRanges, lk)
+	return &Compiled{Name: name, Mod: mod, Level: cfg.Level, Libc: lk, Result: res, PipelineDesc: desc}, nil
 }
 
 // CompileWithPasses compiles src + libc and then runs an explicit pass
@@ -146,16 +156,68 @@ type VerifyOptions struct {
 	// CoverTarget, workers). Use symex.ParseSearch to map a flag
 	// spelling onto Engine.Strategy.
 	Engine symex.Options
+	// Verdicts, when non-nil, is consulted before exploring: if the
+	// store holds an outcome for this exact content key (reachable IR +
+	// pipeline + verify config) the stored merged report is returned
+	// without running the engine, and deterministic outcomes of cold
+	// runs are persisted for next time.
+	Verdicts *verdicts.Store
+}
+
+// verifyDesc renders the outcome-relevant verify configuration for the
+// content key. Strategy, seed and worker count are deliberately absent:
+// the conformance suites pin merged reports as schedule-invariant, so
+// they cannot change a stored outcome. Budgets and limits can, so they
+// are in.
+func verifyDesc(opts VerifyOptions) string {
+	return fmt.Sprintf("entrybytes=%d|maxpaths=%d|maxinstrs=%d|maxstates=%d|cover=%d|maxnodes=%d|maxwork=%d|history=%d",
+		opts.InputBytes, opts.Engine.MaxPaths, opts.Engine.MaxInstrs, opts.Engine.MaxStates,
+		opts.Engine.CoverTarget, opts.Engine.Solver.MaxNodes, opts.Engine.Solver.MaxWork,
+		opts.Engine.Solver.ModelHistory)
+}
+
+// VerdictKey computes the content key Verify would use for fn under
+// opts, and whether verdict caching applies to this compile at all.
+func (c *Compiled) VerdictKey(fn string, opts VerifyOptions) (verdicts.Key, bool) {
+	if opts.InputBytes <= 0 {
+		opts.InputBytes = 4
+	}
+	if c.PipelineDesc == "" {
+		return "", false
+	}
+	return verdicts.KeyFor(c.Mod, fn, c.PipelineDesc, verifyDesc(opts))
 }
 
 // Verify explores fn(input, n) exhaustively with an n-byte symbolic
-// NUL-terminated input, the KLEE coreutils setup of §4.
+// NUL-terminated input, the KLEE coreutils setup of §4. With a verdict
+// store attached it becomes the incremental re-verify path: unchanged
+// content is answered from the store (VerdictCacheHits and
+// SkippedFuncVerifies count the skipped work), and fresh deterministic
+// outcomes are persisted.
 func (c *Compiled) Verify(fn string, opts VerifyOptions) (*symex.Report, error) {
 	if opts.InputBytes <= 0 {
 		opts.InputBytes = 4
 	}
+	var key verdicts.Key
+	keyed := false
+	if opts.Verdicts != nil {
+		key, keyed = c.VerdictKey(fn, opts)
+		if keyed {
+			if e, ok := opts.Verdicts.Get(key); ok {
+				rep := e.Report()
+				rep.Stats.VerdictCacheHits = 1
+				rep.Stats.SkippedFuncVerifies = 1
+				return rep, nil
+			}
+		}
+	}
 	eng := symex.NewEngine(c.Mod, opts.Engine)
 	buf := eng.SymbolicBuffer("input", opts.InputBytes, true)
 	length := eng.IntArg(ir.I32, uint64(opts.InputBytes))
-	return eng.Run(fn, []symex.SymVal{buf, length}, nil)
+	rep, err := eng.Run(fn, []symex.SymVal{buf, length}, nil)
+	if err == nil && keyed && verdicts.Cacheable(rep) {
+		// Best-effort: a failed write only loses warmth.
+		_ = opts.Verdicts.Put(key, verdicts.FromReport(key, c.Name, fn, c.Level.String(), rep))
+	}
+	return rep, err
 }

@@ -99,3 +99,40 @@ func TestCorpusVerifySmall(t *testing.T) {
 		}
 	}
 }
+
+// TestBudgetAccountingRegression pins the bug that motivated making the
+// solver budget evaluator-independent: basename at -O3/-OVERIFY with a
+// 3-byte input has three "last slash index" groups whose unsat proofs
+// blew the compiled tape's slot-tick budget (trading 3 unsat verdicts
+// for ErrBudget failures), even though the same groups were decided
+// under the legacy evaluator's accounting. With budget counted in
+// assignments tried and value-set propagation closing the pathological
+// groups, every query must now be decided: zero budget failures, and
+// the unsat verdicts are back.
+func TestBudgetAccountingRegression(t *testing.T) {
+	p, ok := coreutils.Get("basename")
+	if !ok {
+		t.Fatal("basename not in corpus")
+	}
+	for _, level := range []pipeline.Level{pipeline.O3, pipeline.OVerify} {
+		c, err := core.CompileProgram(p, level)
+		if err != nil {
+			t.Fatalf("%s: %v", level, err)
+		}
+		rep, err := c.Verify("umain", core.VerifyOptions{InputBytes: 3})
+		if err != nil {
+			t.Fatalf("%s: verify: %v", level, err)
+		}
+		ss := rep.Stats.SolverStats
+		if ss.Failures != 0 {
+			t.Errorf("%s: %d budget failures, want 0 (queries=%d unsat=%d)",
+				level, ss.Failures, ss.Queries, ss.Unsat)
+		}
+		if ss.Unsat < 3 {
+			t.Errorf("%s: %d unsat verdicts, want >= 3", level, ss.Unsat)
+		}
+		if len(rep.Bugs) != 0 {
+			t.Errorf("%s: unexpected bugs: %v", level, rep.Bugs)
+		}
+	}
+}

@@ -215,7 +215,13 @@ func Passes(cfg Config) PipelineSpec {
 
 // Result reports what one pipeline run did.
 type Result struct {
-	Level       Level
+	Level Level
+	// Spec is the rendered pass pipeline that actually ran (the level's
+	// canonical spec, or the -passes override). It round-trips through
+	// ParsePipeline, and is part of the verdict store's content key: a
+	// different pipeline can produce different IR and different checks,
+	// so it must produce a different key.
+	Spec        string
 	Stats       passes.Stats
 	CompileTime time.Duration
 	InstrsIn    int // static instruction count before
@@ -263,7 +269,7 @@ func Optimize(m *ir.Module, cfg Config) (*Result, error) {
 			return nil
 		}
 	}
-	res := &Result{Level: cfg.Level, InstrsIn: m.NumInstrs()}
+	res := &Result{Level: cfg.Level, Spec: spec.String(), InstrsIn: m.NumInstrs()}
 	metrics, err := mgr.Run(m, seq, cx)
 	if err != nil {
 		return nil, err

@@ -26,6 +26,13 @@ type tape struct {
 	// cmasks is the per-constraint variable bitmask (var-index words),
 	// used for the only-unassigned-variable test in unary filtering.
 	cmasks [][]uint64
+	// csub is the per-constraint slot bitmask (slot-index words): the
+	// sub-DAG reachable from the constraint's root. Unary-filter probes
+	// re-evaluate only watch[vi] ∩ csub[ci] — the slots of the one
+	// constraint being filtered — mirroring what the pre-tape evaluator
+	// paid per probe (one constraint tree, not the variable's whole
+	// watch list).
+	csub   [][]uint64
 	nwords int
 }
 
@@ -50,6 +57,7 @@ type tapeScratch struct {
 	counts       []int32
 	watchBacking []int32
 	cmaskBacking []uint64
+	csubBacking  []uint64
 
 	// tapeState buffers.
 	known    []bool
@@ -57,6 +65,9 @@ type tapeScratch struct {
 	assigned []bool
 	avals    []uint64
 	amask    []uint64
+	ovKnown  []bool
+	ovVal    []uint64
+	ovStamp  []uint64
 }
 
 // compileGroup flattens the group's constraint DAG into a tape using
@@ -190,6 +201,43 @@ func (sc *tapeScratch) compile(g *Group) *tape {
 		}
 		t.cmasks[i] = mask
 	}
+
+	// Constraint sub-DAG bitsets: mark each root, then sweep downward —
+	// operands always sit at smaller slot indices, so one descending pass
+	// closes the reachable set.
+	swords := (len(t.ops) + 63) / 64
+	if cap(sc.csubBacking) < len(g.cs)*swords {
+		sc.csubBacking = make([]uint64, len(g.cs)*swords)
+	}
+	csubBacking := sc.csubBacking[:len(g.cs)*swords]
+	for i := range csubBacking {
+		csubBacking[i] = 0
+	}
+	if cap(t.csub) < len(g.cs) {
+		t.csub = make([][]uint64, len(g.cs))
+	}
+	t.csub = t.csub[:len(g.cs)]
+	for ci := range g.cs {
+		sub := csubBacking[ci*swords : (ci+1)*swords]
+		r := t.roots[ci]
+		sub[r>>6] |= 1 << uint(r&63)
+		for s := r; s >= 0; s-- {
+			if sub[s>>6]&(1<<uint(s&63)) == 0 {
+				continue
+			}
+			op := &t.ops[s]
+			if op.a0 >= 0 {
+				sub[op.a0>>6] |= 1 << uint(op.a0&63)
+			}
+			if op.a1 >= 0 {
+				sub[op.a1>>6] |= 1 << uint(op.a1&63)
+			}
+			if op.a2 >= 0 {
+				sub[op.a2>>6] |= 1 << uint(op.a2&63)
+			}
+		}
+		t.csub[ci] = sub
+	}
 	return t
 }
 
@@ -204,7 +252,18 @@ type tapeState struct {
 	assigned []bool
 	avals    []uint64
 	amask    []uint64 // assigned-variable bitmask (var-index words)
-	work     int64    // slot evaluations, the budget currency
+	work     int64    // slot evaluations (a cost statistic, not the budget)
+
+	// Probe overlay: epoch-stamped shadow results for what-if queries
+	// (probe) that never touch the committed known/val arrays, so a
+	// candidate value can be tested against one constraint without the
+	// assign/recompute-everything/unassign/recompute-everything round
+	// trip. A slot's overlay entry is valid only when its stamp equals
+	// the current epoch.
+	ovKnown []bool
+	ovVal   []uint64
+	ovStamp []uint64
+	epoch   uint64
 }
 
 // newTapeState builds evaluation state with fresh buffers (tests and
@@ -241,6 +300,9 @@ func tapeStateFrom(sc *tapeScratch, t *tape) *tapeState {
 	sc.assigned = grow(sc.assigned, len(t.vars))
 	sc.avals = growU(sc.avals, len(t.vars))
 	sc.amask = growU(sc.amask, t.nwords)
+	sc.ovKnown = grow(sc.ovKnown, len(t.ops))
+	sc.ovVal = growU(sc.ovVal, len(t.ops))
+	sc.ovStamp = growU(sc.ovStamp, len(t.ops))
 	ts := &tapeState{
 		t:        t,
 		known:    sc.known,
@@ -248,6 +310,9 @@ func tapeStateFrom(sc *tapeScratch, t *tape) *tapeState {
 		assigned: sc.assigned,
 		avals:    sc.avals,
 		amask:    sc.amask,
+		ovKnown:  sc.ovKnown,
+		ovVal:    sc.ovVal,
+		ovStamp:  sc.ovStamp,
 	}
 	for s := range t.ops {
 		ts.recompute(int32(s))
@@ -371,4 +436,124 @@ func (ts *tapeState) recompute(s int32) {
 	}
 	ts.known[s] = known
 	ts.val[s] = val
+}
+
+// probe answers "what would constraint ci evaluate to if unassigned var
+// vi held val?" without committing the assignment. Only the slots of
+// ci's sub-DAG that depend on vi (watch[vi] ∩ csub[ci], in topo order)
+// are re-evaluated, into the overlay; everything else reads its
+// committed result. Equivalent to assign(vi, val); root(ci);
+// unassign(vi), at the cost of one constraint instead of the variable's
+// whole watch list twice — the unary filter runs 256 probes per
+// (constraint, variable) pair, so this is the search's hot path.
+func (ts *tapeState) probe(ci int, vi int32, val uint64) (known bool, r uint64) {
+	ts.epoch++
+	sub := ts.t.csub[ci]
+	for _, s := range ts.t.watch[vi] {
+		if sub[s>>6]&(1<<uint(s&63)) == 0 {
+			continue
+		}
+		ts.recomputeOv(s, vi, val)
+	}
+	root := ts.t.roots[ci]
+	if ts.ovStamp[root] == ts.epoch {
+		return ts.ovKnown[root], ts.ovVal[root]
+	}
+	return ts.known[root], ts.val[root]
+}
+
+// recomputeOv is recompute into the overlay: operands read their
+// overlay result when stamped this epoch (they depend on the probed
+// variable and were just re-evaluated — watch lists are topo-ordered)
+// and their committed result otherwise, and the probed variable's slot
+// evaluates to the probe value. The semantics switch must mirror
+// recompute exactly; the differential fuzz target asserts it.
+func (ts *tapeState) recomputeOv(s, pvi int32, pval uint64) {
+	ts.work++
+	op := &ts.t.ops[s]
+	get := func(a int32) (bool, uint64) {
+		if ts.ovStamp[a] == ts.epoch {
+			return ts.ovKnown[a], ts.ovVal[a]
+		}
+		return ts.known[a], ts.val[a]
+	}
+	var known bool
+	var val uint64
+	switch op.kind {
+	case expr.KConst:
+		known, val = true, op.val
+	case expr.KVar:
+		if op.vi == pvi {
+			known, val = true, pval
+		} else if ts.assigned[op.vi] {
+			known, val = true, ts.avals[op.vi]
+		}
+	case expr.KBin:
+		ak, av := get(op.a0)
+		bk, bv := get(op.a1)
+		switch {
+		case ak && bk:
+			r, ok := ir.EvalBin(op.op, int(op.bits), av, bv)
+			if !ok {
+				r = 0
+			}
+			known, val = true, r
+		default:
+			switch op.op {
+			case ir.OpAnd:
+				if (ak && av == 0) || (bk && bv == 0) {
+					known, val = true, 0
+				}
+			case ir.OpOr:
+				ones := ir.Mask(int(op.bits), ^uint64(0))
+				if (ak && av == ones) || (bk && bv == ones) {
+					known, val = true, ones
+				}
+			case ir.OpMul:
+				if (ak && av == 0) || (bk && bv == 0) {
+					known, val = true, 0
+				}
+			}
+		}
+	case expr.KCmp:
+		ak, av := get(op.a0)
+		bk, bv := get(op.a1)
+		if ak && bk {
+			known = true
+			if ir.EvalCmp(op.op, int(ts.t.ops[op.a0].bits), av, bv) {
+				val = 1
+			}
+		}
+	case expr.KSelect:
+		ck, cv := get(op.a0)
+		tk, tv := get(op.a1)
+		fk, fv := get(op.a2)
+		if ck {
+			if cv != 0 {
+				known, val = tk, tv
+			} else {
+				known, val = fk, fv
+			}
+		} else if tk && fk && tv == fv {
+			known, val = true, tv
+		}
+	case expr.KCast:
+		if ak, av := get(op.a0); ak {
+			known = true
+			val = ir.EvalCast(op.op, int(ts.t.ops[op.a0].bits), int(op.bits), av)
+		}
+	case expr.KRead:
+		if ak, av := get(op.a0); ak {
+			known = true
+			if av < uint64(len(op.table)) {
+				val = op.table[av]
+			}
+		}
+	}
+	if known {
+		val = ir.Mask(int(op.bits), val)
+	}
+	ts.ovKnown[s] = known
+	ts.ovVal[s] = val
+	ts.ovStamp[s] = ts.epoch
 }

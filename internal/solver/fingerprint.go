@@ -21,6 +21,103 @@ func mix64(x uint64) uint64 {
 	return x
 }
 
+// Hex renders the fingerprint as 32 lowercase hex digits, the form the
+// on-disk verdict store uses as file names.
+func (f Fingerprint) Hex() string {
+	const digits = "0123456789abcdef"
+	var b [32]byte
+	for i := 0; i < 16; i++ {
+		var by byte
+		if i < 8 {
+			by = byte(f.hi >> (56 - 8*i))
+		} else {
+			by = byte(f.lo >> (56 - 8*(i-8)))
+		}
+		b[2*i] = digits[by>>4]
+		b[2*i+1] = digits[by&0xf]
+	}
+	return string(b[:])
+}
+
+// Hasher streams arbitrary bytes into a 128-bit Fingerprint with the
+// same mixing the group fingerprints use — the generalization that lets
+// content keys cover canonical IR text, pipeline specs and config
+// strings, not just hash-consed node ids. It implements io.Writer and
+// never returns an error.
+type Hasher struct {
+	hi, lo uint64
+	buf    [8]byte
+	nbuf   int
+	total  uint64
+}
+
+// NewHasher returns a hasher seeded like fingerprintIDs.
+func NewHasher() *Hasher {
+	return &Hasher{hi: 0x9e3779b97f4a7c15, lo: 0xc2b2ae3d27d4eb4f}
+}
+
+func (h *Hasher) word(w uint64) {
+	x := mix64(w)
+	h.hi = mix64(h.hi ^ x)
+	h.lo = h.lo*0x100000001b3 + x
+}
+
+// Write absorbs p; the digest depends on the exact byte stream (and its
+// length), not on how it was chunked across calls.
+func (h *Hasher) Write(p []byte) (int, error) {
+	h.total += uint64(len(p))
+	n := len(p)
+	for len(p) > 0 {
+		if h.nbuf == 0 && len(p) >= 8 {
+			w := uint64(p[0]) | uint64(p[1])<<8 | uint64(p[2])<<16 | uint64(p[3])<<24 |
+				uint64(p[4])<<32 | uint64(p[5])<<40 | uint64(p[6])<<48 | uint64(p[7])<<56
+			h.word(w)
+			p = p[8:]
+			continue
+		}
+		k := copy(h.buf[h.nbuf:], p)
+		h.nbuf += k
+		p = p[k:]
+		if h.nbuf == 8 {
+			w := uint64(h.buf[0]) | uint64(h.buf[1])<<8 | uint64(h.buf[2])<<16 | uint64(h.buf[3])<<24 |
+				uint64(h.buf[4])<<32 | uint64(h.buf[5])<<40 | uint64(h.buf[6])<<48 | uint64(h.buf[7])<<56
+			h.word(w)
+			h.nbuf = 0
+		}
+	}
+	return n, nil
+}
+
+// WriteString is Write for strings, avoiding a conversion allocation at
+// call sites.
+func (h *Hasher) WriteString(s string) {
+	var tmp [64]byte
+	for len(s) > 0 {
+		n := copy(tmp[:], s)
+		h.Write(tmp[:n])
+		s = s[n:]
+	}
+}
+
+// Sum finalizes the digest over everything written so far. The hasher
+// remains usable; further writes extend the stream.
+func (h *Hasher) Sum() Fingerprint {
+	hi, lo, buf, nbuf := h.hi, h.lo, h.buf, h.nbuf
+	if nbuf > 0 {
+		var w uint64
+		for i := 0; i < nbuf; i++ {
+			w |= uint64(buf[i]) << (8 * uint(i))
+		}
+		x := mix64(w ^ 0xa5a5a5a5a5a5a5a5)
+		hi = mix64(hi ^ x)
+		lo = lo*0x100000001b3 + x
+	}
+	// Length finalization: streams that differ only in trailing zero
+	// padding or chunk boundaries stay distinct.
+	x := mix64(h.total)
+	return Fingerprint{hi: mix64(hi ^ x), lo: lo*0x100000001b3 + x}
+}
+
 // fingerprintIDs hashes a sorted id list. The list must be canonical
 // (sorted, deduplicated) — Group maintains that invariant — so equal
 // groups map to equal fingerprints regardless of constraint order.

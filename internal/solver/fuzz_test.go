@@ -107,6 +107,25 @@ func FuzzCompiledEval(f *testing.F) {
 								worker, ci, known, val, want.Known, want.Val, c)
 						}
 					}
+					// Probe differential: the non-committing probe the
+					// unary filter uses must agree exactly with the
+					// assign/evaluate/retract cycle it replaced.
+					for ci := range g.Constraints() {
+						for vi, v := range tp.vars {
+							if _, ok := asn[v]; ok {
+								continue
+							}
+							val := (seed >> uint(5*vi+7)) & 0xff
+							pk, pv := ts.probe(ci, int32(vi), val)
+							ts.assign(int32(vi), val)
+							k, rv := ts.root(ci)
+							ts.unassign(int32(vi))
+							if pk != k || (k && pv != rv) {
+								t.Errorf("worker %d probe: constraint %d var %d=%d probe=(%v,%d) committed=(%v,%d)",
+									worker, ci, vi, val, pk, pv, k, rv)
+							}
+						}
+					}
 					// Complete the assignment: tape must agree with Eval.
 					for vi, v := range tp.vars {
 						if _, ok := asn[v]; !ok {

@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -197,5 +198,64 @@ func TestOptionDefaults(t *testing.T) {
 	}
 	if s.opts.ModelHistory != 8 {
 		t.Errorf("ModelHistory default = %d, want 8", s.opts.ModelHistory)
+	}
+}
+
+// TestGroupVerdictNoBudgetLaundering: a group that fails with ErrBudget
+// must not park that failure in the group's atomic verdict pointer (or
+// either cache) where later states would reuse it as a settled answer
+// via PartitionHits. Budget failures retry; real verdicts stick.
+func TestGroupVerdictNoBudgetLaundering(t *testing.T) {
+	b := expr.NewBuilder()
+	vs := vars(2)
+	// One two-variable group the value-set propagation cannot collapse
+	// (the kept-set "everything but 5" widens to top), so deciding it
+	// requires real search work — which a one-assignment budget cannot
+	// fund.
+	c := b.Cmp(ir.OpNe, b.Bin(ir.OpXor, b.Var(vs[0]), b.Var(vs[1])), b.Const(8, 5))
+	var p *Partition
+	p = p.Extend(c)
+
+	tiny := New(Options{MaxWork: 1})
+	if _, _, err := tiny.SatPartition(p); !errors.Is(err, ErrBudget) {
+		t.Fatalf("tiny budget: err = %v, want ErrBudget", err)
+	}
+	if tiny.Stats.Failures != 1 {
+		t.Fatalf("Failures = %d, want 1", tiny.Stats.Failures)
+	}
+	for _, g := range p.Groups() {
+		if g.verdict.Load() != nil {
+			t.Fatal("budget failure was stored as a settled group verdict")
+		}
+	}
+
+	// Retried, the same query must fail again — not hit a laundered
+	// verdict in the partition or a cache.
+	if _, _, err := tiny.SatPartition(p); !errors.Is(err, ErrBudget) {
+		t.Fatalf("retry: err = %v, want ErrBudget", err)
+	}
+	if tiny.Stats.Failures != 2 || tiny.Stats.PartitionHits != 0 || tiny.Stats.CacheHits != 0 {
+		t.Fatalf("retry stats = %+v, want second failure with no partition/cache hits", tiny.Stats)
+	}
+
+	// A solver with a real budget decides the group; its verdict lands
+	// on the shared partition.
+	generous := New(Options{})
+	sat, model, err := generous.SatPartition(p)
+	if err != nil || !sat {
+		t.Fatalf("generous: sat=%v err=%v, want sat", sat, err)
+	}
+	if !satisfies([]*expr.Expr{c}, model) {
+		t.Fatalf("generous model %v does not satisfy", model)
+	}
+
+	// Now the tiny solver reuses the settled verdict off the partition:
+	// no search, no failure.
+	sat, _, err = tiny.SatPartition(p)
+	if err != nil || !sat {
+		t.Fatalf("after settle: sat=%v err=%v, want sat via partition hit", sat, err)
+	}
+	if tiny.Stats.PartitionHits != 1 || tiny.Stats.Failures != 2 {
+		t.Fatalf("after settle stats = %+v, want one partition hit and no new failures", tiny.Stats)
 	}
 }

@@ -1,0 +1,537 @@
+package solver
+
+import (
+	"math/bits"
+
+	"overify/internal/expr"
+	"overify/internal/ir"
+)
+
+// Bounded value-set propagation over a compiled tape, run once per
+// search before any backtracking. The per-variable enumeration the
+// search does is blind to arithmetic structure: a constraint like
+//
+//	uge(sext(add(ite(...), 1)), 4)
+//
+// only ever takes values {1..4} on the inner add no matter what the
+// input bytes are, so it can be refuted (or its variables' domains
+// collapsed to the few feasible bytes) without visiting 256^k
+// assignments. basename's "last slash index" groups are exactly this
+// shape and blow any per-assignment budget under plain enumeration.
+//
+// The analysis keeps two value sets per tape slot, each widened to
+// "top" (unknown) beyond vsetCap values:
+//
+//   - fwd: values the slot can take, computed bottom-up over the
+//     current domains.
+//   - dem: values consistent with every constraint seen so far,
+//     computed top-down from "each constraint root must be non-zero".
+//
+// The invariant both maintain: in any assignment satisfying the WHOLE
+// group, every slot's value lies in fwd[s] ∩ dem[s]. Constraints share
+// slots (the tape is hash-consed group-wide), so a demand derived from
+// one constraint narrows what every other constraint sees — dem
+// persists across constraints and rounds, shrinking monotonically.
+// When any set (or a variable domain) empties, no satisfying
+// assignment exists and the group is unsat with zero search; surviving
+// variable demands prune domains for the backtracking search.
+//
+// The whole pass is a deterministic function of the group, so group
+// verdicts stay evaluator- and schedule-independent; its cost is
+// bounded by rounds × tape size × vsetPairCap, independent of how many
+// assignments the search would have tried.
+
+const (
+	// vsetCap is the widening threshold: a slot tracking more than this
+	// many distinct values becomes top (unknown).
+	vsetCap = 32
+	// vsetPairCap bounds the operand cross-product enumerated per slot;
+	// larger products widen to top instead of being computed.
+	vsetPairCap = 4096
+	// vsetRangeCap bounds the full-range enumeration fallback for
+	// narrow slots whose forward set widened to top. Variables are at
+	// most 8 bits wide, so 256 covers every byte-valued slot; it is
+	// deliberately larger than vsetCap because a range enumeration is
+	// transient (one demand pass) rather than stored per slot.
+	vsetRangeCap = 256
+	// propMaxRounds bounds full sweeps; each round re-runs every
+	// constraint over the narrowed sets. Chain-shaped contradictions
+	// (constraint A narrows a shared node, B refutes on it) settle in
+	// two; the cap only exists to bound adversarial groups.
+	propMaxRounds = 8
+)
+
+// vset is a small finite value set, or top (every value possible).
+type vset struct {
+	top  bool
+	vals []uint64 // deduped, unordered, len ≤ vsetCap
+}
+
+func (s *vset) reset() {
+	s.top = true
+	s.vals = s.vals[:0]
+}
+
+func (s *vset) add(v uint64) {
+	if s.top {
+		return
+	}
+	for _, x := range s.vals {
+		if x == v {
+			return
+		}
+	}
+	if len(s.vals) >= vsetCap {
+		s.top = true
+		s.vals = s.vals[:0]
+		return
+	}
+	s.vals = append(s.vals, v)
+}
+
+func (s *vset) has(v uint64) bool {
+	if s.top {
+		return true
+	}
+	for _, x := range s.vals {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *vset) empty() bool { return !s.top && len(s.vals) == 0 }
+
+// intersect keeps only the values of s that d also allows, reporting
+// whether anything was removed.
+func (s *vset) intersect(d *vset) bool {
+	if d.top {
+		return false
+	}
+	if s.top {
+		s.top = false
+		s.vals = append(s.vals[:0], d.vals...)
+		return true
+	}
+	kept := s.vals[:0]
+	for _, x := range s.vals {
+		if d.has(x) {
+			kept = append(kept, x)
+		}
+	}
+	shrunk := len(kept) < len(s.vals)
+	s.vals = kept
+	return shrunk
+}
+
+// propagator holds the per-search propagation state.
+type propagator struct {
+	t        *tape
+	domains  []domain
+	fwd      []vset
+	dem      []vset
+	varIter  [][]uint64
+	rangeBuf []uint64
+	changed  bool
+	unsat    bool
+}
+
+// concreteSlot evaluates one slot from concrete operand values,
+// mirroring tapeState.recompute with every operand known (which in
+// turn mirrors expr.Eval).
+func (p *propagator) concreteSlot(s int32, a, b, c uint64) uint64 {
+	op := &p.t.ops[s]
+	var val uint64
+	switch op.kind {
+	case expr.KBin:
+		r, ok := ir.EvalBin(op.op, int(op.bits), a, b)
+		if !ok {
+			r = 0
+		}
+		val = r
+	case expr.KCmp:
+		if ir.EvalCmp(op.op, int(p.t.ops[op.a0].bits), a, b) {
+			val = 1
+		}
+	case expr.KSelect:
+		if a != 0 {
+			val = b
+		} else {
+			val = c
+		}
+	case expr.KCast:
+		val = ir.EvalCast(op.op, int(p.t.ops[op.a0].bits), int(op.bits), a)
+	case expr.KRead:
+		if a < uint64(len(op.table)) {
+			val = op.table[a]
+		}
+	}
+	return ir.Mask(int(op.bits), val)
+}
+
+// iterable returns a finite enumeration of slot s's feasible values,
+// or nil when only top is known: the forward set when finite, the
+// variable's current domain for variable slots, and the full range for
+// narrow slots. Callers that hold enumerations across calls must copy:
+// the full-range case reuses one buffer.
+func (p *propagator) iterable(s int32) []uint64 {
+	if f := &p.fwd[s]; !f.top {
+		return f.vals
+	}
+	op := &p.t.ops[s]
+	if op.kind == expr.KVar {
+		return p.varIter[op.vi]
+	}
+	// Narrow slots enumerate their full range (bits < 64 guards the
+	// shift: 1<<64 wraps to 0 and would enumerate nothing).
+	if op.bits > 0 && op.bits < 64 {
+		if n := uint64(1) << uint(op.bits); n <= vsetRangeCap {
+			full := p.rangeBuf[:0]
+			for v := uint64(0); v < n; v++ {
+				full = append(full, v)
+			}
+			p.rangeBuf = full
+			return full
+		}
+	}
+	return nil
+}
+
+// forward recomputes fwd[s] from its operands' sets, then narrows it
+// by the accumulated demand.
+func (p *propagator) forward(s int32) {
+	op := &p.t.ops[s]
+	f := &p.fwd[s]
+	f.top = false
+	f.vals = f.vals[:0]
+	switch op.kind {
+	case expr.KConst:
+		f.add(ir.Mask(int(op.bits), op.val))
+	case expr.KVar:
+		iv := p.varIter[op.vi]
+		if len(iv) > vsetCap {
+			f.top = true
+		} else {
+			for _, v := range iv {
+				f.add(v)
+			}
+		}
+	default:
+		ia := p.opIter(op.a0)
+		ib := one
+		if op.a1 >= 0 {
+			ib = p.opIter(op.a1)
+		}
+		ic := one
+		if op.a2 >= 0 {
+			ic = p.opIter(op.a2)
+		}
+		if ia == nil || ib == nil || ic == nil || len(ia)*len(ib)*len(ic) > vsetPairCap {
+			f.top = true
+		} else {
+			for _, va := range ia {
+				for _, vb := range ib {
+					for _, vc := range ic {
+						f.add(p.concreteSlot(s, va, vb, vc))
+						if f.top {
+							break
+						}
+					}
+				}
+			}
+		}
+	}
+	f.intersect(&p.dem[s])
+	if f.empty() {
+		p.unsat = true
+	}
+}
+
+var one = []uint64{0}
+
+// opIter is iterable without the full-range fallback buffer (safe to
+// hold across the nested forward enumeration).
+func (p *propagator) opIter(s int32) []uint64 {
+	if f := &p.fwd[s]; !f.top {
+		return f.vals
+	}
+	if op := &p.t.ops[s]; op.kind == expr.KVar {
+		return p.varIter[op.vi]
+	}
+	return nil
+}
+
+// demand narrows dem[target] (operand position which of slot s) to the
+// values for which some combination of the other operands' feasible
+// values makes s evaluate into dem[s]. Unenumerable or oversized
+// products contribute nothing (top).
+func (p *propagator) demand(s int32, which int) {
+	op := &p.t.ops[s]
+	ops3 := [3]int32{op.a0, op.a1, op.a2}
+	target := ops3[which]
+	if target < 0 {
+		return
+	}
+	it := p.iterable(target)
+	if it == nil {
+		return
+	}
+	tvals := append([]uint64(nil), it...)
+	others := [3][]uint64{one, one, one}
+	product := len(tvals)
+	for i, o := range ops3 {
+		if i == which || o < 0 {
+			continue
+		}
+		ov := p.iterable(o)
+		if ov == nil {
+			return
+		}
+		others[i] = append([]uint64(nil), ov...)
+		product *= len(ov)
+	}
+	if product > vsetPairCap {
+		return
+	}
+	// Variable targets are pruned in their domain bitset directly: a
+	// domain holds up to 256 values, so routing the kept set through a
+	// vset would widen exclusion demands like "anything but 0" to top
+	// and lose them.
+	top := &p.t.ops[target]
+	if top.kind == expr.KVar {
+		var keep domain
+		for _, tv := range tvals {
+			if p.supported(s, tv, which, &others) {
+				keep[tv/64] |= 1 << (tv % 64)
+			}
+		}
+		dom := &p.domains[top.vi]
+		for w := range dom {
+			if masked := dom[w] & keep[w]; masked != dom[w] {
+				dom[w] = masked
+				p.changed = true
+			}
+		}
+		if dom.count() == 0 {
+			p.unsat = true
+		}
+		return
+	}
+	var dm vset
+	for _, tv := range tvals {
+		if p.supported(s, tv, which, &others) {
+			dm.add(tv)
+		}
+	}
+	if p.dem[target].intersect(&dm) {
+		p.changed = true
+	}
+	if p.dem[target].empty() {
+		p.unsat = true
+	}
+}
+
+// supported reports whether some combination of the other operands'
+// feasible values makes slot s evaluate into dem[s] with the target
+// operand (position which) held at tv.
+func (p *propagator) supported(s int32, tv uint64, which int, others *[3][]uint64) bool {
+	ds := &p.dem[s]
+	for _, v0 := range pickOperand(others[0], tv, which == 0) {
+		for _, v1 := range pickOperand(others[1], tv, which == 1) {
+			for _, v2 := range pickOperand(others[2], tv, which == 2) {
+				if ds.has(p.concreteSlot(s, v0, v1, v2)) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// pickOperand substitutes the target value into its operand position.
+func pickOperand(vals []uint64, tv uint64, isTarget bool) []uint64 {
+	if isTarget {
+		return []uint64{tv}
+	}
+	return vals
+}
+
+// constraintPass runs one forward + backward sweep over constraint
+// ci's sub-DAG.
+func (p *propagator) constraintPass(ci int) {
+	t := p.t
+	sub := t.csub[ci]
+	root := t.roots[ci]
+
+	for s := int32(0); s <= root; s++ {
+		if sub[s>>6]&(1<<uint(s&63)) == 0 {
+			continue
+		}
+		p.forward(s)
+		if p.unsat {
+			return
+		}
+	}
+
+	// The root must evaluate non-zero: intersect its demand with its
+	// feasible non-zero values (or {1} for 1-bit roots).
+	rd := &p.dem[root]
+	var want vset
+	if rf := &p.fwd[root]; !rf.top {
+		for _, v := range rf.vals {
+			if v != 0 {
+				want.add(v)
+			}
+		}
+	} else if t.ops[root].bits == 1 {
+		want.add(1)
+	} else {
+		want.top = true
+	}
+	if rd.intersect(&want) {
+		p.changed = true
+	}
+	if rd.empty() {
+		p.unsat = true
+		return
+	}
+
+	// Backward, parents-first (operands always sit at smaller slot
+	// indices, so a slot's demand is final before it demands of its own
+	// operands within this sweep; demands from other constraints keep
+	// accumulating across sweeps).
+	for s := root; s >= 0; s-- {
+		if sub[s>>6]&(1<<uint(s&63)) == 0 {
+			continue
+		}
+		if p.dem[s].top {
+			continue
+		}
+		op := &t.ops[s]
+		if op.kind == expr.KVar || op.kind == expr.KConst {
+			continue
+		}
+		if op.kind == expr.KSelect {
+			p.demandSelectBranch(s)
+			if p.unsat {
+				return
+			}
+		}
+		for which := 0; which < 3; which++ {
+			p.demand(s, which)
+			if p.unsat {
+				return
+			}
+		}
+	}
+}
+
+// demandSelectBranch handles the select case the generic enumeration
+// cannot: when the condition's feasible values are all zero (or all
+// non-zero), the select's value IS the corresponding branch's value, so
+// the select's demand transfers to that branch wholesale — no cross
+// product with the dead branch's (possibly unbounded) values needed.
+func (p *propagator) demandSelectBranch(s int32) {
+	op := &p.t.ops[s]
+	cf := &p.fwd[op.a0]
+	if cf.top || len(cf.vals) == 0 {
+		return
+	}
+	zero, nonzero := false, false
+	for _, v := range cf.vals {
+		if v == 0 {
+			zero = true
+		} else {
+			nonzero = true
+		}
+	}
+	var branch int32
+	switch {
+	case zero && !nonzero:
+		branch = op.a2
+	case nonzero && !zero:
+		branch = op.a1
+	default:
+		return
+	}
+	if p.t.ops[branch].kind == expr.KConst {
+		return
+	}
+	if p.dem[branch].intersect(&p.dem[s]) {
+		p.changed = true
+	}
+	if p.dem[branch].empty() {
+		p.unsat = true
+	}
+}
+
+// pruneDomains applies accumulated variable demands to the domains.
+func (p *propagator) pruneDomains() {
+	for s, op := range p.t.ops {
+		if op.kind != expr.KVar {
+			continue
+		}
+		d := &p.dem[s]
+		if d.top {
+			continue
+		}
+		dom := &p.domains[op.vi]
+		for _, v := range p.varIter[op.vi] {
+			if !d.has(v) {
+				dom.clear(v)
+				p.changed = true
+			}
+		}
+		if dom.count() == 0 {
+			p.unsat = true
+			return
+		}
+	}
+}
+
+// propagateDomains runs value-set propagation over the group's tape,
+// pruning the search domains in place. It returns false when the group
+// is proven unsatisfiable outright.
+func propagateDomains(t *tape, domains []domain) bool {
+	nslots := len(t.ops)
+	p := &propagator{
+		t:       t,
+		domains: domains,
+		fwd:     make([]vset, nslots),
+		dem:     make([]vset, nslots),
+		varIter: make([][]uint64, len(t.vars)),
+	}
+	for i := range p.dem {
+		p.dem[i].reset()
+	}
+	for round := 0; round < propMaxRounds; round++ {
+		for vi := range t.vars {
+			vals := p.varIter[vi][:0]
+			d := &domains[vi]
+			for w, word := range d {
+				for word != 0 {
+					b := bits.TrailingZeros64(word)
+					vals = append(vals, uint64(w*64+b))
+					word &= word - 1
+				}
+			}
+			p.varIter[vi] = vals
+		}
+		p.changed = false
+		for ci := range t.roots {
+			p.constraintPass(ci)
+			if p.unsat {
+				return false
+			}
+		}
+		p.pruneDomains()
+		if p.unsat {
+			return false
+		}
+		if !p.changed {
+			break
+		}
+	}
+	return true
+}

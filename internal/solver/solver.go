@@ -29,9 +29,13 @@ import (
 type Options struct {
 	// MaxNodes bounds backtracking nodes per query (default 65,536).
 	MaxNodes int64
-	// MaxWork bounds expression-slot evaluations per query (default
-	// 8,000,000) — the finer-grained budget that stops pathological
-	// searches.
+	// MaxWork bounds assignments tried per query (default 8,000,000):
+	// every candidate value probed by the unary filter and every value
+	// bound by the backtracking search counts one unit. Assignments are
+	// a pure function of the search tree, so a group's verdict does not
+	// depend on how constraints are evaluated — an evaluator that
+	// charges differently per probe (the legacy memoized tree walk vs
+	// the compiled tape) cannot flip a decided group to ErrBudget.
 	MaxWork int64
 	// ModelHistory is how many recent models are tried for reuse
 	// (default 8).
@@ -48,6 +52,7 @@ type Stats struct {
 	Unsat          int64
 	Failures       int64 // budget exhaustion
 	Nodes          int64 // backtracking nodes explored
+	Assignments    int64 // candidate values tried (probes + bindings), the budget currency
 	TapeCompiles   int64 // groups compiled to evaluation tapes (searches run)
 	TapeSlots      int64 // total slots across compiled tapes
 	MaxGroupVars   int
@@ -64,6 +69,7 @@ func (s *Stats) Add(o Stats) {
 	s.Unsat += o.Unsat
 	s.Failures += o.Failures
 	s.Nodes += o.Nodes
+	s.Assignments += o.Assignments
 	s.TapeCompiles += o.TapeCompiles
 	s.TapeSlots += o.TapeSlots
 	if o.MaxGroupVars > s.MaxGroupVars {
@@ -373,13 +379,26 @@ func (s *Solver) search(g *Group) (bool, map[*expr.Var]uint64, error) {
 		domains[i] = fullDomain(v.Bits)
 	}
 
+	// Value-set propagation first: it can prove the group unsat or
+	// collapse domains without trying a single assignment, and its cost
+	// is a function of the tape, not of the search tree (propagate.go).
+	if !propagateDomains(t, domains) {
+		return false, nil, nil
+	}
+
 	ts := tapeStateFrom(&s.scratch, t)
-	var nodes int64
+	// The budget is counted in assignments tried — one unit per
+	// candidate value probed by the unary filter or bound by the DFS —
+	// never in evaluator work. Assignments are determined by the group
+	// alone (domains, constraint order, variable order), so the verdict
+	// a group gets is independent of how constraints are evaluated.
+	var nodes, assigns int64
+	defer func() { s.Stats.Assignments += assigns }()
 	checkBudget := func() error {
-		if nodes > s.opts.MaxNodes || ts.work > s.opts.MaxWork {
+		if nodes > s.opts.MaxNodes || assigns > s.opts.MaxWork {
 			return ErrBudget
 		}
-		if !s.deadline.IsZero() && ts.work%16384 < 64 && time.Now().After(s.deadline) {
+		if !s.deadline.IsZero() && assigns&1023 == 0 && time.Now().After(s.deadline) {
 			return ErrBudget
 		}
 		return nil
@@ -403,9 +422,8 @@ func (s *Solver) search(g *Group) (bool, map[*expr.Var]uint64, error) {
 				if !d.has(val) {
 					continue
 				}
-				ts.assign(vi, val)
-				known, r := ts.root(ci)
-				ts.unassign(vi)
+				assigns++
+				known, r := ts.probe(ci, vi, val)
 				if known && r == 0 {
 					d.clear(val)
 				}
@@ -466,6 +484,7 @@ func (s *Solver) search(g *Group) (bool, map[*expr.Var]uint64, error) {
 			if !d.has(val) {
 				continue
 			}
+			assigns++
 			ts.assign(vi, val)
 			if allHold() {
 				// Forward-check: refilter domains of remaining vars.

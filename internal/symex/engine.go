@@ -109,6 +109,13 @@ type Stats struct {
 	SharedCache    solver.CacheStats // the cross-worker query cache
 	Elapsed        time.Duration
 	TimedOut       bool
+
+	// Verdict-store counters, set by the re-verify driver (the engine
+	// itself leaves them zero): VerdictCacheHits counts merged reports
+	// served from the content-addressed store, SkippedFuncVerifies the
+	// per-function explorations those hits avoided.
+	VerdictCacheHits    int64
+	SkippedFuncVerifies int64
 }
 
 // TotalPaths is completed + errored + truncated.

@@ -1,0 +1,167 @@
+package verdicts_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"overify/internal/core"
+	"overify/internal/pipeline"
+	"overify/internal/symex"
+	"overify/internal/verdicts"
+)
+
+// compile builds src at -O0 (no DCE, so unreachable functions survive
+// into the module and the reachability claims below are meaningful).
+func compile(t *testing.T, src string) *core.Compiled {
+	t.Helper()
+	c, err := core.CompileSource("t.c", src, pipeline.O0, core.DefaultLibc(pipeline.O0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+const keyBase = `
+int helper(int x) { return x + 1; }
+int unused(int x) { return x * 2; }
+int umain(unsigned char *input, int len) {
+	return helper(input[0]);
+}
+`
+
+func TestKeyForReachability(t *testing.T) {
+	base := compile(t, keyBase)
+	k0, ok := verdicts.KeyFor(base.Mod, "umain", "ctx")
+	if !ok {
+		t.Fatal("KeyFor failed on base module")
+	}
+	if len(k0) != 32 {
+		t.Fatalf("key %q is not 32 hex digits", k0)
+	}
+
+	// Editing a function umain never calls must not move the key.
+	sameKey := compile(t, strings.Replace(keyBase, "x * 2", "x * 3", 1))
+	if k, _ := verdicts.KeyFor(sameKey.Mod, "umain", "ctx"); k != k0 {
+		t.Errorf("edit to unreachable function changed key: %s -> %s", k0, k)
+	}
+
+	// Any edit to reachable IR must move it.
+	edited := compile(t, strings.Replace(keyBase, "x + 1", "x + 2", 1))
+	if k, _ := verdicts.KeyFor(edited.Mod, "umain", "ctx"); k == k0 {
+		t.Error("edit to reachable callee kept the key")
+	}
+
+	// So must a different context string (pipeline or verify config).
+	if k, _ := verdicts.KeyFor(base.Mod, "umain", "ctx2"); k == k0 {
+		t.Error("different context kept the key")
+	}
+
+	// Missing entry: nothing to key.
+	if _, ok := verdicts.KeyFor(base.Mod, "no-such-fn", "ctx"); ok {
+		t.Error("KeyFor succeeded for a missing entry function")
+	}
+}
+
+func sampleReport() *symex.Report {
+	rep := &symex.Report{}
+	rep.Stats.Paths = 7
+	rep.Stats.ErrorPaths = 1
+	rep.Stats.Instrs = 1234
+	rep.Stats.CoveredBlocks = 19
+	rep.Stats.SolverStats.Queries = 42
+	rep.Stats.SolverStats.Sat = 30
+	rep.Stats.SolverStats.Unsat = 12
+	rep.Bugs = []symex.Bug{{Kind: symex.BugOutOfBounds, Msg: "out of bounds", Where: "umain:3", Input: []byte("ab")}}
+	return rep
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	store, err := verdicts.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := verdicts.Key(strings.Repeat("ab", 16))
+	rep := sampleReport()
+	if err := store.Put(key, verdicts.FromReport(key, "prog", "umain", "-O2", rep)); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := store.Get(key)
+	if !ok {
+		t.Fatal("stored entry missed")
+	}
+	if r := verdicts.Render(got.Report()); r != verdicts.Render(rep) {
+		t.Errorf("round-trip render mismatch:\ncold: %swarm: %s", verdicts.Render(rep), r)
+	}
+	if store.Len() != 1 || store.Hits != 1 || store.Stores != 1 {
+		t.Errorf("counters: len=%d hits=%d stores=%d", store.Len(), store.Hits, store.Stores)
+	}
+}
+
+func TestStoreToleratesCorruption(t *testing.T) {
+	dir := t.TempDir()
+	store, err := verdicts.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := verdicts.Key(strings.Repeat("cd", 16))
+	entry := verdicts.FromReport(key, "prog", "umain", "-O2", sampleReport())
+	path := filepath.Join(dir, string(key)+".json")
+
+	corrupt := func(name string, data []byte) {
+		t.Helper()
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := store.Get(key); ok {
+			t.Errorf("%s: corrupted entry served as a hit", name)
+		}
+		// And the store must recover: a fresh Put over the wreckage works.
+		if err := store.Put(key, entry); err != nil {
+			t.Fatalf("%s: Put over corrupted entry: %v", name, err)
+		}
+		if _, ok := store.Get(key); !ok {
+			t.Fatalf("%s: repaired entry still missing", name)
+		}
+	}
+
+	if err := store.Put(key, entry); err != nil {
+		t.Fatal(err)
+	}
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	corrupt("truncated", good[:len(good)/2])
+	corrupt("garbage", []byte("not json at all\x00\xff"))
+	corrupt("empty", nil)
+
+	wrongSchema := strings.Replace(string(good), `"schema": 1`, `"schema": 999`, 1)
+	if wrongSchema == string(good) {
+		t.Fatal("schema marker not found in stored entry")
+	}
+	corrupt("wrong-schema", []byte(wrongSchema))
+
+	wrongKey := strings.Replace(string(good), string(key), strings.Repeat("ef", 16), 1)
+	corrupt("wrong-key", []byte(wrongKey))
+}
+
+func TestCacheable(t *testing.T) {
+	rep := sampleReport()
+	if !verdicts.Cacheable(rep) {
+		t.Error("clean report not cacheable")
+	}
+	tr := sampleReport()
+	tr.Stats.TruncatedPaths = 1
+	to := sampleReport()
+	to.Stats.TimedOut = true
+	fa := sampleReport()
+	fa.Stats.SolverStats.Failures = 1
+	for name, r := range map[string]*symex.Report{"truncated": tr, "timed-out": to, "solver-failure": fa, "nil": nil} {
+		if verdicts.Cacheable(r) {
+			t.Errorf("%s report marked cacheable", name)
+		}
+	}
+}

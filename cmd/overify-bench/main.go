@@ -8,6 +8,7 @@
 //	overify-bench -search all [-n 3] [-timeout 5s] [-json BENCH_strategies.json]
 //	overify-bench -solver [-json BENCH_solver.json]
 //	overify-bench -verdicts [-n 3] [-j workers] [-json BENCH_verdicts.json]
+//	overify-bench -daemon [-n 3] [-json BENCH_daemon.json]
 //	overify-bench -all
 //
 // -search all runs the strategy comparison (per-strategy t_verify and
@@ -60,6 +61,7 @@ func main() {
 	coverTarget := flag.Int("cover", 0, "block-coverage target for -budget (0 = each cell's full coverage)")
 	solverBench := flag.Bool("solver", false, "run the solver microbenchmarks on a captured corpus query stream")
 	verdictSweep := flag.Bool("verdicts", false, "run the warm-vs-cold verdict-store sweep over the corpus")
+	daemonSweep := flag.Bool("daemon", false, "run the warm-vs-cold daemon sweep: cold CLI path vs repeat requests against one warm in-process server")
 	flag.Parse()
 
 	var pipeSpec *pipeline.PipelineSpec
@@ -123,8 +125,24 @@ func main() {
 		}
 	}
 
+	if *daemonSweep {
+		opts := bench.DaemonSweepOptions{InputBytes: *n}
+		if *prog != "" {
+			opts.Programs = []string{*prog}
+		}
+		rows, err := bench.DaemonSweep(opts)
+		check(err)
+		fmt.Println(bench.RenderDaemonSweep(rows, opts))
+		if *jsonPath != "" {
+			data, err := bench.DaemonSweepJSON(rows, opts)
+			check(err)
+			check(os.WriteFile(*jsonPath, append(data, '\n'), 0o644))
+			fmt.Printf("(wrote %s)\n", *jsonPath)
+		}
+	}
+
 	if !(*t1 || *t2 || *t3 || *f4 || *scaling || *all) {
-		if strategies || *solverBench || *verdictSweep {
+		if strategies || *solverBench || *verdictSweep || *daemonSweep {
 			return
 		}
 		flag.Usage()

@@ -1,0 +1,133 @@
+// Command overifyd is the long-lived verification server: it keeps the
+// expensive state — the hash-consed expression DAG, the striped solver
+// query cache, compiled modules, and the content-addressed verdict
+// store — warm in one process and serves verify/compile/explain
+// requests over a unix socket or stdio. A warm repeat verify of
+// unchanged content is answered from the verdict store without
+// exploring at all; changed content still reuses the shared solver
+// cache and compiled modules.
+//
+// Usage:
+//
+//	overifyd -listen /tmp/overifyd.sock [-verdict-cache DIR] [-max-jobs N]
+//	overifyd -stdio
+//
+// Clients: `symbex -daemon /tmp/overifyd.sock file.c`, or any speaker
+// of the length-prefixed JSON packet protocol in internal/daemon.
+// SIGINT/SIGTERM drain gracefully: in-flight jobs finish, new work is
+// rejected as overloaded, then the process exits.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"overify/internal/daemon"
+	"overify/internal/verdicts"
+)
+
+func main() {
+	listen := flag.String("listen", "", "unix socket path to serve on")
+	stdio := flag.Bool("stdio", false, "serve a single connection on stdin/stdout (esbuild-style service mode)")
+	name := flag.String("name", "overifyd", "daemon name reported in handshakes and stats")
+	verdictDir := flag.String("verdict-cache", "", "content-addressed verdict store directory (empty = no verdict caching)")
+	verdictCap := flag.Int("verdict-cap", 0, "max verdict store entries, LRU-evicted (0 = unbounded)")
+	maxJobs := flag.Int("max-jobs", 0, "max concurrent verify/compile jobs (0 = one per CPU)")
+	queueWait := flag.Duration("queue-wait", 30*time.Second, "how long a request may queue for a job slot before an overloaded rejection")
+	solverCap := flag.Int("solver-cache-cap", 0, "max solver cache entries, clock-evicted (0 = default 1M, negative = unbounded)")
+	builderCap := flag.Int64("builder-cap", 0, "expression DAG node budget before the builder+cache generation rotates (0 = default 4M, negative = never)")
+	compileCap := flag.Int("compile-cache-cap", 0, "max cached compiled modules (0 = default 64, negative = unbounded)")
+	flag.Parse()
+
+	if (*listen == "") == !*stdio {
+		fmt.Fprintln(os.Stderr, "overifyd: exactly one of -listen or -stdio is required")
+		os.Exit(2)
+	}
+
+	cfg := daemon.Config{
+		Name:            *name,
+		MaxJobs:         *maxJobs,
+		QueueWait:       *queueWait,
+		SolverCacheCap:  *solverCap,
+		BuilderCap:      *builderCap,
+		CompileCacheCap: *compileCap,
+	}
+	if *verdictDir != "" {
+		store, err := verdicts.OpenLimited(*verdictDir, *verdictCap)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Verdicts = store
+	}
+	s := daemon.NewServer(cfg)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+
+	if *stdio {
+		// One connection on stdin/stdout; diagnostics go to stderr. The
+		// server side sees EOF when the parent closes our stdin.
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			s.ServeConn(stdioConn{})
+		}()
+		select {
+		case <-done:
+		case got := <-sig:
+			fmt.Fprintf(os.Stderr, "overifyd: %s — draining\n", got)
+			s.Shutdown()
+		}
+		return
+	}
+
+	// A stale socket from a crashed daemon would fail the bind; remove
+	// it only if nothing answers there.
+	if _, err := os.Stat(*listen); err == nil {
+		if c, err := net.Dial("unix", *listen); err == nil {
+			c.Close()
+			fatal(fmt.Errorf("%s: a daemon is already listening", *listen))
+		}
+		os.Remove(*listen)
+	}
+	l, err := net.Listen("unix", *listen)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "overifyd: serving on %s (max %d jobs)\n", *listen, serverMaxJobs(*maxJobs))
+
+	go func() {
+		got := <-sig
+		fmt.Fprintf(os.Stderr, "overifyd: %s — draining\n", got)
+		s.Shutdown()
+		os.Remove(*listen)
+	}()
+	if err := s.Serve(l); err != nil {
+		fatal(err)
+	}
+}
+
+// serverMaxJobs mirrors the daemon's MaxJobs default for the banner.
+func serverMaxJobs(flagVal int) int {
+	if flagVal > 0 {
+		return flagVal
+	}
+	return runtime.NumCPU()
+}
+
+// stdioConn adapts stdin/stdout to the ServeConn contract.
+type stdioConn struct{}
+
+func (stdioConn) Read(p []byte) (int, error)  { return os.Stdin.Read(p) }
+func (stdioConn) Write(p []byte) (int, error) { return os.Stdout.Write(p) }
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "overifyd:", err)
+	os.Exit(1)
+}

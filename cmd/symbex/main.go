@@ -7,11 +7,18 @@
 //
 //	symbex [-O level] [-passes spec] [-n bytes] [-timeout d] [-search dfs|bfs|covnew|rand|interleave] [-seed s] [-cover blocks] [-j workers] file.c
 //	symbex [-O level] [-n bytes] [-j workers] -prog tr
+//	symbex -daemon /tmp/overifyd.sock file.c
 //
 // -passes overrides the level's pass pipeline with an explicit spec,
 // e.g. "mem2reg,fixpoint:12(ifconvert,simplify,cse,simplifycfg,dce)";
 // the level still supplies the cost model. -j parallelizes both the
 // pass manager's function passes and the symbolic-execution workers.
+//
+// -daemon turns symbex into a thin client of a running overifyd: the
+// request is shipped over the daemon's socket and served from its warm
+// caches (compiled modules, solver cache, verdict store), which makes
+// repeat verifies of unchanged content near-instant. -watch composes
+// with it: each edit becomes one daemon request.
 package main
 
 import (
@@ -22,9 +29,11 @@ import (
 
 	"overify/internal/core"
 	"overify/internal/coreutils"
+	"overify/internal/daemon"
 	"overify/internal/pipeline"
 	"overify/internal/symex"
 	"overify/internal/verdicts"
+	"overify/internal/watch"
 )
 
 func main() {
@@ -39,7 +48,9 @@ func main() {
 	progName := flag.String("prog", "", "verify a bundled corpus program")
 	entry := flag.String("entry", "umain", "entry function (signature: int f(unsigned char*, int))")
 	verdictDir := flag.String("verdict-cache", "", "content-addressed verdict store directory (e.g. .overify-cache); unchanged content skips exploration")
-	watch := flag.Bool("watch", false, "poll the source file for changes and re-verify on each edit (file input only; implies -verdict-cache)")
+	daemonAddr := flag.String("daemon", "", "verify through a running overifyd at this unix socket instead of in-process")
+	watchFlag := flag.Bool("watch", false, "poll the source file for changes and re-verify on each edit (file input only; implies -verdict-cache unless -daemon)")
+	watchCount := flag.Int("watch-count", 0, "with -watch: exit after this many verifies, with a failing exit code if the final one found bugs (0 = watch forever)")
 	flag.Parse()
 
 	lvl, err := pipeline.ParseLevel(*level)
@@ -65,8 +76,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: symbex [-O level] [-n bytes] file.c | -prog name")
 		os.Exit(2)
 	}
-	if *watch && file == "" {
+	if *watchFlag && file == "" {
 		fatal(fmt.Errorf("-watch needs a source file to poll; corpus programs do not change"))
+	}
+	if *watchCount != 0 && !*watchFlag {
+		fatal(fmt.Errorf("-watch-count only makes sense with -watch"))
 	}
 
 	var pipeSpec *pipeline.PipelineSpec
@@ -81,76 +95,156 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	var store *verdicts.Store
-	if dir := *verdictDir; dir != "" || *watch {
-		store, err = verdicts.Open(dir)
+
+	var run func(src string) bool
+	if *daemonAddr != "" {
+		// Thin-client mode: all caching lives daemon-side.
+		client, err := daemon.Dial(*daemonAddr)
 		if err != nil {
 			fatal(err)
+		}
+		defer client.Close()
+		run = func(src string) bool {
+			reply, err := client.Verify(&daemon.VerifyRequest{
+				Name: name, Source: src,
+				Level: *level, Passes: *passSpec, Entry: *entry,
+				InputBytes: *n, TimeoutMS: timeout.Milliseconds(),
+				Search: *search, Seed: *seed, Cover: *coverTarget,
+				Workers: *workers,
+			})
+			if err != nil {
+				if *watchFlag {
+					fmt.Fprintln(os.Stderr, "symbex:", err)
+					return false
+				}
+				fatal(err)
+			}
+			reportDaemon(client.ServerName, reply, *n)
+			return len(reply.Bugs) == 0
+		}
+	} else {
+		var store *verdicts.Store
+		if dir := *verdictDir; dir != "" || *watchFlag {
+			store, err = verdicts.Open(dir)
+			if err != nil {
+				fatal(err)
+			}
+		}
+		opts := core.VerifyOptions{InputBytes: *n, Verdicts: store}
+		opts.Engine.Timeout = *timeout
+		opts.Engine.Workers = *workers
+		opts.Engine.Strategy = strat
+		opts.Engine.Seed = *seed
+		opts.Engine.CoverTarget = *coverTarget
+		run = func(src string) bool {
+			cfg := pipeline.LevelConfig(lvl)
+			cfg.Jobs = *workers
+			cfg.Pipeline = pipeSpec
+			c, err := core.CompileWithConfig(name, src, cfg, core.DefaultLibc(lvl))
+			if err != nil {
+				if *watchFlag {
+					fmt.Fprintln(os.Stderr, "symbex:", err)
+					return false
+				}
+				fatal(err)
+			}
+			rep, err := c.Verify(*entry, opts)
+			if err != nil {
+				if *watchFlag {
+					fmt.Fprintln(os.Stderr, "symbex:", err)
+					return false
+				}
+				fatal(err)
+			}
+			report(name, lvl, *n, c, rep, store)
+			return len(rep.Bugs) == 0
 		}
 	}
 
-	opts := core.VerifyOptions{InputBytes: *n, Verdicts: store}
-	opts.Engine.Timeout = *timeout
-	opts.Engine.Workers = *workers
-	opts.Engine.Strategy = strat
-	opts.Engine.Seed = *seed
-	opts.Engine.CoverTarget = *coverTarget
-
-	run := func(src string) bool {
-		cfg := pipeline.LevelConfig(lvl)
-		cfg.Jobs = *workers
-		cfg.Pipeline = pipeSpec
-		c, err := core.CompileWithConfig(name, src, cfg, core.DefaultLibc(lvl))
-		if err != nil {
-			if *watch {
-				fmt.Fprintln(os.Stderr, "symbex:", err)
-				return false
-			}
-			fatal(err)
-		}
-		rep, err := c.Verify(*entry, opts)
-		if err != nil {
-			if *watch {
-				fmt.Fprintln(os.Stderr, "symbex:", err)
-				return false
-			}
-			fatal(err)
-		}
-		report(name, lvl, *n, c, rep, store)
-		return len(rep.Bugs) == 0
-	}
-
-	if !*watch {
+	if !*watchFlag {
 		if !run(src) {
 			os.Exit(1)
 		}
 		return
 	}
 
-	// Watch mode: verify now, then re-verify on every mtime change.
-	// With the verdict store attached, an edit that touches nothing
-	// reachable from the entry (comments, unused functions) re-verifies
-	// in cache-hit time.
-	fmt.Printf("watching %s (poll %s, verdict cache %s) — ctrl-c to stop\n", file, watchPoll, store.Dir())
-	last := time.Time{}
+	// Watch mode: verify now, then re-verify on every change. Changes
+	// are detected by (mtime, size) signature — mtime alone misses an
+	// edit landing within the same timestamp granularity as the last
+	// read — and content is read with a stat-read-stat stability check
+	// so a save racing the poll never verifies torn source. With warm
+	// caches attached (a verdict store, or a daemon), an edit that
+	// touches nothing reachable from the entry re-verifies in cache-hit
+	// time.
+	where := "in-process"
+	if *daemonAddr != "" {
+		where = "daemon " + *daemonAddr
+	}
+	fmt.Printf("watching %s (poll %s, %s) — ctrl-c to stop\n", file, watchPoll, where)
+	var last watch.Sig
+	ran := 0
+	ok := true
 	for {
-		st, err := os.Stat(file)
-		if err == nil && st.ModTime() != last {
-			last = st.ModTime()
-			data, err := os.ReadFile(file)
+		sig, err := watch.StatSig(file)
+		if err == nil && sig.Changed(last) {
+			data, stableSig, err := watch.ReadStable(file)
 			if err != nil {
+				// Leave `last` untouched so the next poll retries.
 				fmt.Fprintln(os.Stderr, "symbex:", err)
 			} else {
-				run(string(data))
+				last = stableSig
+				ok = run(string(data))
+				ran++
 				fmt.Println()
+				if *watchCount > 0 && ran >= *watchCount {
+					if !ok {
+						os.Exit(1)
+					}
+					return
+				}
 			}
 		}
 		time.Sleep(watchPoll)
 	}
 }
 
-// watchPoll is the -watch mtime polling interval.
+// watchPoll is the -watch polling interval.
 const watchPoll = 300 * time.Millisecond
+
+// reportDaemon prints a daemon verify reply: the canonical render plus
+// where the answer came from.
+func reportDaemon(server string, r *daemon.VerifyReply, n int) {
+	fmt.Printf("%s at %s, %d symbolic input bytes (via %s, generation %d)\n",
+		r.Name, r.Level, n, server, r.Generation)
+	fmt.Printf("  compile:        %.1fms", r.CompileMS)
+	if r.CompileCacheHit {
+		fmt.Printf("  (module cache hit)")
+	}
+	fmt.Println()
+	fmt.Printf("  verify:         %.1fms", r.VerifyMS)
+	switch {
+	case r.VerdictCacheHit:
+		fmt.Printf("  (verdict cache hit — exploration skipped)")
+	case r.SolverQueries > 0:
+		fmt.Printf("  (%d of %d solver queries answered without a fresh search)",
+			r.SolverQueries-r.SolverSearches, r.SolverQueries)
+	}
+	fmt.Println()
+	fmt.Print(indent(r.Render, "  "))
+}
+
+func indent(s, pad string) string {
+	var out []byte
+	atStart := true
+	for i := 0; i < len(s); i++ {
+		if atStart && s[i] != '\n' {
+			out = append(out, pad...)
+		}
+		out = append(out, s[i])
+		atStart = s[i] == '\n'
+	}
+	return string(out)
+}
 
 func report(name string, lvl pipeline.Level, n int, c *core.Compiled, rep *symex.Report, store *verdicts.Store) {
 	s := rep.Stats

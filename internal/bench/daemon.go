@@ -1,0 +1,177 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"overify/internal/core"
+	"overify/internal/coreutils"
+	"overify/internal/daemon"
+	"overify/internal/pipeline"
+	"overify/internal/verdicts"
+)
+
+// DaemonSweepOptions configure the warm-vs-cold daemon measurement:
+// each corpus program is verified once cold through the CLI path
+// (fresh compile, fresh engine — what a standalone symbex run pays),
+// then three times through one in-process daemon server: cold
+// (populating its caches), warm through the verdict store, and warm
+// with the verdict store bypassed so the run exercises the shared
+// builder + solver cache. Every daemon render must be byte-identical
+// to the CLI baseline.
+type DaemonSweepOptions struct {
+	// Programs restricts the corpus (default: all).
+	Programs []string
+	// InputBytes is the symbolic input size (default 3).
+	InputBytes int
+	// MaxInstrs caps each exploration (default 2,000,000).
+	MaxInstrs int64
+	// Level is the optimization level (default -OVERIFY).
+	Level pipeline.Level
+	// LevelSet marks Level as explicitly chosen (lets O0 be selected).
+	LevelSet bool
+}
+
+func (o DaemonSweepOptions) withDefaults() DaemonSweepOptions {
+	if len(o.Programs) == 0 {
+		for _, p := range coreutils.All() {
+			o.Programs = append(o.Programs, p.Name)
+		}
+	}
+	if o.InputBytes == 0 {
+		o.InputBytes = 3
+	}
+	if o.MaxInstrs == 0 {
+		o.MaxInstrs = 2_000_000
+	}
+	if !o.LevelSet {
+		o.Level = pipeline.OVerify
+	}
+	return o
+}
+
+// DaemonRow is one program's cold-vs-warm measurement.
+type DaemonRow struct {
+	Program      string  `json:"program"`
+	CLIMs        float64 `json:"t_cli_ms"`         // cold CLI path: compile + verify
+	DaemonColdMs float64 `json:"t_daemon_cold_ms"` // first daemon request
+	WarmMs       float64 `json:"t_warm_ms"`        // repeat via the verdict store
+	EngineWarmMs float64 `json:"t_engine_warm_ms"` // repeat bypassing verdicts
+	VerdictHit   bool    `json:"verdict_hit"`
+	SkipRate     float64 `json:"engine_warm_skip_rate"` // fraction of engine-warm queries answered without a fresh search
+	Identical    bool    `json:"identical"`
+}
+
+// DaemonSweep runs the sweep against an in-process daemon server (the
+// same code path overifyd serves; the wire protocol adds only framing).
+func DaemonSweep(opts DaemonSweepOptions) ([]DaemonRow, error) {
+	opts = opts.withDefaults()
+	dir, err := os.MkdirTemp("", "overify-daemon-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	store, err := verdicts.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	srv := daemon.NewServer(daemon.Config{Verdicts: store})
+
+	var rows []DaemonRow
+	for _, name := range opts.Programs {
+		p, ok := coreutils.Get(name)
+		if !ok {
+			return nil, fmt.Errorf("daemon sweep: unknown corpus program %q", name)
+		}
+
+		// CLI baseline: everything cold.
+		cliStart := time.Now()
+		c, err := core.CompileProgram(p, opts.Level)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		vo := core.VerifyOptions{InputBytes: opts.InputBytes}
+		vo.Engine.MaxInstrs = opts.MaxInstrs
+		rep, err := c.Verify("umain", vo)
+		if err != nil {
+			return nil, fmt.Errorf("%s: verify: %w", name, err)
+		}
+		row := DaemonRow{Program: name, CLIMs: durMs(time.Since(cliStart)), Identical: true}
+		baseline := verdicts.Render(rep)
+
+		req := &daemon.VerifyRequest{
+			Prog: name, Level: opts.Level.String(),
+			InputBytes: opts.InputBytes, MaxInstrs: opts.MaxInstrs,
+		}
+		cold, err := srv.Verify(req)
+		if err != nil {
+			return nil, fmt.Errorf("%s: daemon cold: %w", name, err)
+		}
+		row.DaemonColdMs = cold.CompileMS + cold.VerifyMS
+
+		warm, err := srv.Verify(req)
+		if err != nil {
+			return nil, fmt.Errorf("%s: daemon warm: %w", name, err)
+		}
+		row.WarmMs = warm.CompileMS + warm.VerifyMS
+		row.VerdictHit = warm.VerdictCacheHit
+
+		noVerd := *req
+		noVerd.NoVerdicts = true
+		engineWarm, err := srv.Verify(&noVerd)
+		if err != nil {
+			return nil, fmt.Errorf("%s: daemon engine-warm: %w", name, err)
+		}
+		row.EngineWarmMs = engineWarm.CompileMS + engineWarm.VerifyMS
+		if engineWarm.SolverQueries > 0 {
+			row.SkipRate = 1 - float64(engineWarm.SolverSearches)/float64(engineWarm.SolverQueries)
+		}
+		for _, render := range []string{cold.Render, warm.Render, engineWarm.Render} {
+			if render != baseline {
+				row.Identical = false
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderDaemonSweep renders the sweep as the text recorded in
+// EXPERIMENTS.md.
+func RenderDaemonSweep(rows []DaemonRow, opts DaemonSweepOptions) string {
+	opts = opts.withDefaults()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Daemon warm-vs-cold sweep: %d programs at %s, %d symbolic bytes\n",
+		len(rows), opts.Level, opts.InputBytes)
+	fmt.Fprintf(&sb, "  %-10s %12s %12s %12s %14s %9s %10s\n",
+		"program", "t_cli[ms]", "t_cold[ms]", "t_warm[ms]", "t_engine[ms]", "skipped", "identical")
+	var identical = true
+	var cli, warm float64
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "  %-10s %12.1f %12.1f %12.1f %14.1f %8.0f%% %10v\n",
+			r.Program, r.CLIMs, r.DaemonColdMs, r.WarmMs, r.EngineWarmMs, 100*r.SkipRate, r.Identical)
+		identical = identical && r.Identical
+		cli += r.CLIMs
+		warm += r.WarmMs
+	}
+	if warm > 0 {
+		fmt.Fprintf(&sb, "  warm daemon repeat: %.1fx faster than the cold CLI path (all identical: %v)\n",
+			cli/warm, identical)
+	}
+	return sb.String()
+}
+
+// DaemonSweepJSON is the machine-readable form (BENCH_daemon.json).
+func DaemonSweepJSON(rows []DaemonRow, opts DaemonSweepOptions) ([]byte, error) {
+	opts = opts.withDefaults()
+	doc := struct {
+		InputBytes int         `json:"input_bytes"`
+		MaxInstrs  int64       `json:"max_instrs"`
+		Level      string      `json:"level"`
+		Rows       []DaemonRow `json:"rows"`
+	}{opts.InputBytes, opts.MaxInstrs, opts.Level.String(), rows}
+	return json.MarshalIndent(doc, "", "  ")
+}

@@ -110,7 +110,7 @@ func VerdictSweep(opts VerdictSweepOptions) ([]VerdictRow, error) {
 	for _, level := range opts.Levels {
 		row := VerdictRow{Level: level.String(), Programs: len(opts.Programs), Identical: true}
 		cold := make(map[string]string, len(opts.Programs))
-		before := store.Stores
+		before := store.Stores()
 		for _, name := range opts.Programs {
 			p, ok := coreutils.Get(name)
 			if !ok {
@@ -123,7 +123,7 @@ func VerdictSweep(opts VerdictSweepOptions) ([]VerdictRow, error) {
 			cold[name] = render
 			row.ColdMs += durMs(cell.Elapsed)
 		}
-		row.Stored = store.Stores - before
+		row.Stored = store.Stores() - before
 		for _, name := range opts.Programs {
 			p, _ := coreutils.Get(name)
 			render, cell, err := verify(p, level)

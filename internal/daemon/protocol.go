@@ -1,0 +1,266 @@
+// Package daemon implements overifyd, the long-lived verification
+// server: a length-prefixed JSON packet protocol (esbuild's service
+// mode is the exemplar shape) served over stdio or a unix socket, with
+// one warm set of caches — the hash-consed expression DAG, the striped
+// solver query cache, compiled modules, and the content-addressed
+// verdict store — shared across every request the process ever serves.
+//
+// Protocol. Each packet is a 4-byte little-endian payload length
+// followed by that many bytes of JSON encoding a Packet. The first
+// packet on a connection must be a "hello" carrying the client's
+// protocol version; the server answers with its own hello or an error
+// (version mismatch closes the connection — nothing after a failed
+// handshake is trusted to parse). After the handshake, requests
+// ("verify", "compile", "stats") may be pipelined and are answered
+// concurrently; replies carry the request's id, so arrival order is
+// unspecified. A packet that fails to decode is answered with an
+// "error" packet (id 0 when the id itself was unreadable) and the
+// connection keeps serving — a bad client request must never take the
+// daemon down.
+package daemon
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// ProtocolVersion gates the handshake: client and server must agree
+// exactly. Bump on any wire-visible change.
+const ProtocolVersion = 1
+
+// MaxPacket bounds a single packet's payload (16 MiB): large enough
+// for any source file plus headroom, small enough that a corrupt
+// length prefix cannot make the reader allocate unboundedly.
+const MaxPacket = 16 << 20
+
+// Packet kinds.
+const (
+	KindHello   = "hello"   // handshake (both directions)
+	KindVerify  = "verify"  // client request: compile + symbolically verify
+	KindCompile = "compile" // client request: compile only, report pipeline stats
+	KindStats   = "stats"   // client request: daemon-wide cache/job counters
+	KindReply   = "reply"   // server response carrying a request-specific body
+	KindError   = "error"   // server response: request failed (body: ErrorBody)
+)
+
+// Packet is the wire unit. Body holds the kind-specific payload,
+// decoded by the handler (requests) or the awaiting caller (replies).
+type Packet struct {
+	ID   uint32          `json:"id"`
+	Kind string          `json:"kind"`
+	Body json.RawMessage `json:"body,omitempty"`
+}
+
+// Hello is the handshake body, both directions. The server's reply
+// also names the daemon so clients can log what they connected to.
+type Hello struct {
+	Version int    `json:"version"`
+	Name    string `json:"name,omitempty"`
+}
+
+// ErrorBody is the payload of a KindError reply.
+type ErrorBody struct {
+	Message string `json:"message"`
+	// Overloaded marks admission-control rejections (queue deadline
+	// exceeded or daemon draining): the request was well-formed and may
+	// be retried, unlike a protocol or verification error.
+	Overloaded bool `json:"overloaded,omitempty"`
+}
+
+// VerifyRequest asks the daemon to compile and symbolically verify one
+// program. Exactly one of Source (with Name) or Prog (a bundled corpus
+// program) must be set.
+type VerifyRequest struct {
+	Name   string `json:"name,omitempty"`   // display name for Source
+	Source string `json:"source,omitempty"` // MiniC source text
+	Prog   string `json:"prog,omitempty"`   // corpus program name
+
+	Level  string `json:"level,omitempty"`  // optimization level (default -OVERIFY)
+	Passes string `json:"passes,omitempty"` // explicit pass pipeline (disables verdict caching)
+	Entry  string `json:"entry,omitempty"`  // entry function (default umain)
+
+	InputBytes int    `json:"inputBytes,omitempty"` // symbolic input size (default 4)
+	TimeoutMS  int64  `json:"timeoutMs,omitempty"`  // exploration budget (0 = none)
+	MaxInstrs  int64  `json:"maxInstrs,omitempty"`  // instruction cap (0 = engine default)
+	Search     string `json:"search,omitempty"`     // exploration order (default dfs)
+	Seed       int64  `json:"seed,omitempty"`
+	Cover      int    `json:"cover,omitempty"`   // CoverTarget (0 = off)
+	Workers    int    `json:"workers,omitempty"` // engine workers (default 1: the daemon parallelizes across requests)
+
+	// NoVerdicts bypasses the verdict store for this request (the
+	// exploration still warms and reads the solver cache). Benchmarks
+	// use it to isolate the solver-cache layer.
+	NoVerdicts bool `json:"noVerdicts,omitempty"`
+}
+
+// BugReport is one merged bug in a VerifyReply.
+type BugReport struct {
+	Kind  string `json:"kind"`
+	Msg   string `json:"msg"`
+	Where string `json:"where"`
+	Input []byte `json:"input,omitempty"`
+}
+
+// VerifyReply is the verify response. Render is the canonical
+// schedule-invariant byte rendering of the outcome (verdicts.Render):
+// two replies for identical content must carry byte-identical Renders,
+// no matter which caches served them — that is the conformance claim
+// the daemon tests pin. Everything else is advisory (timings, cache
+// provenance) and may differ between runs.
+type VerifyReply struct {
+	Render string `json:"render"`
+
+	Name     string      `json:"name"`
+	Level    string      `json:"level"`
+	Entry    string      `json:"entry"`
+	Bugs     []BugReport `json:"bugs,omitempty"`
+	Paths    int64       `json:"paths"`
+	Instrs   int64       `json:"instrs"`
+	TimedOut bool        `json:"timedOut,omitempty"`
+
+	// Cache provenance for this request.
+	VerdictCacheHit bool  `json:"verdictCacheHit,omitempty"`
+	CompileCacheHit bool  `json:"compileCacheHit,omitempty"`
+	SolverQueries   int64 `json:"solverQueries"`
+	SolverWarmHits  int64 `json:"solverWarmHits"` // cache + partition + model-reuse hits (group-level; can exceed queries)
+	SolverSearches  int64 `json:"solverSearches"` // fresh searches actually run (tape compiles); queries - searches were answered warm
+	Generation      int64 `json:"generation"`     // builder/cache generation that served the run
+
+	CompileMS float64 `json:"compileMs"`
+	VerifyMS  float64 `json:"verifyMs"`
+}
+
+// CompileRequest asks the daemon to compile only. Same source/prog
+// convention as VerifyRequest.
+type CompileRequest struct {
+	Name   string `json:"name,omitempty"`
+	Source string `json:"source,omitempty"`
+	Prog   string `json:"prog,omitempty"`
+	Level  string `json:"level,omitempty"`
+	Passes string `json:"passes,omitempty"`
+	// IR requests the optimized module listing in the reply (the
+	// "explain what the pipeline did" mode).
+	IR bool `json:"ir,omitempty"`
+}
+
+// CompileReply reports one compile.
+type CompileReply struct {
+	Name            string  `json:"name"`
+	Level           string  `json:"level"`
+	CompileMS       float64 `json:"compileMs"`
+	PassInvocations int64   `json:"passInvocations"`
+	SkippedRuns     int64   `json:"skippedRuns"`
+	AnalysisHitRate float64 `json:"analysisHitRate"`
+	CompileCacheHit bool    `json:"compileCacheHit,omitempty"`
+	IR              string  `json:"ir,omitempty"`
+}
+
+// StatsReply is the daemon-wide counter snapshot.
+type StatsReply struct {
+	Name       string `json:"name"`
+	Generation int64  `json:"generation"`
+
+	Jobs struct {
+		Active   int64 `json:"active"`
+		Served   int64 `json:"served"`
+		Rejected int64 `json:"rejected"`
+		MaxJobs  int   `json:"maxJobs"`
+	} `json:"jobs"`
+
+	Builder struct {
+		Nodes    int64 `json:"nodes"`
+		Hits     int64 `json:"hits"`
+		Cap      int64 `json:"cap"`
+		Rotation int64 `json:"rotations"`
+	} `json:"builder"`
+
+	SolverCache struct {
+		Entries   int64 `json:"entries"`
+		Hits      int64 `json:"hits"`
+		Misses    int64 `json:"misses"`
+		Evictions int64 `json:"evictions"`
+		Capacity  int   `json:"capacity"`
+	} `json:"solverCache"`
+
+	Verdicts struct {
+		Dir       string `json:"dir"`
+		Entries   int    `json:"entries"`
+		Hits      int64  `json:"hits"`
+		Misses    int64  `json:"misses"`
+		Stores    int64  `json:"stores"`
+		Evictions int64  `json:"evictions"`
+		Limit     int    `json:"limit"`
+	} `json:"verdicts"`
+
+	Compiles struct {
+		Entries   int   `json:"entries"`
+		Hits      int64 `json:"hits"`
+		Misses    int64 `json:"misses"`
+		Evictions int64 `json:"evictions"`
+		Capacity  int   `json:"capacity"`
+	} `json:"compiles"`
+}
+
+// WritePacket frames and writes one packet. Callers sharing a writer
+// must serialize calls (the server holds a per-connection write lock).
+func WritePacket(w io.Writer, p *Packet) error {
+	payload, err := json.Marshal(p)
+	if err != nil {
+		return fmt.Errorf("daemon: encode packet: %w", err)
+	}
+	if len(payload) > MaxPacket {
+		return fmt.Errorf("daemon: packet of %d bytes exceeds the %d-byte bound", len(payload), MaxPacket)
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(payload)
+	return err
+}
+
+// ReadPacket reads one length-prefixed packet. An oversized or
+// negative length is a framing error: the stream cannot be resynced
+// and the connection should be closed.
+func ReadPacket(r io.Reader) (*Packet, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > MaxPacket {
+		return nil, fmt.Errorf("daemon: framing: %d-byte packet exceeds the %d-byte bound", n, MaxPacket)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	var p Packet
+	if err := json.Unmarshal(payload, &p); err != nil {
+		// The frame was intact but the JSON was not: report decodability
+		// separately so the server can answer with an error packet
+		// instead of dropping the connection.
+		return nil, &DecodeError{Err: err}
+	}
+	return &p, nil
+}
+
+// DecodeError marks a packet whose framing was sound but whose JSON
+// payload did not decode; the connection remains usable.
+type DecodeError struct{ Err error }
+
+func (e *DecodeError) Error() string { return fmt.Sprintf("daemon: decode packet: %v", e.Err) }
+func (e *DecodeError) Unwrap() error { return e.Err }
+
+// body marshals a reply body, panicking on the impossible (all reply
+// types marshal cleanly by construction).
+func body(v any) json.RawMessage {
+	data, err := json.Marshal(v)
+	if err != nil {
+		panic(fmt.Sprintf("daemon: marshal %T: %v", v, err))
+	}
+	return data
+}

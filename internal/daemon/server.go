@@ -1,0 +1,631 @@
+package daemon
+
+import (
+	"container/list"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"overify/internal/core"
+	"overify/internal/coreutils"
+	"overify/internal/expr"
+	"overify/internal/pipeline"
+	"overify/internal/solver"
+	"overify/internal/symex"
+	"overify/internal/verdicts"
+)
+
+// Config sizes the daemon's shared state and admission control. The
+// zero value gets sensible long-running defaults from withDefaults.
+type Config struct {
+	// Name identifies the daemon in handshakes and stats.
+	Name string
+
+	// MaxJobs bounds concurrently executing verify/compile jobs
+	// (admission control; default NumCPU). Requests beyond the bound
+	// queue up to QueueWait before being rejected as overloaded.
+	MaxJobs int
+	// QueueWait is how long an admitted connection's request may wait
+	// for a job slot (default 30s).
+	QueueWait time.Duration
+
+	// SolverCacheCap bounds the shared solver query cache in decided
+	// groups (default 1M entries; 0 keeps the default — use a negative
+	// value for an unbounded cache).
+	SolverCacheCap int
+	// BuilderCap rotates the shared expression builder (and with it the
+	// solver cache, whose keys are builder-local node ids) once the DAG
+	// exceeds this many nodes (default 4M; negative = never rotate).
+	// Rotation is the DAG's eviction policy: the old generation stays
+	// alive for its in-flight runs and is garbage-collected when they
+	// finish. Requests never observe a torn generation — each run pins
+	// one (builder, cache) pair for its whole lifetime.
+	BuilderCap int64
+
+	// Verdicts, when non-nil, is the shared verdict store. Nil disables
+	// verdict caching daemon-wide.
+	Verdicts *verdicts.Store
+
+	// CompileCacheCap bounds the compiled-module cache (default 64
+	// modules; negative = unbounded). A hit skips parse + lower +
+	// optimize and keeps the per-function analysis results with it.
+	CompileCacheCap int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Name == "" {
+		c.Name = "overifyd"
+	}
+	if c.MaxJobs == 0 {
+		c.MaxJobs = runtime.NumCPU()
+	}
+	if c.QueueWait == 0 {
+		c.QueueWait = 30 * time.Second
+	}
+	switch {
+	case c.SolverCacheCap == 0:
+		c.SolverCacheCap = 1 << 20
+	case c.SolverCacheCap < 0:
+		c.SolverCacheCap = 0 // unbounded
+	}
+	switch {
+	case c.BuilderCap == 0:
+		c.BuilderCap = 4 << 20
+	case c.BuilderCap < 0:
+		c.BuilderCap = 0 // never rotate
+	}
+	switch {
+	case c.CompileCacheCap == 0:
+		c.CompileCacheCap = 64
+	case c.CompileCacheCap < 0:
+		c.CompileCacheCap = 0 // unbounded
+	}
+	return c
+}
+
+// generation is one (builder, solver cache) epoch. The two rotate
+// together because cache keys are fingerprints of builder-local node
+// ids — entries from one builder are meaningless (and dangerous) under
+// another.
+type generation struct {
+	id      int64
+	builder *expr.Builder
+	cache   *solver.Cache
+}
+
+// Server is the long-lived verification service. One Server holds all
+// warm state; connections and requests are cheap views onto it.
+type Server struct {
+	cfg Config
+
+	genMu     sync.Mutex
+	gen       *generation
+	rotations atomic.Int64
+
+	compiles *compileCache
+
+	sem      chan struct{} // admission slots
+	draining atomic.Bool
+	drainCh  chan struct{}
+
+	active   atomic.Int64
+	served   atomic.Int64
+	rejected atomic.Int64
+
+	jobsWG  sync.WaitGroup // in-flight verify/compile jobs
+	connsWG sync.WaitGroup // open connections
+	connsMu sync.Mutex
+	conns   map[io.Closer]struct{}
+
+	listenMu sync.Mutex
+	listener net.Listener
+
+	// testJobGate, when non-nil, is closed-over by jobs before they
+	// start real work; tests use it to hold slots deterministically.
+	testJobGate func()
+}
+
+// NewServer builds a server over cfg.
+func NewServer(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		compiles: newCompileCache(cfg.CompileCacheCap),
+		sem:      make(chan struct{}, cfg.MaxJobs),
+		drainCh:  make(chan struct{}),
+		conns:    make(map[io.Closer]struct{}),
+	}
+	s.gen = &generation{id: 1, builder: expr.NewConcurrentBuilder(), cache: solver.NewCacheWithCap(cfg.SolverCacheCap)}
+	return s
+}
+
+// currentGen returns the generation new runs should pin, rotating
+// first if the builder outgrew its cap.
+func (s *Server) currentGen() *generation {
+	s.genMu.Lock()
+	defer s.genMu.Unlock()
+	if s.cfg.BuilderCap > 0 && s.gen.builder.NodesBuilt() > s.cfg.BuilderCap {
+		s.gen = &generation{
+			id:      s.gen.id + 1,
+			builder: expr.NewConcurrentBuilder(),
+			cache:   solver.NewCacheWithCap(s.cfg.SolverCacheCap),
+		}
+		s.rotations.Add(1)
+	}
+	return s.gen
+}
+
+// Serve accepts connections until the listener fails or Shutdown runs.
+func (s *Server) Serve(l net.Listener) error {
+	s.listenMu.Lock()
+	s.listener = l
+	s.listenMu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if s.draining.Load() {
+				return nil
+			}
+			return err
+		}
+		s.connsWG.Add(1)
+		go func() {
+			defer s.connsWG.Done()
+			s.ServeConn(conn)
+		}()
+	}
+}
+
+// Shutdown drains the server: no new connections or jobs are admitted,
+// in-flight jobs run to completion, then every connection is closed.
+// Safe to call more than once.
+func (s *Server) Shutdown() {
+	if s.draining.Swap(true) {
+		return
+	}
+	close(s.drainCh)
+	s.listenMu.Lock()
+	if s.listener != nil {
+		s.listener.Close()
+	}
+	s.listenMu.Unlock()
+	s.jobsWG.Wait()
+	s.connsMu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.connsMu.Unlock()
+	s.connsWG.Wait()
+}
+
+// conn is one client connection's state: a shared writer lock (replies
+// from concurrent jobs interleave at packet granularity) over the
+// underlying stream.
+type conn struct {
+	s  *Server
+	rw io.ReadWriter
+	wm sync.Mutex
+}
+
+func (c *conn) reply(p *Packet) {
+	c.wm.Lock()
+	defer c.wm.Unlock()
+	// A write error means the client is gone; jobs finish regardless.
+	_ = WritePacket(c.rw, p)
+}
+
+func (c *conn) replyErr(id uint32, overloaded bool, format string, args ...any) {
+	c.reply(&Packet{ID: id, Kind: KindError, Body: body(ErrorBody{
+		Message: fmt.Sprintf(format, args...), Overloaded: overloaded,
+	})})
+}
+
+// ServeConn speaks the packet protocol over rw until EOF, a framing
+// error, or shutdown. It is the building block for both transports:
+// the socket accept loop and -stdio mode call it directly.
+func (s *Server) ServeConn(rw io.ReadWriter) {
+	if closer, ok := rw.(io.Closer); ok {
+		s.connsMu.Lock()
+		s.conns[closer] = struct{}{}
+		s.connsMu.Unlock()
+		defer func() {
+			s.connsMu.Lock()
+			delete(s.conns, closer)
+			s.connsMu.Unlock()
+			closer.Close()
+		}()
+	}
+	c := &conn{s: s, rw: rw}
+
+	// Handshake: the first packet must be a matching-version hello.
+	first, err := ReadPacket(rw)
+	if err != nil {
+		var de *DecodeError
+		if errors.As(err, &de) {
+			c.replyErr(0, false, "handshake: %v", err)
+		}
+		return
+	}
+	var hello Hello
+	if first.Kind != KindHello || decode(first.Body, &hello) != nil {
+		c.replyErr(first.ID, false, "handshake: first packet must be a hello, got %q", first.Kind)
+		return
+	}
+	if hello.Version != ProtocolVersion {
+		c.replyErr(first.ID, false, "protocol version mismatch: client %d, daemon %d", hello.Version, ProtocolVersion)
+		return
+	}
+	c.reply(&Packet{ID: first.ID, Kind: KindHello, Body: body(Hello{Version: ProtocolVersion, Name: s.cfg.Name})})
+
+	var jobs sync.WaitGroup
+	defer jobs.Wait()
+	for {
+		p, err := ReadPacket(rw)
+		if err != nil {
+			var de *DecodeError
+			if errors.As(err, &de) {
+				// Sound frame, bad JSON: answer and keep serving.
+				c.replyErr(0, false, "%v", err)
+				continue
+			}
+			return // EOF or unrecoverable framing error
+		}
+		switch p.Kind {
+		case KindStats:
+			c.reply(&Packet{ID: p.ID, Kind: KindReply, Body: body(s.statsReply())})
+		case KindVerify, KindCompile:
+			jobs.Add(1)
+			go func(p *Packet) {
+				defer jobs.Done()
+				s.runJob(c, p)
+			}(p)
+		default:
+			c.replyErr(p.ID, false, "unknown request kind %q", p.Kind)
+		}
+	}
+}
+
+// runJob pushes one request through admission control and dispatches.
+func (s *Server) runJob(c *conn, p *Packet) {
+	if s.draining.Load() {
+		s.rejected.Add(1)
+		c.replyErr(p.ID, true, "daemon is draining")
+		return
+	}
+	timer := time.NewTimer(s.cfg.QueueWait)
+	defer timer.Stop()
+	select {
+	case s.sem <- struct{}{}:
+	case <-timer.C:
+		s.rejected.Add(1)
+		c.replyErr(p.ID, true, "daemon overloaded: no job slot within %s (max %d jobs)", s.cfg.QueueWait, s.cfg.MaxJobs)
+		return
+	case <-s.drainCh:
+		s.rejected.Add(1)
+		c.replyErr(p.ID, true, "daemon is draining")
+		return
+	}
+	s.jobsWG.Add(1)
+	s.active.Add(1)
+	defer func() {
+		<-s.sem
+		s.active.Add(-1)
+		s.jobsWG.Done()
+	}()
+	if s.testJobGate != nil {
+		s.testJobGate()
+	}
+
+	switch p.Kind {
+	case KindVerify:
+		var req VerifyRequest
+		if err := decode(p.Body, &req); err != nil {
+			c.replyErr(p.ID, false, "verify: bad request body: %v", err)
+			return
+		}
+		reply, err := s.Verify(&req)
+		if err != nil {
+			c.replyErr(p.ID, false, "verify: %v", err)
+			return
+		}
+		s.served.Add(1)
+		c.reply(&Packet{ID: p.ID, Kind: KindReply, Body: body(reply)})
+	case KindCompile:
+		var req CompileRequest
+		if err := decode(p.Body, &req); err != nil {
+			c.replyErr(p.ID, false, "compile: bad request body: %v", err)
+			return
+		}
+		reply, err := s.Compile(&req)
+		if err != nil {
+			c.replyErr(p.ID, false, "compile: %v", err)
+			return
+		}
+		s.served.Add(1)
+		c.reply(&Packet{ID: p.ID, Kind: KindReply, Body: body(reply)})
+	}
+}
+
+// resolveSource maps the request's source/prog convention onto (name,
+// source text).
+func resolveSource(name, source, prog string) (string, string, error) {
+	switch {
+	case prog != "" && source != "":
+		return "", "", fmt.Errorf("request carries both source and corpus program %q", prog)
+	case prog != "":
+		p, ok := coreutils.Get(prog)
+		if !ok {
+			return "", "", fmt.Errorf("unknown corpus program %q", prog)
+		}
+		return p.Name, p.Src, nil
+	case source != "":
+		if name == "" {
+			name = "<source>"
+		}
+		return name, source, nil
+	default:
+		return "", "", fmt.Errorf("request carries neither source nor a corpus program")
+	}
+}
+
+// compileFor compiles (or serves from the module cache) one request's
+// program. The cache key covers everything that shapes the module:
+// source text, level, explicit pipeline, and the level-implied libc.
+func (s *Server) compileFor(name, src, level, passes string, jobs int) (*core.Compiled, bool, error) {
+	lvl, err := pipeline.ParseLevel(levelOrDefault(level))
+	if err != nil {
+		return nil, false, err
+	}
+	var pipeSpec *pipeline.PipelineSpec
+	if passes != "" {
+		spec, err := pipeline.ParsePipeline(passes)
+		if err != nil {
+			return nil, false, err
+		}
+		pipeSpec = &spec
+	}
+	lk := core.DefaultLibc(lvl)
+
+	h := solver.NewHasher()
+	for _, part := range []string{name, src, lvl.String(), passes, lk.String()} {
+		h.WriteString(part)
+		h.WriteString("\x00")
+	}
+	key := h.Sum().Hex()
+	if c, ok := s.compiles.get(key); ok {
+		return c, true, nil
+	}
+	cfg := pipeline.LevelConfig(lvl)
+	cfg.Jobs = jobs
+	cfg.Pipeline = pipeSpec
+	c, err := core.CompileWithConfig(name, src, cfg, lk)
+	if err != nil {
+		return nil, false, err
+	}
+	s.compiles.put(key, c)
+	return c, false, nil
+}
+
+func levelOrDefault(level string) string {
+	if level == "" {
+		return "-OVERIFY"
+	}
+	return level
+}
+
+// Verify executes one verify request against the warm state. It is
+// exported (and used directly by the in-process bench harness) but the
+// normal entry is a KindVerify packet.
+func (s *Server) Verify(req *VerifyRequest) (*VerifyReply, error) {
+	name, src, err := resolveSource(req.Name, req.Source, req.Prog)
+	if err != nil {
+		return nil, err
+	}
+	entry := req.Entry
+	if entry == "" {
+		entry = "umain"
+	}
+	strat, err := symex.ParseSearch(searchOrDefault(req.Search))
+	if err != nil {
+		return nil, err
+	}
+
+	compileStart := time.Now()
+	c, compileHit, err := s.compileFor(name, src, req.Level, req.Passes, req.Workers)
+	if err != nil {
+		return nil, err
+	}
+	compileMS := float64(time.Since(compileStart)) / float64(time.Millisecond)
+
+	gen := s.currentGen()
+	opts := core.VerifyOptions{InputBytes: req.InputBytes}
+	if !req.NoVerdicts {
+		opts.Verdicts = s.cfg.Verdicts
+	}
+	opts.Engine.Timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	opts.Engine.MaxInstrs = req.MaxInstrs
+	opts.Engine.Strategy = strat
+	opts.Engine.Seed = req.Seed
+	opts.Engine.CoverTarget = req.Cover
+	opts.Engine.Workers = req.Workers
+	opts.Engine.Builder = gen.builder
+	opts.Engine.Cache = gen.cache
+
+	verifyStart := time.Now()
+	rep, err := c.Verify(entry, opts)
+	if err != nil {
+		return nil, err
+	}
+	verifyMS := float64(time.Since(verifyStart)) / float64(time.Millisecond)
+
+	reply := &VerifyReply{
+		Render:          verdicts.Render(rep),
+		Name:            name,
+		Level:           c.Level.String(),
+		Entry:           entry,
+		Paths:           rep.Stats.Paths,
+		Instrs:          rep.Stats.Instrs,
+		TimedOut:        rep.Stats.TimedOut,
+		VerdictCacheHit: rep.Stats.VerdictCacheHits > 0,
+		CompileCacheHit: compileHit,
+		SolverQueries:   rep.Stats.SolverStats.Queries,
+		SolverWarmHits: rep.Stats.SolverStats.CacheHits +
+			rep.Stats.SolverStats.PartitionHits +
+			rep.Stats.SolverStats.ModelReuseHits,
+		SolverSearches: rep.Stats.SolverStats.TapeCompiles,
+		Generation:     gen.id,
+		CompileMS:      compileMS,
+		VerifyMS:       verifyMS,
+	}
+	for _, b := range rep.Bugs {
+		reply.Bugs = append(reply.Bugs, BugReport{
+			Kind: b.Kind.String(), Msg: b.Msg, Where: b.Where,
+			Input: append([]byte(nil), b.Input...),
+		})
+	}
+	return reply, nil
+}
+
+func searchOrDefault(s string) string {
+	if s == "" {
+		return "dfs"
+	}
+	return s
+}
+
+// Compile executes one compile-only request.
+func (s *Server) Compile(req *CompileRequest) (*CompileReply, error) {
+	name, src, err := resolveSource(req.Name, req.Source, req.Prog)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	c, hit, err := s.compileFor(name, src, req.Level, req.Passes, 0)
+	if err != nil {
+		return nil, err
+	}
+	reply := &CompileReply{
+		Name:            name,
+		Level:           c.Level.String(),
+		CompileMS:       float64(time.Since(start)) / float64(time.Millisecond),
+		PassInvocations: int64(c.Result.PassInvocations),
+		SkippedRuns:     int64(c.Result.SkippedFuncRuns),
+		AnalysisHitRate: c.Result.Analysis.HitRate(),
+		CompileCacheHit: hit,
+	}
+	if req.IR {
+		reply.IR = c.Mod.String()
+	}
+	return reply, nil
+}
+
+// statsReply snapshots the daemon counters.
+func (s *Server) statsReply() *StatsReply {
+	r := &StatsReply{Name: s.cfg.Name}
+	s.genMu.Lock()
+	gen := s.gen
+	s.genMu.Unlock()
+	r.Generation = gen.id
+
+	r.Jobs.Active = s.active.Load()
+	r.Jobs.Served = s.served.Load()
+	r.Jobs.Rejected = s.rejected.Load()
+	r.Jobs.MaxJobs = s.cfg.MaxJobs
+
+	r.Builder.Nodes = gen.builder.NodesBuilt()
+	r.Builder.Hits = gen.builder.CacheHits()
+	r.Builder.Cap = s.cfg.BuilderCap
+	r.Builder.Rotation = s.rotations.Load()
+
+	snap := gen.cache.Snapshot()
+	r.SolverCache.Entries = snap.Entries
+	r.SolverCache.Hits = snap.Hits
+	r.SolverCache.Misses = snap.Misses
+	r.SolverCache.Evictions = snap.Evictions
+	r.SolverCache.Capacity = snap.Capacity
+
+	if v := s.cfg.Verdicts; v != nil {
+		r.Verdicts.Dir = v.Dir()
+		r.Verdicts.Entries = v.Len()
+		r.Verdicts.Hits = v.Hits()
+		r.Verdicts.Misses = v.Misses()
+		r.Verdicts.Stores = v.Stores()
+		r.Verdicts.Evictions = v.Evictions()
+		r.Verdicts.Limit = v.Limit()
+	}
+
+	r.Compiles.Entries = s.compiles.len()
+	r.Compiles.Hits = s.compiles.hits.Load()
+	r.Compiles.Misses = s.compiles.misses.Load()
+	r.Compiles.Evictions = s.compiles.evictions.Load()
+	r.Compiles.Capacity = s.compiles.cap
+	return r
+}
+
+func decode(raw []byte, v any) error {
+	if len(raw) == 0 {
+		return fmt.Errorf("empty body")
+	}
+	return json.Unmarshal(raw, v)
+}
+
+// compileCache is a mutex-guarded LRU of compiled modules. Values are
+// shared by concurrent verifies — a compiled module is read-only after
+// optimization, which the pipeline-equivalence suite relies on too.
+type compileCache struct {
+	mu  sync.Mutex
+	cap int
+	m   map[string]*list.Element
+	lru *list.List // of compileSlot; front = most recent
+
+	hits, misses, evictions atomic.Int64
+}
+
+type compileSlot struct {
+	key string
+	c   *core.Compiled
+}
+
+func newCompileCache(cap int) *compileCache {
+	return &compileCache{cap: cap, m: make(map[string]*list.Element), lru: list.New()}
+}
+
+func (cc *compileCache) get(key string) (*core.Compiled, bool) {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if el, ok := cc.m[key]; ok {
+		cc.lru.MoveToFront(el)
+		cc.hits.Add(1)
+		return el.Value.(compileSlot).c, true
+	}
+	cc.misses.Add(1)
+	return nil, false
+}
+
+func (cc *compileCache) put(key string, c *core.Compiled) {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if el, ok := cc.m[key]; ok { // concurrent compile of the same key: keep the resident one
+		cc.lru.MoveToFront(el)
+		return
+	}
+	cc.m[key] = cc.lru.PushFront(compileSlot{key: key, c: c})
+	for cc.cap > 0 && cc.lru.Len() > cc.cap {
+		el := cc.lru.Back()
+		cc.lru.Remove(el)
+		delete(cc.m, el.Value.(compileSlot).key)
+		cc.evictions.Add(1)
+	}
+}
+
+func (cc *compileCache) len() int {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return cc.lru.Len()
+}

@@ -10,9 +10,24 @@ import (
 // negligible even with dozens of workers.
 const cacheShards = 64
 
+// cacheSlot wraps a resident entry with its clock reference bit. The
+// bit is set on every hit (atomically, under the shard read lock) and
+// gives the entry a second chance when the eviction hand passes it.
+type cacheSlot struct {
+	e    cacheEntry
+	used atomic.Bool
+}
+
 type cacheShard struct {
 	mu sync.RWMutex
-	m  map[Fingerprint]cacheEntry
+	m  map[Fingerprint]*cacheSlot
+
+	// ring is the shard's insertion-ordered clock queue: hand indexes
+	// the next candidate; a swept entry with its used bit set is given
+	// a second chance (bit cleared, re-enqueued), otherwise it is
+	// evicted. The prefix before hand is compacted away periodically.
+	ring []Fingerprint
+	hand int
 }
 
 // Cache is a query-result cache shared between solvers: the parallel
@@ -21,24 +36,52 @@ type cacheShard struct {
 // of them, so a group decided by any worker is a hit for every other.
 // Keys are group fingerprints (sorted hash-consed expression ids mixed
 // into a fixed-size comparable value), which is why all workers must
-// share one expr.Builder.
+// share one expr.Builder — and why a daemon sharing one Cache across
+// runs must also share one builder across those runs.
 //
 // A Cache is safe for concurrent use.
+//
+// A bounded cache (NewCacheWithCap) evicts cold entries once a stripe
+// exceeds its share of the cap, using a second-chance clock over
+// stripe-local rings: recently hit entries survive the sweep, untouched
+// ones leave. Evicting an entry never changes a verdict — the group is
+// simply re-decided (deterministically) on next miss.
 type Cache struct {
-	shards [cacheShards]cacheShard
+	shards   [cacheShards]cacheShard
+	shardCap int // max entries per stripe; 0 = unbounded
 
-	hits    atomic.Int64
-	misses  atomic.Int64
-	entries atomic.Int64
+	hits      atomic.Int64
+	misses    atomic.Int64
+	entries   atomic.Int64
+	evictions atomic.Int64
 }
 
-// NewCache returns an empty shared cache.
+// NewCache returns an empty unbounded shared cache.
 func NewCache() *Cache {
+	return NewCacheWithCap(0)
+}
+
+// NewCacheWithCap returns an empty shared cache holding at most
+// maxEntries decided groups (0 = unbounded). The cap is apportioned
+// across lock stripes, so the effective bound is maxEntries rounded up
+// to a multiple of the stripe count.
+func NewCacheWithCap(maxEntries int) *Cache {
 	c := &Cache{}
+	if maxEntries > 0 {
+		c.shardCap = (maxEntries + cacheShards - 1) / cacheShards
+		if c.shardCap < 1 {
+			c.shardCap = 1
+		}
+	}
 	for i := range c.shards {
-		c.shards[i].m = make(map[Fingerprint]cacheEntry)
+		c.shards[i].m = make(map[Fingerprint]*cacheSlot)
 	}
 	return c
+}
+
+// Capacity returns the total entry cap (0 = unbounded).
+func (c *Cache) Capacity() int {
+	return c.shardCap * cacheShards
 }
 
 // shardIdx maps a fingerprint onto its lock stripe. The fingerprint is
@@ -76,8 +119,9 @@ func (c *Cache) getBatch(fps []Fingerprint) map[Fingerprint]cacheEntry {
 		sh := &c.shards[idx]
 		sh.mu.RLock()
 		for _, fp := range ks {
-			if e, ok := sh.m[fp]; ok {
-				found[fp] = e
+			if s, ok := sh.m[fp]; ok {
+				s.used.Store(true)
+				found[fp] = s.e
 				hits++
 			}
 		}
@@ -91,7 +135,12 @@ func (c *Cache) getBatch(fps []Fingerprint) map[Fingerprint]cacheEntry {
 func (c *Cache) get(fp Fingerprint) (cacheEntry, bool) {
 	sh := c.shard(fp)
 	sh.mu.RLock()
-	e, ok := sh.m[fp]
+	s, ok := sh.m[fp]
+	var e cacheEntry
+	if ok {
+		s.used.Store(true)
+		e = s.e
+	}
 	sh.mu.RUnlock()
 	if ok {
 		c.hits.Add(1)
@@ -102,29 +151,73 @@ func (c *Cache) get(fp Fingerprint) (cacheEntry, bool) {
 }
 
 // put records a decided group. First writer wins; a concurrent
-// duplicate decision of the same group is identical anyway.
+// duplicate decision of the same group is identical anyway. In a
+// bounded cache the insert may evict the stripe's coldest entries.
 func (c *Cache) put(fp Fingerprint, e cacheEntry) {
 	sh := c.shard(fp)
 	sh.mu.Lock()
 	if _, dup := sh.m[fp]; !dup {
-		sh.m[fp] = e
+		sh.m[fp] = &cacheSlot{e: e}
+		sh.ring = append(sh.ring, fp)
 		c.entries.Add(1)
+		if c.shardCap > 0 {
+			c.evictLocked(sh)
+		}
 	}
 	sh.mu.Unlock()
 }
 
+// evictLocked runs the clock hand until the stripe fits its cap. Each
+// resident candidate with its reference bit set gets a second chance
+// (bit cleared, moved to the back of the ring); the first cold one is
+// evicted. Terminates because every sweep either evicts or clears a
+// bit, and a full circle of cleared bits makes the next pass evict.
+func (c *Cache) evictLocked(sh *cacheShard) {
+	for len(sh.m) > c.shardCap {
+		if sh.hand >= len(sh.ring) {
+			// Fully swept: compact the consumed prefix and restart.
+			sh.ring = append(sh.ring[:0], sh.ring[sh.hand:]...)
+			sh.hand = 0
+			continue
+		}
+		fp := sh.ring[sh.hand]
+		sh.hand++
+		s, ok := sh.m[fp]
+		if !ok {
+			continue // already evicted under an earlier hand position
+		}
+		if s.used.Load() {
+			s.used.Store(false)
+			sh.ring = append(sh.ring, fp)
+			continue
+		}
+		delete(sh.m, fp)
+		c.entries.Add(-1)
+		c.evictions.Add(1)
+	}
+	// Keep the ring from accumulating a long consumed prefix.
+	if sh.hand > len(sh.ring)/2 {
+		sh.ring = append(sh.ring[:0], sh.ring[sh.hand:]...)
+		sh.hand = 0
+	}
+}
+
 // CacheStats is a point-in-time snapshot of shared-cache effectiveness.
 type CacheStats struct {
-	Hits    int64
-	Misses  int64
-	Entries int64
+	Hits      int64
+	Misses    int64
+	Entries   int64
+	Evictions int64
+	Capacity  int // 0 = unbounded
 }
 
 // Snapshot returns the cache counters.
 func (c *Cache) Snapshot() CacheStats {
 	return CacheStats{
-		Hits:    c.hits.Load(),
-		Misses:  c.misses.Load(),
-		Entries: c.entries.Load(),
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Entries:   c.entries.Load(),
+		Evictions: c.evictions.Load(),
+		Capacity:  c.Capacity(),
 	}
 }

@@ -38,6 +38,20 @@ type Options struct {
 	// builder and one solver cache but hold private solvers and private
 	// frontier shards (work-stealing keeps them busy).
 	Workers int
+	// Builder, when non-nil, is the expression builder this run interns
+	// through instead of a fresh one. The verification daemon passes a
+	// process-wide concurrent builder here so the hash-consed DAG stays
+	// warm across requests — and so node ids, the solver cache's keys,
+	// remain canonical across every run sharing Cache below. A shared
+	// builder must be concurrent-safe (expr.NewConcurrentBuilder)
+	// whenever it can be used by more than one goroutine.
+	Builder *expr.Builder
+	// Cache, when non-nil, is the solver query cache the run's workers
+	// decide into, instead of a fresh per-run cache. Sharing it across
+	// runs requires sharing Builder too: fingerprints are built from
+	// builder-local node ids, so entries are only meaningful to runs on
+	// the same builder.
+	Cache *solver.Cache
 }
 
 // effectiveWorkers resolves the Workers option to a concrete count.
@@ -165,14 +179,22 @@ func NewEngine(mod *ir.Module, opts Options) *Engine {
 	}
 	// A serial run gets the unsynchronized builder: the per-expression
 	// interning path is too hot to pay a concurrency tax for one worker.
-	b := expr.NewBuilder()
-	if opts.effectiveWorkers() > 1 {
-		b = expr.NewConcurrentBuilder()
+	// An injected builder (daemon warm path) is taken as-is.
+	b := opts.Builder
+	if b == nil {
+		b = expr.NewBuilder()
+		if opts.effectiveWorkers() > 1 {
+			b = expr.NewConcurrentBuilder()
+		}
+	}
+	cache := opts.Cache
+	if cache == nil {
+		cache = solver.NewCache()
 	}
 	return &Engine{
 		Mod:   mod,
 		B:     b,
-		cache: solver.NewCache(),
+		cache: cache,
 		cov:   newCoverage(),
 		opts:  opts,
 	}
@@ -210,8 +232,12 @@ func (e *Engine) SymbolicBuffer(name string, n int, nulTerminated bool) SymVal {
 	obj.Cells = make([]SymVal, count)
 	for i := 0; i < n; i++ {
 		v := &expr.Var{Name: fmt.Sprintf("%s[%d]", name, i), Bits: 8, Idx: len(e.inputVars)}
-		e.inputVars = append(e.inputVars, v)
-		obj.Cells[i] = SymVal{E: e.B.Var(v)}
+		node := e.B.Var(v)
+		// Track the node's canonical *Var, not the candidate: on a
+		// builder shared across runs the name may already be interned,
+		// and solver models are keyed by the canonical pointer.
+		e.inputVars = append(e.inputVars, node.V)
+		obj.Cells[i] = SymVal{E: node}
 	}
 	if nulTerminated {
 		obj.Cells[n] = SymVal{E: e.B.Const(8, 0)}
@@ -224,8 +250,8 @@ func (e *Engine) SymbolicBuffer(name string, n int, nulTerminated bool) SymVal {
 // works over byte domains).
 func (e *Engine) SymbolicInt(name string, t ir.IntType) SymVal {
 	v := &expr.Var{Name: name, Bits: 8, Idx: len(e.inputVars)}
-	e.inputVars = append(e.inputVars, v)
 	x := e.B.Var(v)
+	e.inputVars = append(e.inputVars, x.V)
 	if t.Bits > 8 {
 		return SymVal{E: e.B.Cast(ir.OpZExt, x, t.Bits)}
 	}

@@ -22,12 +22,15 @@
 package verdicts
 
 import (
+	"container/list"
 	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"overify/internal/ir"
 	"overify/internal/solver"
@@ -226,34 +229,139 @@ func Render(rep *symex.Report) string {
 // dir. Writers go through a temp file + rename so readers (including
 // concurrent processes in watch mode) never observe a half-written
 // entry; readers treat anything unreadable as a miss.
+//
+// A Store is safe for concurrent use: the daemon shares one across all
+// in-flight verify jobs. Counters are atomic and the recency index that
+// backs eviction is mutex-guarded; file IO itself runs outside the lock
+// (rename is atomic, and a reader racing an eviction simply misses).
+//
+// A bounded store (OpenLimited with maxEntries > 0) evicts its
+// least-recently-used entry on Put once the cap is exceeded. Eviction
+// can never change a verdict — the store is a pure cache over
+// deterministic outcomes — it only costs a future re-exploration.
 type Store struct {
 	dir string
+	max int // max entries; 0 = unbounded
 
-	// Counters for reporting; a Store is used from one goroutine (the
-	// verify driver), matching how solver.Stats is handled.
-	Hits, Misses, Stores int64
+	hits      atomic.Int64
+	misses    atomic.Int64
+	stores    atomic.Int64
+	evictions atomic.Int64
+
+	// mu guards the recency index. lru front = most recently used;
+	// index maps each resident key to its list element.
+	mu    sync.Mutex
+	lru   *list.List
+	index map[Key]*list.Element
 }
 
 // DefaultDir is the conventional cache location.
 const DefaultDir = ".overify-cache"
 
-// Open creates (if needed) and opens a store rooted at dir; empty dir
-// means DefaultDir.
+// Open creates (if needed) and opens an unbounded store rooted at dir;
+// empty dir means DefaultDir.
 func Open(dir string) (*Store, error) {
+	return OpenLimited(dir, 0)
+}
+
+// OpenLimited opens a store capped at maxEntries (0 = unbounded).
+// Entries already on disk are adopted into the recency index in file
+// modification-time order (oldest = coldest) and the cap is enforced
+// immediately, so a daemon restarted over a grown cache directory
+// trims it rather than inheriting an unbounded footprint.
+func OpenLimited(dir string, maxEntries int) (*Store, error) {
 	if dir == "" {
 		dir = DefaultDir
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("verdicts: open store: %w", err)
 	}
-	return &Store{dir: dir}, nil
+	s := &Store{dir: dir, max: maxEntries, lru: list.New(), index: make(map[Key]*list.Element)}
+	s.adoptExisting()
+	return s, nil
+}
+
+// adoptExisting seeds the recency index from the directory contents and
+// enforces the cap. Failures are ignored — an unindexed entry still
+// serves Get; it just never gets evicted by this process.
+func (s *Store) adoptExisting() {
+	matches, err := filepath.Glob(filepath.Join(s.dir, "*.json"))
+	if err != nil {
+		return
+	}
+	type aged struct {
+		key Key
+		mod int64
+	}
+	entries := make([]aged, 0, len(matches))
+	for _, m := range matches {
+		key := Key(strings.TrimSuffix(filepath.Base(m), ".json"))
+		st, err := os.Stat(m)
+		if err != nil {
+			continue
+		}
+		entries = append(entries, aged{key, st.ModTime().UnixNano()})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].mod < entries[j].mod })
+	s.mu.Lock()
+	for _, e := range entries { // oldest first: each push lands in front of the older ones
+		s.index[e.key] = s.lru.PushFront(e.key)
+	}
+	s.mu.Unlock()
+	s.enforceCap()
 }
 
 // Dir returns the store's root directory.
 func (s *Store) Dir() string { return s.dir }
 
+// Limit returns the entry cap (0 = unbounded).
+func (s *Store) Limit() int { return s.max }
+
+// Hits, Misses, Stores and Evictions are point-in-time counter reads.
+func (s *Store) Hits() int64      { return s.hits.Load() }
+func (s *Store) Misses() int64    { return s.misses.Load() }
+func (s *Store) Stores() int64    { return s.stores.Load() }
+func (s *Store) Evictions() int64 { return s.evictions.Load() }
+
 func (s *Store) path(k Key) string {
 	return filepath.Join(s.dir, string(k)+".json")
+}
+
+// touch marks k most-recently-used, inserting it if absent (e.g. an
+// entry written by another process sharing the directory).
+func (s *Store) touch(k Key) {
+	s.mu.Lock()
+	if el, ok := s.index[k]; ok {
+		s.lru.MoveToFront(el)
+	} else {
+		s.index[k] = s.lru.PushFront(k)
+	}
+	s.mu.Unlock()
+}
+
+// enforceCap evicts least-recently-used entries until the index fits
+// the cap. File removal happens outside the lock.
+func (s *Store) enforceCap() {
+	if s.max <= 0 {
+		return
+	}
+	var victims []Key
+	s.mu.Lock()
+	for s.lru.Len() > s.max {
+		el := s.lru.Back()
+		if el == nil {
+			break
+		}
+		k := el.Value.(Key)
+		s.lru.Remove(el)
+		delete(s.index, k)
+		victims = append(victims, k)
+	}
+	s.mu.Unlock()
+	for _, k := range victims {
+		os.Remove(s.path(k))
+		s.evictions.Add(1)
+	}
 }
 
 // Get loads the entry for k. Any failure — missing file, torn write,
@@ -261,20 +369,22 @@ func (s *Store) path(k Key) string {
 func (s *Store) Get(k Key) (*Entry, bool) {
 	data, err := os.ReadFile(s.path(k))
 	if err != nil {
-		s.Misses++
+		s.misses.Add(1)
 		return nil, false
 	}
 	var e Entry
 	if err := json.Unmarshal(data, &e); err != nil || e.Schema != Schema || e.Key != string(k) {
-		s.Misses++
+		s.misses.Add(1)
 		return nil, false
 	}
-	s.Hits++
+	s.hits.Add(1)
+	s.touch(k)
 	return &e, true
 }
 
-// Put persists e under k atomically (temp file + rename). Errors are
-// returned but safe to ignore: a failed write only loses warmth.
+// Put persists e under k atomically (temp file + rename), then evicts
+// cold entries if the store is over its cap. Errors are returned but
+// safe to ignore: a failed write only loses warmth.
 func (s *Store) Put(k Key, e *Entry) error {
 	e.Schema, e.Key = Schema, string(k)
 	data, err := json.MarshalIndent(e, "", "  ")
@@ -295,7 +405,9 @@ func (s *Store) Put(k Key, e *Entry) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("verdicts: write %s: %w", k, err)
 	}
-	s.Stores++
+	s.stores.Add(1)
+	s.touch(k)
+	s.enforceCap()
 	return nil
 }
 

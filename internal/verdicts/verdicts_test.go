@@ -4,6 +4,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 
 	"overify/internal/core"
@@ -94,8 +95,8 @@ func TestStoreRoundTrip(t *testing.T) {
 	if r := verdicts.Render(got.Report()); r != verdicts.Render(rep) {
 		t.Errorf("round-trip render mismatch:\ncold: %swarm: %s", verdicts.Render(rep), r)
 	}
-	if store.Len() != 1 || store.Hits != 1 || store.Stores != 1 {
-		t.Errorf("counters: len=%d hits=%d stores=%d", store.Len(), store.Hits, store.Stores)
+	if store.Len() != 1 || store.Hits() != 1 || store.Stores() != 1 {
+		t.Errorf("counters: len=%d hits=%d stores=%d", store.Len(), store.Hits(), store.Stores())
 	}
 }
 
@@ -146,6 +147,120 @@ func TestStoreToleratesCorruption(t *testing.T) {
 
 	wrongKey := strings.Replace(string(good), string(key), strings.Repeat("ef", 16), 1)
 	corrupt("wrong-key", []byte(wrongKey))
+}
+
+// TestStoreConcurrentGetPut pins the daemon's core requirement: one
+// Store shared by many goroutines must be race-free (run under -race)
+// and its counters must stay consistent. The seed-era store mutated
+// Hits/Misses with plain ++.
+func TestStoreConcurrentGetPut(t *testing.T) {
+	store, err := verdicts.OpenLimited(t.TempDir(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]verdicts.Key, 16)
+	for i := range keys {
+		keys[i] = verdicts.Key(strings.Repeat(string(rune('a'+i%6)), 30) + "0" + string(rune('a'+i%10)))
+	}
+	rep := sampleReport()
+	const goroutines, rounds = 8, 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				k := keys[(g+i)%len(keys)]
+				if i%3 == 0 {
+					if err := store.Put(k, verdicts.FromReport(k, "prog", "umain", "-O2", rep)); err != nil {
+						t.Error(err)
+						return
+					}
+				} else if e, ok := store.Get(k); ok {
+					if got, want := verdicts.Render(e.Report()), verdicts.Render(rep); got != want {
+						t.Errorf("concurrent Get returned a different outcome:\n%s\nvs\n%s", got, want)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	gets := store.Hits() + store.Misses()
+	if gets == 0 || store.Stores() == 0 {
+		t.Errorf("counters lost updates: gets=%d stores=%d", gets, store.Stores())
+	}
+	if n := store.Len(); n > 8 {
+		t.Errorf("bounded store holds %d entries, cap 8", n)
+	}
+}
+
+// TestStoreEviction pins the bounded store's LRU-on-Put behavior:
+// exceeding the cap removes the coldest entry (Get refreshes recency),
+// evictions are counted, and evicted keys come back as plain misses.
+func TestStoreEviction(t *testing.T) {
+	store, err := verdicts.OpenLimited(t.TempDir(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := sampleReport()
+	key := func(i int) verdicts.Key {
+		return verdicts.Key(strings.Repeat("0", 31) + string(rune('a'+i)))
+	}
+	put := func(i int) {
+		t.Helper()
+		if err := store.Put(key(i), verdicts.FromReport(key(i), "prog", "umain", "-O2", rep)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	put(0)
+	put(1)
+	// Touch key 0 so key 1 is now the coldest.
+	if _, ok := store.Get(key(0)); !ok {
+		t.Fatal("resident entry missed")
+	}
+	put(2) // over cap: evicts key 1
+	if store.Len() != 2 {
+		t.Fatalf("Len = %d after eviction, want 2", store.Len())
+	}
+	if store.Evictions() != 1 {
+		t.Errorf("Evictions = %d, want 1", store.Evictions())
+	}
+	if _, ok := store.Get(key(1)); ok {
+		t.Error("evicted entry still served")
+	}
+	for _, i := range []int{0, 2} {
+		if _, ok := store.Get(key(i)); !ok {
+			t.Errorf("entry %d wrongly evicted", i)
+		}
+	}
+}
+
+// TestOpenLimitedAdoptsExisting: reopening a grown directory with a cap
+// trims it to the cap, evicting the oldest files.
+func TestOpenLimitedAdoptsExisting(t *testing.T) {
+	dir := t.TempDir()
+	store, err := verdicts.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := sampleReport()
+	for i := 0; i < 5; i++ {
+		k := verdicts.Key(strings.Repeat("1", 31) + string(rune('a'+i)))
+		if err := store.Put(k, verdicts.FromReport(k, "prog", "umain", "-O2", rep)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bounded, err := verdicts.OpenLimited(dir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bounded.Len() != 3 {
+		t.Errorf("reopened store holds %d entries, want 3", bounded.Len())
+	}
+	if bounded.Evictions() != 2 {
+		t.Errorf("Evictions = %d, want 2", bounded.Evictions())
+	}
 }
 
 func TestCacheable(t *testing.T) {

@@ -1,0 +1,80 @@
+// Package watch provides the change detection behind `symbex -watch`:
+// polling a source file for edits without missing fast saves or reading
+// torn content.
+//
+// Two failure modes of naive mtime polling are addressed here. First,
+// comparing mtime alone misses an edit that lands within the same
+// mtime granularity as the previous read (coarse filesystem timestamps
+// make this routine with editor save-then-save sequences); a Sig
+// therefore pairs mtime with size, catching any same-instant rewrite
+// that changes length. A same-mtime same-size rewrite remains
+// invisible to any stat-based poller — the next poll's mtime tick
+// catches it. Second, a read racing an editor's non-atomic write can
+// observe half-written content; ReadStable re-stats after reading and
+// retries until the signature is unchanged across the read, so the
+// returned bytes correspond to a file that was stable for the whole
+// read.
+package watch
+
+import (
+	"fmt"
+	"os"
+	"time"
+)
+
+// Sig is a file's change signature: modification time plus size.
+// Two files states with equal Sigs are treated as the same content.
+type Sig struct {
+	ModTime time.Time
+	Size    int64
+}
+
+// StatSig stats path and returns its signature.
+func StatSig(path string) (Sig, error) {
+	st, err := os.Stat(path)
+	if err != nil {
+		return Sig{}, err
+	}
+	return Sig{ModTime: st.ModTime(), Size: st.Size()}, nil
+}
+
+// Changed reports whether s differs from prev in either dimension.
+func (s Sig) Changed(prev Sig) bool {
+	return !s.ModTime.Equal(prev.ModTime) || s.Size != prev.Size
+}
+
+// readRetries bounds ReadStable's verify-after-read loop; a file
+// rewritten continuously for this many attempts is reported as an
+// error rather than spinning.
+const readRetries = 10
+
+// readSettle is how long ReadStable waits between retries, giving an
+// in-progress editor write time to finish.
+const readSettle = 10 * time.Millisecond
+
+// ReadStable reads path and returns its contents together with the
+// signature they correspond to. The file is stat'ed before and after
+// the read; a signature mismatch means the read raced a writer, so the
+// content may be torn — it is discarded and the read retried after a
+// short settle.
+func ReadStable(path string) ([]byte, Sig, error) {
+	for try := 0; try < readRetries; try++ {
+		before, err := StatSig(path)
+		if err != nil {
+			return nil, Sig{}, err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, Sig{}, err
+		}
+		after, err := StatSig(path)
+		if err != nil {
+			return nil, Sig{}, err
+		}
+		if !after.Changed(before) && int64(len(data)) == after.Size {
+			return data, after, nil
+		}
+		time.Sleep(readSettle)
+	}
+	return nil, Sig{}, fmt.Errorf("watch: %s kept changing across %d read attempts", path, readRetries)
+}

@@ -1,0 +1,101 @@
+package watch
+
+import (
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestSameMtimeRewriteDetected is the regression pin for the watch-mode
+// bug: an edit landing within the same mtime granularity as the
+// previous read must still be detected. mtime-only comparison missed
+// it; the (mtime, size) signature catches the size change.
+func TestSameMtimeRewriteDetected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f.c")
+	if err := os.WriteFile(path, []byte("int f() { return 1; }\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sig0, err := StatSig(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite with different content (different length), then force the
+	// mtime back to exactly the previous value — the same-granularity
+	// save an mtime-only comparison silently ignores.
+	if err := os.WriteFile(path, []byte("int f() { return 1 + 1; }\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chtimes(path, sig0.ModTime, sig0.ModTime); err != nil {
+		t.Fatal(err)
+	}
+	sig1, err := StatSig(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sig1.ModTime.Equal(sig0.ModTime) {
+		t.Skip("filesystem did not honor Chtimes; cannot reproduce same-mtime rewrite")
+	}
+	if !sig1.Changed(sig0) {
+		t.Error("same-mtime rewrite with a different size went undetected")
+	}
+}
+
+func TestUnchangedFileNotFlagged(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f.c")
+	if err := os.WriteFile(path, []byte("abc"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	a, err := StatSig(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := StatSig(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Changed(a) {
+		t.Error("two stats of an untouched file disagree")
+	}
+}
+
+// TestReadStableConsistent: the returned bytes always match the
+// returned signature's size, even with a writer racing the reads.
+func TestReadStableConsistent(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f.c")
+	if err := os.WriteFile(path, []byte("seed"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stop atomic.Bool
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; !stop.Load(); i++ {
+			// Alternate between two contents of different sizes.
+			content := []byte("short")
+			if i%2 == 1 {
+				content = []byte("a considerably longer body of text")
+			}
+			os.WriteFile(path, content, 0o644)
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		data, sig, err := ReadStable(path)
+		if err != nil {
+			t.Fatalf("ReadStable: %v", err)
+		}
+		if int64(len(data)) != sig.Size {
+			t.Fatalf("returned %d bytes with signature size %d (torn read)", len(data), sig.Size)
+		}
+	}
+	stop.Store(true)
+	<-done
+}
+
+func TestReadStableMissingFile(t *testing.T) {
+	if _, _, err := ReadStable(filepath.Join(t.TempDir(), "nope.c")); err == nil {
+		t.Error("ReadStable succeeded on a missing file")
+	}
+}

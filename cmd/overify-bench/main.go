@@ -62,6 +62,7 @@ func main() {
 	solverBench := flag.Bool("solver", false, "run the solver microbenchmarks on a captured corpus query stream")
 	verdictSweep := flag.Bool("verdicts", false, "run the warm-vs-cold verdict-store sweep over the corpus")
 	daemonSweep := flag.Bool("daemon", false, "run the warm-vs-cold daemon sweep: cold CLI path vs repeat requests against one warm in-process server")
+	slicingSweep := flag.Bool("slicing", false, "run the verification-aware slicing study: baseline vs sliced exploration per program x level")
 	flag.Parse()
 
 	var pipeSpec *pipeline.PipelineSpec
@@ -141,8 +142,24 @@ func main() {
 		}
 	}
 
+	if *slicingSweep {
+		opts := bench.SliceSweepOptions{InputBytes: *n, Timeout: *timeout}
+		if *prog != "" {
+			opts.Programs = []string{*prog}
+		}
+		rows, err := bench.SliceSweep(opts)
+		check(err)
+		fmt.Println(bench.RenderSliceSweep(rows, opts))
+		if *jsonPath != "" {
+			data, err := bench.SliceSweepJSON(rows, opts)
+			check(err)
+			check(os.WriteFile(*jsonPath, append(data, '\n'), 0o644))
+			fmt.Printf("(wrote %s)\n", *jsonPath)
+		}
+	}
+
 	if !(*t1 || *t2 || *t3 || *f4 || *scaling || *all) {
-		if strategies || *solverBench || *verdictSweep || *daemonSweep {
+		if strategies || *solverBench || *verdictSweep || *daemonSweep || *slicingSweep {
 			return
 		}
 		flag.Usage()

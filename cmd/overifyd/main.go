@@ -10,7 +10,12 @@
 // Usage:
 //
 //	overifyd -listen /tmp/overifyd.sock [-verdict-cache DIR] [-max-jobs N]
+//	overifyd -listen /tmp/overifyd.sock -preload 'src/*.c'
 //	overifyd -stdio
+//
+// -preload compiles every source matching the glob into the module
+// cache (and probes the verdict store for each) before the daemon
+// accepts its first connection, so first requests start warm.
 //
 // Clients: `symbex -daemon /tmp/overifyd.sock file.c`, or any speaker
 // of the length-prefixed JSON packet protocol in internal/daemon.
@@ -43,6 +48,7 @@ func main() {
 	solverCap := flag.Int("solver-cache-cap", 0, "max solver cache entries, clock-evicted (0 = default 1M, negative = unbounded)")
 	builderCap := flag.Int64("builder-cap", 0, "expression DAG node budget before the builder+cache generation rotates (0 = default 4M, negative = never)")
 	compileCap := flag.Int("compile-cache-cap", 0, "max cached compiled modules (0 = default 64, negative = unbounded)")
+	preload := flag.String("preload", "", "glob of MiniC sources to compile into the module cache before accepting connections")
 	flag.Parse()
 
 	if (*listen == "") == !*stdio {
@@ -66,6 +72,14 @@ func main() {
 		cfg.Verdicts = store
 	}
 	s := daemon.NewServer(cfg)
+
+	if *preload != "" {
+		n, err := s.Preload(*preload)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "overifyd: preloaded %d module(s) matching %s\n", n, *preload)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

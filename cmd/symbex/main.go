@@ -7,7 +7,12 @@
 //
 //	symbex [-O level] [-passes spec] [-n bytes] [-timeout d] [-search dfs|bfs|covnew|rand|interleave] [-seed s] [-cover blocks] [-j workers] file.c
 //	symbex [-O level] [-n bytes] [-j workers] -prog tr
+//	symbex -check div-by-zero,bounds -slice file.c
 //	symbex -daemon /tmp/overifyd.sock file.c
+//
+// -check verifies only the named check kinds; -slice additionally
+// deletes, before exploration, everything no kept check (or native
+// trap) can observe — see the README's slicing section.
 //
 // -passes overrides the level's pass pipeline with an explicit spec,
 // e.g. "mem2reg,fixpoint:12(ifconvert,simplify,cse,simplifycfg,dce)";
@@ -30,6 +35,7 @@ import (
 	"overify/internal/core"
 	"overify/internal/coreutils"
 	"overify/internal/daemon"
+	"overify/internal/ir"
 	"overify/internal/pipeline"
 	"overify/internal/symex"
 	"overify/internal/verdicts"
@@ -47,6 +53,8 @@ func main() {
 	workers := flag.Int("j", 1, "exploration workers (-1 = one per CPU)")
 	progName := flag.String("prog", "", "verify a bundled corpus program")
 	entry := flag.String("entry", "umain", "entry function (signature: int f(unsigned char*, int))")
+	checkSpec := flag.String("check", "", "verify only these check kinds (comma-separated, e.g. div-by-zero,bounds; default all)")
+	sliceFlag := flag.Bool("slice", false, "verification-aware slicing: delete whatever the kept checks cannot observe before exploring")
 	verdictDir := flag.String("verdict-cache", "", "content-addressed verdict store directory (e.g. .overify-cache); unchanged content skips exploration")
 	daemonAddr := flag.String("daemon", "", "verify through a running overifyd at this unix socket instead of in-process")
 	watchFlag := flag.Bool("watch", false, "poll the source file for changes and re-verify on each edit (file input only; implies -verdict-cache unless -daemon)")
@@ -95,6 +103,10 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	checks, err := ir.ParseCheckSet(*checkSpec)
+	if err != nil {
+		fatal(err)
+	}
 
 	var run func(src string) bool
 	if *daemonAddr != "" {
@@ -111,6 +123,7 @@ func main() {
 				InputBytes: *n, TimeoutMS: timeout.Milliseconds(),
 				Search: *search, Seed: *seed, Cover: *coverTarget,
 				Workers: *workers,
+				Slice:   *sliceFlag, Checks: *checkSpec,
 			})
 			if err != nil {
 				if *watchFlag {
@@ -130,7 +143,7 @@ func main() {
 				fatal(err)
 			}
 		}
-		opts := core.VerifyOptions{InputBytes: *n, Verdicts: store}
+		opts := core.VerifyOptions{InputBytes: *n, Verdicts: store, Checks: checks}
 		opts.Engine.Timeout = *timeout
 		opts.Engine.Workers = *workers
 		opts.Engine.Strategy = strat
@@ -140,6 +153,8 @@ func main() {
 			cfg := pipeline.LevelConfig(lvl)
 			cfg.Jobs = *workers
 			cfg.Pipeline = pipeSpec
+			cfg.Slice = *sliceFlag
+			cfg.SliceChecks = checks
 			c, err := core.CompileWithConfig(name, src, cfg, core.DefaultLibc(lvl))
 			if err != nil {
 				if *watchFlag {

@@ -1,0 +1,197 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"regexp"
+	"sort"
+	"strings"
+	"time"
+
+	"overify/internal/core"
+	"overify/internal/coreutils"
+	"overify/internal/ir"
+	"overify/internal/pipeline"
+	"overify/internal/symex"
+)
+
+// SliceSweepOptions configure the slicing study: every program × level
+// cell is verified twice — baseline and sliced — under the same budget,
+// and the sweep reports what the slicer deleted from the exploration
+// (paths, instructions, wall time) while pinning bug parity.
+type SliceSweepOptions struct {
+	// Programs restricts the corpus (default: all).
+	Programs []string
+	// InputBytes is the symbolic input size (default 3).
+	InputBytes int
+	// Timeout budgets each cell's exploration (default 3s). The
+	// headline measurement is cksum: its baseline times out below -O3,
+	// its slice must not.
+	Timeout time.Duration
+	// Checks is the kept-check subset (default: all).
+	Checks ir.CheckSet
+	// Levels to measure (default: all five).
+	Levels []pipeline.Level
+}
+
+func (o SliceSweepOptions) withDefaults() SliceSweepOptions {
+	if len(o.Programs) == 0 {
+		for _, p := range coreutils.All() {
+			o.Programs = append(o.Programs, p.Name)
+		}
+	}
+	if o.InputBytes == 0 {
+		o.InputBytes = 3
+	}
+	if o.Timeout == 0 {
+		o.Timeout = 3 * time.Second
+	}
+	if len(o.Levels) == 0 {
+		o.Levels = []pipeline.Level{pipeline.O0, pipeline.O1, pipeline.O2, pipeline.O3, pipeline.OVerify}
+	}
+	return o
+}
+
+// SliceRow is one (program, level) cell: the same verification run
+// baseline and sliced.
+type SliceRow struct {
+	Program string `json:"program"`
+	Level   string `json:"level"`
+
+	BaseMs       float64 `json:"t_verify_base_ms"`
+	SliceMs      float64 `json:"t_verify_sliced_ms"`
+	BasePaths    int64   `json:"paths_base"`
+	SlicePaths   int64   `json:"paths_sliced"`
+	BaseInstrs   int64   `json:"instrs_base"`
+	SliceInstrs  int64   `json:"instrs_sliced"`
+	BaseTimeout  bool    `json:"base_timed_out"`
+	SliceTimeout bool    `json:"sliced_timed_out"`
+
+	// BugParity: the sliced run reported exactly the baseline's bugs
+	// (positions normalized to function granularity). Vacuously true
+	// when either side timed out.
+	BugParity bool `json:"bug_parity"`
+}
+
+var slicePos = regexp.MustCompile(`(@[A-Za-z0-9_$]+)/[^ ]+`)
+
+// sliceBugKeys renders the position-normalized bug set (deduplicated:
+// block-granularity normalization can merge sites the engine reported
+// separately).
+func sliceBugKeys(rep *symex.Report) string {
+	uniq := map[string]bool{}
+	for _, b := range rep.Bugs {
+		uniq[fmt.Sprintf("[%s] %s", b.Kind, slicePos.ReplaceAllString(b.Msg, "$1"))] = true
+	}
+	keys := make([]string, 0, len(uniq))
+	for k := range uniq {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, "\n")
+}
+
+// SliceSweep measures the slicing study.
+func SliceSweep(opts SliceSweepOptions) ([]SliceRow, error) {
+	opts = opts.withDefaults()
+	verify := func(p coreutils.Program, level pipeline.Level, slice bool) (*symex.Report, float64, error) {
+		cfg := pipeline.LevelConfig(level)
+		cfg.Slice = slice
+		cfg.SliceChecks = opts.Checks
+		c, err := core.CompileWithConfig(p.Name, p.Src, cfg, core.DefaultLibc(level))
+		if err != nil {
+			return nil, 0, fmt.Errorf("%s at %s (slice=%v): %w", p.Name, level, slice, err)
+		}
+		vo := core.VerifyOptions{InputBytes: opts.InputBytes, Checks: opts.Checks}
+		vo.Engine.Timeout = opts.Timeout
+		start := time.Now()
+		rep, err := c.Verify("umain", vo)
+		if err != nil {
+			return nil, 0, fmt.Errorf("%s at %s (slice=%v): verify: %w", p.Name, level, slice, err)
+		}
+		return rep, durMs(time.Since(start)), nil
+	}
+
+	var rows []SliceRow
+	for _, name := range opts.Programs {
+		p, ok := coreutils.Get(name)
+		if !ok {
+			return nil, fmt.Errorf("slicing: unknown corpus program %q", name)
+		}
+		for _, level := range opts.Levels {
+			base, baseMs, err := verify(p, level, false)
+			if err != nil {
+				return nil, err
+			}
+			sliced, sliceMs, err := verify(p, level, true)
+			if err != nil {
+				return nil, err
+			}
+			row := SliceRow{
+				Program: p.Name, Level: level.String(),
+				BaseMs: baseMs, SliceMs: sliceMs,
+				BasePaths: base.Stats.Paths, SlicePaths: sliced.Stats.Paths,
+				BaseInstrs: base.Stats.Instrs, SliceInstrs: sliced.Stats.Instrs,
+				BaseTimeout: base.Stats.TimedOut, SliceTimeout: sliced.Stats.TimedOut,
+				BugParity: true,
+			}
+			if !row.BaseTimeout && !row.SliceTimeout {
+				row.BugParity = sliceBugKeys(base) == sliceBugKeys(sliced)
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// RenderSliceSweep renders the study as the text recorded in
+// EXPERIMENTS.md.
+func RenderSliceSweep(rows []SliceRow, opts SliceSweepOptions) string {
+	opts = opts.withDefaults()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Verification-aware slicing sweep: %d symbolic bytes, %s budget, checks=%s\n",
+		opts.InputBytes, opts.Timeout, opts.Checks)
+	fmt.Fprintf(&sb, "  %-12s %-9s %12s %12s %12s %12s %8s %s\n",
+		"program", "level", "t_base[ms]", "t_slice[ms]", "paths", "instrs", "parity", "")
+	reducedPaths := map[string]bool{}
+	for _, r := range rows {
+		note := ""
+		if r.BaseTimeout {
+			note = "base TIMEOUT"
+		}
+		if r.SliceTimeout {
+			note += " slice TIMEOUT"
+		}
+		parity := "ok"
+		if !r.BugParity {
+			parity = "FAIL"
+		}
+		if r.SlicePaths < r.BasePaths || r.SliceInstrs < r.BaseInstrs {
+			reducedPaths[r.Program] = true
+		}
+		fmt.Fprintf(&sb, "  %-12s %-9s %12.1f %12.1f %6d→%-6d %6d→%-6d %8s %s\n",
+			r.Program, r.Level, r.BaseMs, r.SliceMs,
+			r.BasePaths, r.SlicePaths, r.BaseInstrs, r.SliceInstrs, parity, note)
+	}
+	fmt.Fprintf(&sb, "  (%d of the measured programs shrank in paths or instructions)\n", len(reducedPaths))
+	return sb.String()
+}
+
+// SliceSweepJSON marshals the study for BENCH_slicing.json.
+func SliceSweepJSON(rows []SliceRow, opts SliceSweepOptions) ([]byte, error) {
+	opts = opts.withDefaults()
+	doc := struct {
+		Experiment string     `json:"experiment"`
+		InputBytes int        `json:"input_bytes"`
+		TimeoutMS  float64    `json:"timeout_ms"`
+		Checks     string     `json:"checks"`
+		Rows       []SliceRow `json:"rows"`
+	}{
+		Experiment: "verification-aware slicing: baseline vs sliced exploration per program x level",
+		InputBytes: opts.InputBytes,
+		TimeoutMS:  durMs(opts.Timeout),
+		Checks:     opts.Checks.String(),
+		Rows:       rows,
+	}
+	return json.MarshalIndent(doc, "", "  ")
+}

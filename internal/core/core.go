@@ -72,8 +72,8 @@ func CompileWithConfig(name, src string, cfg pipeline.Config, lk libc.Kind) (*Co
 	if err != nil {
 		return nil, fmt.Errorf("optimize %s at %s: %w", name, cfg.Level, err)
 	}
-	desc := fmt.Sprintf("level=%s|pipeline=%s|checks=%v|ranges=%v|libc=%s",
-		cfg.Level, res.Spec, cfg.Checks, cfg.AnnotateRanges, lk)
+	desc := fmt.Sprintf("level=%s|pipeline=%s|checks=%v|ranges=%v|libc=%s|slice=%v|slicechecks=%s",
+		cfg.Level, res.Spec, cfg.Checks, cfg.AnnotateRanges, lk, cfg.Slice, cfg.SliceChecks)
 	return &Compiled{Name: name, Mod: mod, Level: cfg.Level, Libc: lk, Result: res, PipelineDesc: desc}, nil
 }
 
@@ -156,6 +156,11 @@ type VerifyOptions struct {
 	// CoverTarget, workers). Use symex.ParseSearch to map a flag
 	// spelling onto Engine.Strategy.
 	Engine symex.Options
+	// Checks restricts verification to a subset of check kinds (the
+	// zero value keeps them all). Skipped checks neither report bugs
+	// nor constrain paths; native traps (division, memory) still do.
+	// Copied onto Engine.Checks before running.
+	Checks ir.CheckSet
 	// Verdicts, when non-nil, is consulted before exploring: if the
 	// store holds an outcome for this exact content key (reachable IR +
 	// pipeline + verify config) the stored merged report is returned
@@ -164,24 +169,34 @@ type VerifyOptions struct {
 	Verdicts *verdicts.Store
 }
 
+// normalized applies defaults and folds Checks into the engine options,
+// so the content key and the run agree on the effective configuration.
+func (opts VerifyOptions) normalized() VerifyOptions {
+	if opts.InputBytes <= 0 {
+		opts.InputBytes = 4
+	}
+	if opts.Checks != ir.AllChecks {
+		opts.Engine.Checks = opts.Checks
+	}
+	return opts
+}
+
 // verifyDesc renders the outcome-relevant verify configuration for the
 // content key. Strategy, seed and worker count are deliberately absent:
 // the conformance suites pin merged reports as schedule-invariant, so
 // they cannot change a stored outcome. Budgets and limits can, so they
 // are in.
 func verifyDesc(opts VerifyOptions) string {
-	return fmt.Sprintf("entrybytes=%d|maxpaths=%d|maxinstrs=%d|maxstates=%d|cover=%d|maxnodes=%d|maxwork=%d|history=%d",
+	return fmt.Sprintf("entrybytes=%d|maxpaths=%d|maxinstrs=%d|maxstates=%d|cover=%d|maxnodes=%d|maxwork=%d|history=%d|verifychecks=%s",
 		opts.InputBytes, opts.Engine.MaxPaths, opts.Engine.MaxInstrs, opts.Engine.MaxStates,
 		opts.Engine.CoverTarget, opts.Engine.Solver.MaxNodes, opts.Engine.Solver.MaxWork,
-		opts.Engine.Solver.ModelHistory)
+		opts.Engine.Solver.ModelHistory, opts.Engine.Checks)
 }
 
 // VerdictKey computes the content key Verify would use for fn under
 // opts, and whether verdict caching applies to this compile at all.
 func (c *Compiled) VerdictKey(fn string, opts VerifyOptions) (verdicts.Key, bool) {
-	if opts.InputBytes <= 0 {
-		opts.InputBytes = 4
-	}
+	opts = opts.normalized()
 	if c.PipelineDesc == "" {
 		return "", false
 	}
@@ -195,9 +210,7 @@ func (c *Compiled) VerdictKey(fn string, opts VerifyOptions) (verdicts.Key, bool
 // SkippedFuncVerifies count the skipped work), and fresh deterministic
 // outcomes are persisted.
 func (c *Compiled) Verify(fn string, opts VerifyOptions) (*symex.Report, error) {
-	if opts.InputBytes <= 0 {
-		opts.InputBytes = 4
-	}
+	opts = opts.normalized()
 	var key verdicts.Key
 	keyed := false
 	if opts.Verdicts != nil {

@@ -526,3 +526,69 @@ func shortSocketPath(t *testing.T) string {
 	t.Cleanup(func() { os.RemoveAll(dir) })
 	return dir + "/d.sock"
 }
+
+// TestWarmTapeReuse: with the solver's verdict cache squeezed to one
+// slot per stripe, a warm repeat verify re-searches groups it has seen
+// before — and must find their compiled tapes in the generation's tape
+// cache instead of re-flattening the constraint DAGs.
+func TestWarmTapeReuse(t *testing.T) {
+	_, c := pipeServer(t, Config{
+		SolverCacheCap: 64, // 1 slot per stripe: evictions force re-searches
+	})
+	req := &VerifyRequest{Prog: "basename", InputBytes: 3, NoVerdicts: true}
+	cold, err := c.Verify(req)
+	if err != nil {
+		t.Fatalf("cold verify: %v", err)
+	}
+	warm, err := c.Verify(req)
+	if err != nil {
+		t.Fatalf("warm verify: %v", err)
+	}
+	if warm.Render != cold.Render {
+		t.Error("warm render diverged from cold")
+	}
+	if warm.Generation != cold.Generation {
+		t.Fatalf("generation rotated mid-test (%d -> %d); tape reuse is generation-scoped", cold.Generation, warm.Generation)
+	}
+	if warm.TapeReuses == 0 {
+		t.Errorf("warm run reused no tapes (searches %d)", warm.SolverSearches)
+	}
+	if warm.SolverSearches < warm.TapeReuses {
+		t.Errorf("accounting: %d searches < %d tape reuses", warm.SolverSearches, warm.TapeReuses)
+	}
+}
+
+// TestPreloadWarmsModuleCache: a preloaded source's first client
+// request must hit the module cache — the compile happened before the
+// daemon accepted the connection.
+func TestPreloadWarmsModuleCache(t *testing.T) {
+	dir := t.TempDir()
+	src := "int umain(unsigned char *input, int len) { return (int)input[0]; }\n"
+	path := dir + "/warm.c"
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, c := pipeServer(t, Config{})
+	n, err := s.Preload(dir + "/*.c")
+	if err != nil {
+		t.Fatalf("preload: %v", err)
+	}
+	if n != 1 {
+		t.Fatalf("preloaded %d files, want 1", n)
+	}
+	reply, err := c.Verify(&VerifyRequest{Name: path, Source: src, InputBytes: 2})
+	if err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if !reply.CompileCacheHit {
+		t.Error("first request on a preloaded module missed the module cache")
+	}
+
+	// A broken entry must abort loudly, not be skipped.
+	if err := os.WriteFile(dir+"/broken.c", []byte("int umain("), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Preload(dir + "/*.c"); err == nil {
+		t.Error("preload of a non-compiling file reported success")
+	}
+}

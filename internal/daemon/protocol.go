@@ -28,7 +28,12 @@ import (
 
 // ProtocolVersion gates the handshake: client and server must agree
 // exactly. Bump on any wire-visible change.
-const ProtocolVersion = 1
+//
+// Version history:
+//
+//	1: initial protocol (verify/compile/stats).
+//	2: VerifyRequest gains slice/checks, VerifyReply gains tapeReuses.
+const ProtocolVersion = 2
 
 // MaxPacket bounds a single packet's payload (16 MiB): large enough
 // for any source file plus headroom, small enough that a corrupt
@@ -89,6 +94,14 @@ type VerifyRequest struct {
 	Cover      int    `json:"cover,omitempty"`   // CoverTarget (0 = off)
 	Workers    int    `json:"workers,omitempty"` // engine workers (default 1: the daemon parallelizes across requests)
 
+	// Slice enables verification-aware slicing: the pipeline deletes
+	// whatever no kept check can observe before exploration.
+	Slice bool `json:"slice,omitempty"`
+	// Checks restricts verification (and, with Slice, the slicing
+	// closure) to a comma-separated subset of check names — see
+	// ir.ParseCheckSet. Empty or "all" keeps every check.
+	Checks string `json:"checks,omitempty"`
+
 	// NoVerdicts bypasses the verdict store for this request (the
 	// exploration still warms and reads the solver cache). Benchmarks
 	// use it to isolate the solver-cache layer.
@@ -125,7 +138,8 @@ type VerifyReply struct {
 	CompileCacheHit bool  `json:"compileCacheHit,omitempty"`
 	SolverQueries   int64 `json:"solverQueries"`
 	SolverWarmHits  int64 `json:"solverWarmHits"` // cache + partition + model-reuse hits (group-level; can exceed queries)
-	SolverSearches  int64 `json:"solverSearches"` // fresh searches actually run (tape compiles); queries - searches were answered warm
+	SolverSearches  int64 `json:"solverSearches"` // fresh searches actually run (compiles + tape reuses); queries - searches were answered warm
+	TapeReuses      int64 `json:"tapeReuses"`     // searches that reused a generation-cached compiled tape
 	Generation      int64 `json:"generation"`     // builder/cache generation that served the run
 
 	CompileMS float64 `json:"compileMs"`

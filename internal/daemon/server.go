@@ -7,7 +7,10 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"os"
+	"path/filepath"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -15,6 +18,7 @@ import (
 	"overify/internal/core"
 	"overify/internal/coreutils"
 	"overify/internal/expr"
+	"overify/internal/ir"
 	"overify/internal/pipeline"
 	"overify/internal/solver"
 	"overify/internal/symex"
@@ -97,6 +101,10 @@ type generation struct {
 	id      int64
 	builder *expr.Builder
 	cache   *solver.Cache
+	// tapes shares compiled constraint tapes across the generation's
+	// runs; like the cache it is keyed by builder-local fingerprints, so
+	// it rotates with the builder.
+	tapes *solver.TapeCache
 }
 
 // Server is the long-lived verification service. One Server holds all
@@ -141,7 +149,12 @@ func NewServer(cfg Config) *Server {
 		drainCh:  make(chan struct{}),
 		conns:    make(map[io.Closer]struct{}),
 	}
-	s.gen = &generation{id: 1, builder: expr.NewConcurrentBuilder(), cache: solver.NewCacheWithCap(cfg.SolverCacheCap)}
+	s.gen = &generation{
+		id:      1,
+		builder: expr.NewConcurrentBuilder(),
+		cache:   solver.NewCacheWithCap(cfg.SolverCacheCap),
+		tapes:   solver.NewTapeCache(0),
+	}
 	return s
 }
 
@@ -155,6 +168,7 @@ func (s *Server) currentGen() *generation {
 			id:      s.gen.id + 1,
 			builder: expr.NewConcurrentBuilder(),
 			cache:   solver.NewCacheWithCap(s.cfg.SolverCacheCap),
+			tapes:   solver.NewTapeCache(0),
 		}
 		s.rotations.Add(1)
 	}
@@ -376,8 +390,9 @@ func resolveSource(name, source, prog string) (string, string, error) {
 
 // compileFor compiles (or serves from the module cache) one request's
 // program. The cache key covers everything that shapes the module:
-// source text, level, explicit pipeline, and the level-implied libc.
-func (s *Server) compileFor(name, src, level, passes string, jobs int) (*core.Compiled, bool, error) {
+// source text, level, explicit pipeline, the level-implied libc, and
+// the slicing configuration.
+func (s *Server) compileFor(name, src, level, passes string, jobs int, slice bool, checks ir.CheckSet) (*core.Compiled, bool, error) {
 	lvl, err := pipeline.ParseLevel(levelOrDefault(level))
 	if err != nil {
 		return nil, false, err
@@ -392,8 +407,12 @@ func (s *Server) compileFor(name, src, level, passes string, jobs int) (*core.Co
 	}
 	lk := core.DefaultLibc(lvl)
 
+	sliceKey := ""
+	if slice {
+		sliceKey = "slice:" + checks.String()
+	}
 	h := solver.NewHasher()
-	for _, part := range []string{name, src, lvl.String(), passes, lk.String()} {
+	for _, part := range []string{name, src, lvl.String(), passes, lk.String(), sliceKey} {
 		h.WriteString(part)
 		h.WriteString("\x00")
 	}
@@ -404,6 +423,8 @@ func (s *Server) compileFor(name, src, level, passes string, jobs int) (*core.Co
 	cfg := pipeline.LevelConfig(lvl)
 	cfg.Jobs = jobs
 	cfg.Pipeline = pipeSpec
+	cfg.Slice = slice
+	cfg.SliceChecks = checks
 	c, err := core.CompileWithConfig(name, src, cfg, lk)
 	if err != nil {
 		return nil, false, err
@@ -435,16 +456,20 @@ func (s *Server) Verify(req *VerifyRequest) (*VerifyReply, error) {
 	if err != nil {
 		return nil, err
 	}
+	checks, err := ir.ParseCheckSet(req.Checks)
+	if err != nil {
+		return nil, err
+	}
 
 	compileStart := time.Now()
-	c, compileHit, err := s.compileFor(name, src, req.Level, req.Passes, req.Workers)
+	c, compileHit, err := s.compileFor(name, src, req.Level, req.Passes, req.Workers, req.Slice, checks)
 	if err != nil {
 		return nil, err
 	}
 	compileMS := float64(time.Since(compileStart)) / float64(time.Millisecond)
 
 	gen := s.currentGen()
-	opts := core.VerifyOptions{InputBytes: req.InputBytes}
+	opts := core.VerifyOptions{InputBytes: req.InputBytes, Checks: checks}
 	if !req.NoVerdicts {
 		opts.Verdicts = s.cfg.Verdicts
 	}
@@ -456,6 +481,7 @@ func (s *Server) Verify(req *VerifyRequest) (*VerifyReply, error) {
 	opts.Engine.Workers = req.Workers
 	opts.Engine.Builder = gen.builder
 	opts.Engine.Cache = gen.cache
+	opts.Engine.Tapes = gen.tapes
 
 	verifyStart := time.Now()
 	rep, err := c.Verify(entry, opts)
@@ -478,7 +504,8 @@ func (s *Server) Verify(req *VerifyRequest) (*VerifyReply, error) {
 		SolverWarmHits: rep.Stats.SolverStats.CacheHits +
 			rep.Stats.SolverStats.PartitionHits +
 			rep.Stats.SolverStats.ModelReuseHits,
-		SolverSearches: rep.Stats.SolverStats.TapeCompiles,
+		SolverSearches: rep.Stats.SolverStats.TapeCompiles + rep.Stats.SolverStats.TapeReuses,
+		TapeReuses:     rep.Stats.SolverStats.TapeReuses,
 		Generation:     gen.id,
 		CompileMS:      compileMS,
 		VerifyMS:       verifyMS,
@@ -506,7 +533,7 @@ func (s *Server) Compile(req *CompileRequest) (*CompileReply, error) {
 		return nil, err
 	}
 	start := time.Now()
-	c, hit, err := s.compileFor(name, src, req.Level, req.Passes, 0)
+	c, hit, err := s.compileFor(name, src, req.Level, req.Passes, 0, false, ir.AllChecks)
 	if err != nil {
 		return nil, err
 	}
@@ -523,6 +550,42 @@ func (s *Server) Compile(req *CompileRequest) (*CompileReply, error) {
 		reply.IR = c.Mod.String()
 	}
 	return reply, nil
+}
+
+// Preload compiles every source file matching glob into the module
+// cache and probes the verdict store for each, so a daemon's first
+// client request on those programs hits warm caches instead of paying
+// the cold compile. Run it before accepting connections. Returns how
+// many files were loaded; a file that fails to compile aborts the
+// preload with its error (a preload list is configuration — a broken
+// entry should be loud, not skipped).
+func (s *Server) Preload(glob string) (int, error) {
+	paths, err := filepath.Glob(glob)
+	if err != nil {
+		return 0, fmt.Errorf("preload: bad glob %q: %w", glob, err)
+	}
+	sort.Strings(paths)
+	n := 0
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return n, fmt.Errorf("preload %s: %w", path, err)
+		}
+		c, _, err := s.compileFor(path, string(data), "", "", 0, false, ir.AllChecks)
+		if err != nil {
+			return n, fmt.Errorf("preload %s: %w", path, err)
+		}
+		if s.cfg.Verdicts != nil {
+			// Probing with default verify options mirrors what a plain
+			// verify request would ask; a stored outcome is now a warm
+			// in-memory hit for the first client.
+			if key, ok := c.VerdictKey("umain", core.VerifyOptions{}); ok {
+				_, _ = s.cfg.Verdicts.Get(key)
+			}
+		}
+		n++
+	}
+	return n, nil
 }
 
 // statsReply snapshots the daemon counters.

@@ -1,0 +1,86 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CheckSet is a subset of CheckKinds, used to verify one property at a
+// time: the slicer keeps only checks in the set, and the engine skips
+// OpCheck instructions whose kind is outside it. The zero value means
+// "all checks" — the common case costs nothing to spell.
+type CheckSet uint32
+
+// AllChecks is the zero CheckSet: every check kind is kept.
+const AllChecks CheckSet = 0
+
+// ChecksOf builds a CheckSet containing exactly the given kinds.
+func ChecksOf(kinds ...CheckKind) CheckSet {
+	var s CheckSet
+	for _, k := range kinds {
+		s |= 1 << uint(k)
+	}
+	return s
+}
+
+// Contains reports whether kind k is kept by the set. The zero set
+// keeps everything.
+func (s CheckSet) Contains(k CheckKind) bool {
+	return s == 0 || s&(1<<uint(k)) != 0
+}
+
+// All reports whether the set keeps every check kind.
+func (s CheckSet) All() bool { return s == 0 }
+
+// String spells the set as a comma-joined kind list, or "all".
+func (s CheckSet) String() string {
+	if s == 0 {
+		return "all"
+	}
+	var names []string
+	for k := CheckDivByZero; k <= CheckAssert; k++ {
+		if s&(1<<uint(k)) != 0 {
+			names = append(names, k.String())
+		}
+	}
+	if len(names) == 0 {
+		return "none"
+	}
+	return strings.Join(names, ",")
+}
+
+// ParseCheckSet parses a comma-separated list of check kind names
+// ("div-by-zero,bounds"). Empty input and "all" mean all checks.
+func ParseCheckSet(s string) (CheckSet, error) {
+	s = strings.TrimSpace(s)
+	if s == "" || s == "all" {
+		return AllChecks, nil
+	}
+	var set CheckSet
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		found := false
+		for k := CheckDivByZero; k <= CheckAssert; k++ {
+			if k.String() == part {
+				set |= 1 << uint(k)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return 0, fmt.Errorf("ir: unknown check kind %q (want one of %s)", part, checkKindNames())
+		}
+	}
+	return set, nil
+}
+
+func checkKindNames() string {
+	var names []string
+	for k := CheckDivByZero; k <= CheckAssert; k++ {
+		names = append(names, k.String())
+	}
+	return strings.Join(names, ", ")
+}

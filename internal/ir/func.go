@@ -254,6 +254,21 @@ func (m *Module) AddGlobal(g *Global) *Global {
 	return g
 }
 
+// RemoveFunc deletes f from the module. It is the caller's job to make
+// sure no remaining call instruction names f (the slicer removes
+// functions only after every call site referencing them is gone).
+func (m *Module) RemoveFunc(f *Function) {
+	for i, x := range m.Funcs {
+		if x == f {
+			m.Funcs = append(m.Funcs[:i], m.Funcs[i+1:]...)
+			break
+		}
+	}
+	if m.funcsByName[f.Name] == f {
+		delete(m.funcsByName, f.Name)
+	}
+}
+
 // Global returns the named global, or nil.
 func (m *Module) Global(name string) *Global {
 	for _, g := range m.Globals {

@@ -1,0 +1,141 @@
+package ir
+
+// PostDomTree holds immediate-postdominator information for a
+// function's CFG, computed with the same Cooper–Harvey–Kennedy
+// iteration as ComputeDom but over the reverse CFG, rooted at a
+// virtual exit node that unifies every ret/unreachable block. Blocks
+// from which no exit is reachable (infinite loops) have no
+// postdominator and are reported by HasExit as false — clients that
+// delete control flow must treat them conservatively.
+type PostDomTree struct {
+	fn    *Function
+	exit  *Block            // virtual exit sentinel, never part of the function
+	ipdom map[*Block]*Block // nil entry: block cannot reach an exit
+	order map[*Block]int    // reverse postorder index on the reverse CFG
+}
+
+// ComputePostDom builds the postdominator tree of f.
+func ComputePostDom(f *Function) *PostDomTree {
+	pt := &PostDomTree{
+		fn:    f,
+		exit:  &Block{Name: "<virtual-exit>"},
+		ipdom: make(map[*Block]*Block),
+		order: make(map[*Block]int),
+	}
+	preds := f.Preds() // real preds = reverse-CFG succs
+
+	var exits []*Block
+	for _, b := range f.Blocks {
+		if t := b.Term(); t != nil && (t.Op == OpRet || t.Op == OpUnreachable) {
+			exits = append(exits, b)
+		}
+	}
+
+	// Postorder on the reverse CFG from the virtual exit; reversing it
+	// gives the RPO the CHK iteration wants (virtual exit first).
+	seen := make(map[*Block]bool, len(f.Blocks))
+	var post []*Block
+	var visit func(b *Block)
+	visit = func(b *Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, p := range preds[b] {
+			visit(p)
+		}
+		post = append(post, b)
+	}
+	for _, e := range exits {
+		visit(e)
+	}
+	post = append(post, pt.exit)
+	rpo := make([]*Block, len(post))
+	for i, b := range post {
+		rpo[len(post)-1-i] = b
+	}
+	for i, b := range rpo {
+		pt.order[b] = i
+	}
+
+	pt.ipdom[pt.exit] = pt.exit
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo {
+			if b == pt.exit {
+				continue
+			}
+			// Reverse-CFG predecessors of b: its real successors, plus the
+			// virtual exit when b itself exits the function.
+			var newIpdom *Block
+			consider := func(s *Block) {
+				if pt.ipdom[s] == nil {
+					return
+				}
+				if newIpdom == nil {
+					newIpdom = s
+				} else {
+					newIpdom = pt.intersect(s, newIpdom)
+				}
+			}
+			if t := b.Term(); t != nil && (t.Op == OpRet || t.Op == OpUnreachable) {
+				consider(pt.exit)
+			}
+			for _, s := range b.Succs() {
+				consider(s)
+			}
+			if newIpdom != nil && pt.ipdom[b] != newIpdom {
+				pt.ipdom[b] = newIpdom
+				changed = true
+			}
+		}
+	}
+	return pt
+}
+
+func (pt *PostDomTree) intersect(a, b *Block) *Block {
+	for a != b {
+		for pt.order[a] > pt.order[b] {
+			a = pt.ipdom[a]
+		}
+		for pt.order[b] > pt.order[a] {
+			b = pt.ipdom[b]
+		}
+	}
+	return a
+}
+
+// Ipdom returns b's immediate postdominator, or nil when it is the
+// virtual exit (b exits the function directly) or b cannot reach an
+// exit at all (distinguish with HasExit).
+func (pt *PostDomTree) Ipdom(b *Block) *Block {
+	ip := pt.ipdom[b]
+	if ip == pt.exit {
+		return nil
+	}
+	return ip
+}
+
+// HasExit reports whether some ret/unreachable block is reachable from b.
+func (pt *PostDomTree) HasExit(b *Block) bool { return pt.ipdom[b] != nil }
+
+// PostDominates reports whether a postdominates b (reflexively). False
+// when either block cannot reach an exit.
+func (pt *PostDomTree) PostDominates(a, b *Block) bool {
+	if pt.ipdom[a] == nil || pt.ipdom[b] == nil {
+		return false
+	}
+	for {
+		if a == b {
+			return true
+		}
+		next := pt.ipdom[b]
+		if next == b || next == nil {
+			return false
+		}
+		if next == pt.exit {
+			return false
+		}
+		b = next
+	}
+}

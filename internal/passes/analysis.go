@@ -1,6 +1,10 @@
 package passes
 
-import "overify/internal/ir"
+import (
+	"sync"
+
+	"overify/internal/ir"
+)
 
 // AnalysisSet is a bitset of the per-function analyses the pass manager
 // caches. A pass declares what it keeps valid via Pass.Preserves; the
@@ -19,9 +23,18 @@ const (
 	// are derived from the dominator tree, so invalidating AnalysisDom
 	// always invalidates AnalysisLoops too.
 	AnalysisLoops
+	// AnalysisRelevance is the module-wide check-relevance closure
+	// (ComputeRelevance), consumed by the slice and loopsummary passes.
+	// It is keyed by instruction identity, so it survives only passes
+	// that change nothing at all — it is deliberately NOT part of
+	// AllAnalyses, and a pass must name the bit explicitly to preserve
+	// it.
+	AnalysisRelevance
 )
 
-// Convenience sets for Preserves declarations.
+// Convenience sets for Preserves declarations. AllAnalyses is the
+// per-function CFG set (Dom+Loops); see AnalysisRelevance for why the
+// module-scoped relevance closure is excluded.
 const (
 	NoAnalyses  AnalysisSet = 0
 	AllAnalyses             = AnalysisDom | AnalysisLoops
@@ -33,10 +46,12 @@ func (s AnalysisSet) Has(q AnalysisSet) bool { return s&q == q }
 // AnalysisStats counts analysis-cache effectiveness across a pipeline
 // run; pipeline.Result surfaces it next to the per-pass timings.
 type AnalysisStats struct {
-	DomHits      int64 // Dom() served from cache
-	DomComputes  int64 // Dom() recomputed (cache miss or caching off)
-	LoopHits     int64
-	LoopComputes int64
+	DomHits           int64 // Dom() served from cache
+	DomComputes       int64 // Dom() recomputed (cache miss or caching off)
+	LoopHits          int64
+	LoopComputes      int64
+	RelevanceHits     int64 // Relevance() served from the module-wide cache
+	RelevanceComputes int64
 }
 
 // Add accumulates o into s.
@@ -45,6 +60,8 @@ func (s *AnalysisStats) Add(o AnalysisStats) {
 	s.DomComputes += o.DomComputes
 	s.LoopHits += o.LoopHits
 	s.LoopComputes += o.LoopComputes
+	s.RelevanceHits += o.RelevanceHits
+	s.RelevanceComputes += o.RelevanceComputes
 }
 
 // HitRate is the fraction of Dom/Loops requests served from cache.
@@ -99,6 +116,42 @@ func (cx *Context) Loops(f *ir.Function) []*ir.Loop {
 	return e.loops
 }
 
+// relevanceBox holds the module-wide check-relevance closure. Unlike
+// the per-function entries it is shared by every child Context (the
+// parallel manager's workers all see it), so access is mutex-guarded:
+// any worker that changes its function drops the closure for everyone.
+type relevanceBox struct {
+	mu     sync.Mutex
+	module *ir.Module
+	checks ir.CheckSet
+	rel    *Relevance
+	hits   int64
+	comps  int64
+}
+
+// Relevance returns the module-wide check-relevance closure for m under
+// this context's SliceChecks subset, cached in the analysis cache next
+// to Dom/Loops. Only a pass that preserves AnalysisRelevance keeps it
+// alive across a change; every other changed pass drops it via
+// Invalidate.
+func (cx *Context) Relevance(m *ir.Module) *Relevance {
+	if cx.relevance == nil {
+		return ComputeRelevance(m, cx.SliceChecks)
+	}
+	box := cx.relevance
+	box.mu.Lock()
+	defer box.mu.Unlock()
+	if box.rel != nil && box.module == m && box.checks == cx.SliceChecks {
+		box.hits++
+		return box.rel
+	}
+	box.rel = ComputeRelevance(m, cx.SliceChecks)
+	box.module = m
+	box.checks = cx.SliceChecks
+	box.comps++
+	return box.rel
+}
+
 // Invalidate drops f's cached analyses except those in preserved.
 // Passes call this at the precise points where they mutate the CFG
 // (jump threading an edge, peeling a loop, creating a preheader,
@@ -107,6 +160,12 @@ func (cx *Context) Loops(f *ir.Function) []*ir.Loop {
 // Invalidating the dominator tree always drops the loop forest too,
 // since loops are derived from it.
 func (cx *Context) Invalidate(f *ir.Function, preserved AnalysisSet) {
+	if cx.relevance != nil && preserved&AnalysisRelevance == 0 {
+		cx.relevance.mu.Lock()
+		cx.relevance.rel = nil
+		cx.relevance.module = nil
+		cx.relevance.mu.Unlock()
+	}
 	e := cx.entry(f)
 	if e == nil {
 		return
@@ -128,6 +187,9 @@ func (cx *Context) EnableAnalysisCache() {
 	if cx.analyses == nil {
 		cx.analyses = make(map[*ir.Function]*analysisEntry)
 	}
+	if cx.relevance == nil {
+		cx.relevance = &relevanceBox{}
+	}
 }
 
 // AnalysisCached reports whether this context caches analyses.
@@ -138,6 +200,12 @@ func (cx *Context) AnalysisStats() AnalysisStats {
 	var total AnalysisStats
 	for _, e := range cx.analyses {
 		total.Add(e.stats)
+	}
+	if cx.relevance != nil {
+		cx.relevance.mu.Lock()
+		total.RelevanceHits += cx.relevance.hits
+		total.RelevanceComputes += cx.relevance.comps
+		cx.relevance.mu.Unlock()
 	}
 	return total
 }

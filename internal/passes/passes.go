@@ -83,6 +83,11 @@ type Stats struct {
 	DeadBlocks      int
 	ChecksInserted  int
 	RangesAttached  int
+
+	InstrsSliced    int // instructions deleted by the slice pass
+	BranchesSliced  int // conditional branches flattened by the slice pass
+	FuncsSliced     int // whole functions deleted by the slice pass
+	LoopsSummarized int // check-irrelevant loops replaced by summaries
 }
 
 // Add accumulates other into s.
@@ -102,6 +107,10 @@ func (s *Stats) Add(other Stats) {
 	s.DeadBlocks += other.DeadBlocks
 	s.ChecksInserted += other.ChecksInserted
 	s.RangesAttached += other.RangesAttached
+	s.InstrsSliced += other.InstrsSliced
+	s.BranchesSliced += other.BranchesSliced
+	s.FuncsSliced += other.FuncsSliced
+	s.LoopsSummarized += other.LoopsSummarized
 }
 
 // Context carries the cost model, statistics and the per-function
@@ -113,9 +122,18 @@ type Context struct {
 	Cost  CostModel
 	Stats Stats
 
+	// SliceChecks is the check subset the slice/loopsummary passes
+	// target (zero value: all checks). SliceEntry names the function
+	// whose reachable closure the slicer keeps ("" defaults to umain).
+	SliceChecks ir.CheckSet
+	SliceEntry  string
+
 	// analyses caches Dom/Loops per function; nil disables caching.
 	// See analysis.go.
 	analyses map[*ir.Function]*analysisEntry
+	// relevance caches the module-wide check-relevance closure; shared
+	// (with a lock) by child contexts. See analysis.go.
+	relevance *relevanceBox
 }
 
 // NewContext returns a context with analysis caching enabled.
@@ -129,7 +147,13 @@ func NewContext(cost CostModel) *Context {
 // and analysis cache but accumulating its own Stats, so the parallel
 // manager can merge function results in deterministic module order.
 func (cx *Context) child() *Context {
-	return &Context{Cost: cx.Cost, analyses: cx.analyses}
+	return &Context{
+		Cost:        cx.Cost,
+		SliceChecks: cx.SliceChecks,
+		SliceEntry:  cx.SliceEntry,
+		analyses:    cx.analyses,
+		relevance:   cx.relevance,
+	}
 }
 
 // Pass transforms a module in place, returning whether anything

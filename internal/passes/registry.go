@@ -22,6 +22,8 @@ var registry = map[string]func() Pass{
 	"inline":      Inline,
 	"checks":      InsertChecks,
 	"annotate":    Annotate,
+	"slice":       SlicePass,
+	"loopsummary": LoopSummaryPass,
 }
 
 // ByName constructs the named pass, or errors with the known names.

@@ -1,0 +1,244 @@
+package passes_test
+
+import (
+	"testing"
+
+	"overify/internal/frontend"
+	"overify/internal/ir"
+	"overify/internal/passes"
+	"overify/internal/pipeline"
+)
+
+// lower compiles src without running any passes.
+func lower(t *testing.T, src string) *ir.Module {
+	t.Helper()
+	mod, err := frontend.Lower("t", src)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	return mod
+}
+
+// countOps tallies op occurrences across the module's defined functions.
+func countOps(m *ir.Module, op ir.Op) int {
+	n := 0
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op == op {
+					n++
+				}
+			}
+		}
+	}
+	return n
+}
+
+// TestSliceDeletesIrrelevantWork: the cksum pattern. A checksum
+// accumulator that only feeds the (integer) return value is irrelevant
+// once nothing checks it; slicing must delete the work and flatten the
+// data-dependent branch that forks paths.
+func TestSliceDeletesIrrelevantWork(t *testing.T) {
+	src := `
+int umain(unsigned char *input, int len) {
+	unsigned int crc = 0;
+	int i = 0;
+	while (i < len) {
+		crc = crc ^ ((unsigned int)(int)input[i] << 8);
+		if (crc & 0x8000) {
+			crc = (crc << 1) ^ 0x1021;
+		} else {
+			crc = crc << 1;
+		}
+		i = i + 1;
+	}
+	return (int)crc;
+}
+`
+	mod, cx := run(t, src, passes.Mem2Reg(), passes.SlicePass())
+	if cx.Stats.InstrsSliced == 0 {
+		t.Error("no instructions sliced from the crc accumulation")
+	}
+	if cx.Stats.BranchesSliced == 0 {
+		t.Error("the crc&0x8000 branch should have been flattened")
+	}
+	f := mod.Func("umain")
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpXor || in.Op == ir.OpShl {
+				t.Errorf("crc computation survived slicing: %s", in)
+			}
+		}
+	}
+}
+
+// TestRelevanceKeepsTrapRoots: a division whose result is never used by
+// anything relevant is still a root — deleting it would silence the
+// divide-by-zero the baseline reports.
+func TestRelevanceKeepsTrapRoots(t *testing.T) {
+	src := `
+int umain(unsigned char *input, int len) {
+	int q = 100 / ((int)input[0] - 65);
+	return 0;
+}
+`
+	mod, _ := run(t, src, passes.Mem2Reg(), passes.SlicePass())
+	if n := countOps(mod, ir.OpSDiv); n != 1 {
+		t.Fatalf("trapping sdiv count after slice = %d, want 1", n)
+	}
+}
+
+// TestRelevanceEscapingPointer: a helper stores through a pointer
+// parameter; the caller divides by the stored value. The store happens
+// in another function through escaped memory — the relevance closure
+// must keep the whole chain (store, helper call, address computation).
+func TestRelevanceEscapingPointer(t *testing.T) {
+	src := `
+void put(int *p, int v) { *p = v; }
+int umain(unsigned char *input, int len) {
+	int cell = 0;
+	put(&cell, (int)input[0] - 65);
+	return 100 / cell;
+}
+`
+	mod := lower(t, src)
+	cx := &passes.Context{Cost: pipeline.VerifyCost()}
+	passes.Mem2Reg().Run(mod, cx)
+	rel := passes.ComputeRelevance(mod, ir.AllChecks)
+	put := mod.Func("put")
+	foundStore := false
+	for _, b := range put.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpStore {
+				foundStore = true
+				if !rel.Relevant(in) {
+					t.Error("store through escaping pointer not relevant")
+				}
+			}
+		}
+	}
+	if !foundStore {
+		t.Fatal("expected a store in put (mem2reg must not promote an escaping cell)")
+	}
+	// And slicing must not delete the call that performs the store.
+	passes.SlicePass().Run(mod, cx)
+	if n := countOps(mod, ir.OpCall); n != 1 {
+		t.Errorf("call count after slice = %d, want 1 (the put call carries the store)", n)
+	}
+	if err := ir.VerifyModule(mod); err != nil {
+		t.Fatalf("after slice: %v", err)
+	}
+}
+
+// TestRelevanceCrossFunctionGlobal: a global written by one function
+// and used as a divisor in another. The writer is only reachable
+// through a call, and the memory link crosses the function boundary.
+func TestRelevanceCrossFunctionGlobal(t *testing.T) {
+	src := `
+int g;
+void setup(unsigned char *input) { g = (int)input[0] - 65; }
+int umain(unsigned char *input, int len) {
+	setup(input);
+	return 7 / g;
+}
+`
+	mod := lower(t, src)
+	cx := &passes.Context{Cost: pipeline.VerifyCost()}
+	passes.Mem2Reg().Run(mod, cx)
+	rel := passes.ComputeRelevance(mod, ir.AllChecks)
+	setup := mod.Func("setup")
+	for _, b := range setup.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpStore && !rel.Relevant(in) {
+				t.Error("cross-function global store not relevant")
+			}
+		}
+	}
+	passes.SlicePass().Run(mod, cx)
+	if n := countOps(mod, ir.OpStore); n == 0 {
+		t.Error("the global store feeding the divisor was sliced away")
+	}
+	if err := ir.VerifyModule(mod); err != nil {
+		t.Fatalf("after slice: %v", err)
+	}
+}
+
+// TestRelevanceCheckInsideLoop: a trap inside a loop keeps the loop —
+// neither slice nor loopsummary may remove a loop whose body can fail.
+func TestRelevanceCheckInsideLoop(t *testing.T) {
+	src := `
+int umain(unsigned char *input, int len) {
+	int acc = 0;
+	int i = 0;
+	while (i < 3) {
+		acc = acc + 10 / ((int)input[i] - 65);
+		i = i + 1;
+	}
+	return 0;
+}
+`
+	mod, cx := run(t, src, passes.Mem2Reg(), passes.SlicePass(), passes.LoopSummaryPass())
+	if cx.Stats.LoopsSummarized != 0 {
+		t.Error("a loop containing a trapping division was summarized away")
+	}
+	if n := countOps(mod, ir.OpSDiv); n != 1 {
+		t.Errorf("sdiv count after slice = %d, want 1", n)
+	}
+}
+
+// TestLoopSummarySkeletonLoop: a counted loop whose body is pure,
+// irrelevant work collapses to a preheader→exit jump.
+func TestLoopSummarySkeletonLoop(t *testing.T) {
+	src := `
+int umain(unsigned char *input, int len) {
+	unsigned int crc = 0;
+	int k = 0;
+	while (k < 8) {
+		crc = (crc << 1) & 0xFFFF;
+		k = k + 1;
+	}
+	return (int)crc;
+}
+`
+	_, cx := run(t, src, passes.Mem2Reg(), passes.SlicePass(),
+		passes.Simplify(), passes.CSE(), passes.SimplifyCFG(),
+		passes.LoopSummaryPass())
+	if cx.Stats.LoopsSummarized == 0 {
+		t.Error("the pure counted loop was not summarized")
+	}
+}
+
+// TestSliceRemovesUncalledFunctions: functions unreachable from the
+// entry disappear entirely.
+func TestSliceRemovesUncalledFunctions(t *testing.T) {
+	src := `
+int helper(int x) { return x * 3; }
+int umain(unsigned char *input, int len) { return 1; }
+`
+	mod, cx := run(t, src, passes.Mem2Reg(), passes.SlicePass())
+	if cx.Stats.FuncsSliced == 0 {
+		t.Error("uncalled helper not removed")
+	}
+	if mod.Func("helper") != nil {
+		t.Error("helper still present after slice")
+	}
+}
+
+// TestRelevancePerCheckSubset: with only bounds checks kept, a shift
+// whose amount the shift check would flag stays only when the shift
+// kind is in the kept set. (The trap roots — division, memory — are
+// always kept; OpCheck roots follow the configured subset.)
+func TestRelevancePerCheckSubset(t *testing.T) {
+	src := `
+int umain(unsigned char *input, int len) {
+	int a[4];
+	a[0] = 1;
+	return a[(int)input[0]];
+}
+`
+	mod := lower(t, src)
+	rel := passes.ComputeRelevance(mod, ir.ChecksOf(ir.CheckBounds))
+	if rel.Roots() == 0 {
+		t.Fatal("bounds-relevant program has no roots")
+	}
+}

@@ -105,6 +105,23 @@ type Config struct {
 	// (§3 "Program annotations"). Defaults to on for OVerify.
 	AnnotateRanges bool
 
+	// Slice enables verification-aware program slicing: after the
+	// level's regular stages (and after checks are inserted, so the
+	// check set is visible in the IR), the slice/loopsummary passes
+	// delete everything the kept checks cannot observe. Off by default
+	// at every level — slicing changes the program, so it must be an
+	// explicit opt-in that flows into the pipeline description (and
+	// hence the verdict key).
+	Slice bool
+
+	// SliceChecks restricts the slice to one check subset (the
+	// per-property verify mode); the zero value keeps all checks.
+	SliceChecks ir.CheckSet
+
+	// SliceEntry names the function whose call closure the slicer
+	// preserves; "" defaults to umain.
+	SliceEntry string
+
 	// VerifyEachPass re-runs the IR verifier after every pass; used in
 	// tests to localize pass bugs.
 	VerifyEachPass bool
@@ -210,6 +227,24 @@ func Passes(cfg Config) PipelineSpec {
 			add(Stage{Pass: "annotate"})
 		}
 	}
+	// The -OVERIFY slicing stage placement: slice after every
+	// level-specific stage (checks included, so OpCheck roots exist in
+	// the IR), clean up the cut edges, then summarize loops the slice
+	// left bodiless and clean up again. The same stages apply at every
+	// level — at -O0..-O3 the roots are the natively trapping
+	// instructions alone. The cleanup deliberately omits dce: a
+	// trapping instruction whose only consumers were sliced away is
+	// dead by dce's reckoning but is exactly the root the slice
+	// promised to keep.
+	if cfg.Slice {
+		sliceCleanup := []Stage{
+			{Pass: "simplify"}, {Pass: "cse"}, {Pass: "simplifycfg"},
+		}
+		add(Stage{Pass: "slice"})
+		add(sliceCleanup...)
+		add(Stage{Pass: "loopsummary"})
+		add(sliceCleanup...)
+	}
 	return spec
 }
 
@@ -256,7 +291,11 @@ func Optimize(m *ir.Module, cfg Config) (*Result, error) {
 		return nil, err
 	}
 	start := time.Now()
-	cx := &passes.Context{Cost: cfg.Cost}
+	cx := &passes.Context{
+		Cost:        cfg.Cost,
+		SliceChecks: cfg.SliceChecks,
+		SliceEntry:  cfg.SliceEntry,
+	}
 	if !cfg.NoAnalysisCache {
 		cx.EnableAnalysisCache()
 	}

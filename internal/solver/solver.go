@@ -54,6 +54,7 @@ type Stats struct {
 	Nodes          int64 // backtracking nodes explored
 	Assignments    int64 // candidate values tried (probes + bindings), the budget currency
 	TapeCompiles   int64 // groups compiled to evaluation tapes (searches run)
+	TapeReuses     int64 // searches that reused a cached tape instead of compiling
 	TapeSlots      int64 // total slots across compiled tapes
 	MaxGroupVars   int
 }
@@ -71,6 +72,7 @@ func (s *Stats) Add(o Stats) {
 	s.Nodes += o.Nodes
 	s.Assignments += o.Assignments
 	s.TapeCompiles += o.TapeCompiles
+	s.TapeReuses += o.TapeReuses
 	s.TapeSlots += o.TapeSlots
 	if o.MaxGroupVars > s.MaxGroupVars {
 		s.MaxGroupVars = o.MaxGroupVars
@@ -106,10 +108,17 @@ type Solver struct {
 	recent    []map[*expr.Var]uint64
 	reuseEval *expr.Evaluator
 	deadline  time.Time
+	// tapes, when set, shares compiled tapes across searches (and across
+	// the solvers of one engine run) keyed by group fingerprint.
+	tapes *TapeCache
 	// scratch is the compile/evaluation buffer set reused across this
 	// solver's searches (solvers are single-goroutine).
 	scratch tapeScratch
 }
+
+// SetTapeCache attaches a shared compiled-tape cache. Call before
+// solving; the cache layer is concurrency-safe.
+func (s *Solver) SetTapeCache(tc *TapeCache) { s.tapes = tc }
 
 // New returns a solver with the given options and a private cache.
 func New(opts Options) *Solver {
@@ -366,9 +375,20 @@ func (s *Solver) search(g *Group) (bool, map[*expr.Var]uint64, error) {
 			return false, nil, errTooWide
 		}
 	}
-	t := s.scratch.compile(g)
-	s.Stats.TapeCompiles++
-	s.Stats.TapeSlots += int64(len(t.ops))
+	var t *tape
+	if s.tapes != nil {
+		t = s.tapes.get(g.fp)
+	}
+	if t != nil {
+		s.Stats.TapeReuses++
+	} else {
+		t = s.scratch.compile(g)
+		s.Stats.TapeCompiles++
+		s.Stats.TapeSlots += int64(len(t.ops))
+		if s.tapes != nil {
+			s.tapes.put(g.fp, t)
+		}
+	}
 	vars := t.vars
 	if len(vars) > s.Stats.MaxGroupVars {
 		s.Stats.MaxGroupVars = len(vars)

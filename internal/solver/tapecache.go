@@ -1,0 +1,91 @@
+package solver
+
+import (
+	"sync"
+
+	"overify/internal/expr"
+)
+
+// TapeCache memoizes compiled constraint tapes across searches, keyed by
+// group fingerprint. A verdict cache already answers repeat groups
+// without searching at all; the tape cache covers the window the verdict
+// cache cannot — a group whose verdict was evicted (or never stored)
+// still re-searches, and without this cache it would re-flatten the same
+// constraint DAG first. Fingerprints are expression-node-identity based,
+// so a TapeCache is only meaningful within one expression builder's
+// lifetime: the daemon scopes one per generation.
+//
+// Tapes handed to Put alias the compiling solver's scratch buffers, so
+// Put stores a deep copy the cache owns. Get returns the owned copy
+// directly — tapeStateFrom only reads a tape, and evaluation state lives
+// in the caller's scratch, so shared cached tapes are safe across the
+// engine's worker solvers.
+type TapeCache struct {
+	mu    sync.Mutex
+	limit int
+	m     map[Fingerprint]*tape
+}
+
+// DefaultTapeCacheCap bounds a TapeCache when no explicit capacity is
+// given; at typical group sizes this is a few MB of tapes.
+const DefaultTapeCacheCap = 4096
+
+// NewTapeCache returns a cache holding at most limit tapes (0 or
+// negative means DefaultTapeCacheCap). When full it stops inserting:
+// within one generation the hot fingerprints recur from the first run
+// onward, so keeping the earliest tapes is the right eviction-free
+// policy.
+func NewTapeCache(limit int) *TapeCache {
+	if limit <= 0 {
+		limit = DefaultTapeCacheCap
+	}
+	return &TapeCache{limit: limit, m: make(map[Fingerprint]*tape)}
+}
+
+// Len reports how many tapes are cached.
+func (tc *TapeCache) Len() int {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	return len(tc.m)
+}
+
+func (tc *TapeCache) get(fp Fingerprint) *tape {
+	tc.mu.Lock()
+	t := tc.m[fp]
+	tc.mu.Unlock()
+	return t
+}
+
+func (tc *TapeCache) put(fp Fingerprint, t *tape) {
+	owned := copyTape(t)
+	tc.mu.Lock()
+	if _, ok := tc.m[fp]; !ok && len(tc.m) < tc.limit {
+		tc.m[fp] = owned
+	}
+	tc.mu.Unlock()
+}
+
+// copyTape deep-copies every slice that aliases the compiling scratch.
+// tapeOp.table stays pointer-shared: it is an expr.Expr's immutable
+// lookup table, owned by the expression graph, not the scratch.
+func copyTape(t *tape) *tape {
+	c := &tape{
+		ops:    append([]tapeOp(nil), t.ops...),
+		roots:  append([]int32(nil), t.roots...),
+		vars:   append([]*expr.Var(nil), t.vars...),
+		watch:  make([][]int32, len(t.watch)),
+		cmasks: make([][]uint64, len(t.cmasks)),
+		csub:   make([][]uint64, len(t.csub)),
+		nwords: t.nwords,
+	}
+	for i, w := range t.watch {
+		c.watch[i] = append([]int32(nil), w...)
+	}
+	for i, m := range t.cmasks {
+		c.cmasks[i] = append([]uint64(nil), m...)
+	}
+	for i, s := range t.csub {
+		c.csub[i] = append([]uint64(nil), s...)
+	}
+	return c
+}

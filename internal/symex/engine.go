@@ -52,6 +52,17 @@ type Options struct {
 	// builder-local node ids, so entries are only meaningful to runs on
 	// the same builder.
 	Cache *solver.Cache
+	// Tapes, when non-nil, memoizes compiled constraint tapes by group
+	// fingerprint across this run's workers (and, in the daemon, across
+	// every run in a builder generation). Same sharing rule as Cache:
+	// fingerprints are builder-local.
+	Tapes *solver.TapeCache
+	// Checks restricts which OpCheck kinds the run reports (the
+	// per-property verify mode); the zero value keeps all of them.
+	// Skipped checks neither report bugs nor constrain the path — the
+	// path continues as if the check were absent, exactly matching a
+	// program sliced for the same subset.
+	Checks ir.CheckSet
 }
 
 // effectiveWorkers resolves the Workers option to a concrete count.
@@ -114,6 +125,7 @@ type Stats struct {
 	TruncatedPaths int64 // paths killed by limits
 	Forks          int64
 	Instrs         int64 // instructions interpreted across all paths
+	ChecksSkipped  int64 // OpChecks outside Options.Checks, passed over
 	StatesExplored int64 // states whose execution began (initial + resumed forks)
 	CoveredBlocks  int   // distinct basic blocks executed on some path
 	MaxLiveStates  int
@@ -158,15 +170,16 @@ type Engine struct {
 	// Cross-worker counters. Paths counters are updated at path
 	// granularity (cheap); instruction counts are batched per worker and
 	// flushed every instrFlushStride instructions.
-	nextState  atomic.Int64
-	paths      atomic.Int64
-	errorPaths atomic.Int64
-	truncated  atomic.Int64
-	forks      atomic.Int64
-	instrs     atomic.Int64
-	explored   atomic.Int64 // states whose execution began
-	timedOut   atomic.Bool
-	stopped    atomic.Bool // a global limit fired; all workers bail out
+	nextState     atomic.Int64
+	paths         atomic.Int64
+	errorPaths    atomic.Int64
+	truncated     atomic.Int64
+	forks         atomic.Int64
+	instrs        atomic.Int64
+	checksSkipped atomic.Int64
+	explored      atomic.Int64 // states whose execution began
+	timedOut      atomic.Bool
+	stopped       atomic.Bool // a global limit fired; all workers bail out
 }
 
 // NewEngine prepares an engine over mod.
@@ -319,6 +332,9 @@ func (e *Engine) Run(fnName string, args []SymVal, init *State) (*Report, error)
 			strat: strat,
 			sol:   solver.NewWithCache(e.opts.Solver, e.cache),
 		}
+		if e.opts.Tapes != nil {
+			w.sol.SetTapeCache(e.opts.Tapes)
+		}
 		if !e.deadline.IsZero() {
 			w.sol.SetDeadline(e.deadline)
 		}
@@ -341,6 +357,7 @@ func (e *Engine) Run(fnName string, args []SymVal, init *State) (*Report, error)
 		TruncatedPaths: e.truncated.Load(),
 		Forks:          e.forks.Load(),
 		Instrs:         e.instrs.Load(),
+		ChecksSkipped:  e.checksSkipped.Load(),
 		StatesExplored: e.explored.Load(),
 		CoveredBlocks:  int(e.cov.count()),
 		MaxLiveStates:  fr.maxLive,

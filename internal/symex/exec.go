@@ -116,6 +116,15 @@ func (w *worker) step(st *State) (stop bool, forked []*State) {
 			continue
 
 		case ir.OpCheck:
+			if !w.e.opts.Checks.Contains(in.Kind) {
+				// Per-property mode: a check outside the kept subset
+				// neither reports nor constrains — the path continues as
+				// if the check were absent, so a filtered baseline run and
+				// a run on a program sliced for the same subset agree.
+				w.e.checksSkipped.Add(1)
+				f.Idx++
+				continue
+			}
 			c := w.ev(st, f, in.Args[0]).E
 			if c.IsTrue() {
 				f.Idx++

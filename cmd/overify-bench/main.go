@@ -9,6 +9,7 @@
 //	overify-bench -solver [-json BENCH_solver.json]
 //	overify-bench -verdicts [-n 3] [-j workers] [-json BENCH_verdicts.json]
 //	overify-bench -daemon [-n 3] [-json BENCH_daemon.json]
+//	overify-bench -tune [-tune-budget 64] [-seed S] [-prog wc-c,tr] [-j workers] [-best-out FILE] [-json BENCH_autotune.json]
 //	overify-bench -all
 //
 // -search all runs the strategy comparison (per-strategy t_verify and
@@ -28,18 +29,42 @@
 // content-addressed store, asserting the warm pass reproduces every
 // cold report byte-identically. Output is the text rendering recorded
 // in EXPERIMENTS.md.
+//
+// -tune runs the pass-ordering autotuner: one hill-climbing schedule
+// search per program (comma-separated -prog restricts the set), each
+// candidate gated on bug parity against the stock -OVERIFY baseline
+// and ranked by deterministic verify work units. -tune-budget caps
+// candidate evaluations per program, -seed fixes the search
+// trajectory, and -best-out writes the first program's winning spec to
+// a file replayable via `symbex -passes @FILE`. Everywhere a -passes
+// spec is accepted, the spelling @FILE loads the spec from that file.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"overify/internal/bench"
 	"overify/internal/pipeline"
 	"overify/internal/symex"
 )
+
+// loadPassSpec resolves a -passes argument: the spelling @FILE reads
+// the spec text from FILE (the -best-out replay path), anything else is
+// the spec itself.
+func loadPassSpec(arg string) (string, error) {
+	if !strings.HasPrefix(arg, "@") {
+		return arg, nil
+	}
+	data, err := os.ReadFile(strings.TrimPrefix(arg, "@"))
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimSpace(string(data)), nil
+}
 
 func main() {
 	t1 := flag.Bool("table1", false, "run the wc micro-benchmark (Table 1)")
@@ -63,11 +88,16 @@ func main() {
 	verdictSweep := flag.Bool("verdicts", false, "run the warm-vs-cold verdict-store sweep over the corpus")
 	daemonSweep := flag.Bool("daemon", false, "run the warm-vs-cold daemon sweep: cold CLI path vs repeat requests against one warm in-process server")
 	slicingSweep := flag.Bool("slicing", false, "run the verification-aware slicing study: baseline vs sliced exploration per program x level")
+	tuneSweep := flag.Bool("tune", false, "run the pass-ordering autotuner: search schedules that beat -OVERIFY on verify work units")
+	tuneBudget := flag.Int("tune-budget", 64, "candidate evaluations per program for -tune")
+	bestOut := flag.String("best-out", "", "with -tune: write the first program's winning spec to this file (replay with symbex -passes @FILE)")
 	flag.Parse()
 
 	var pipeSpec *pipeline.PipelineSpec
 	if *passSpec != "" {
-		spec, err := pipeline.ParsePipeline(*passSpec)
+		text, err := loadPassSpec(*passSpec)
+		check(err)
+		spec, err := pipeline.ParsePipeline(text)
 		check(err)
 		pipeSpec = &spec
 	}
@@ -158,8 +188,32 @@ func main() {
 		}
 	}
 
+	if *tuneSweep {
+		opts := bench.TuneSweepOptions{
+			InputBytes: *n, Budget: *tuneBudget, Seed: *seed,
+			Timeout: *timeout, Jobs: *workers,
+		}
+		if *prog != "" {
+			opts.Programs = strings.Split(*prog, ",")
+		}
+		rows, err := bench.TuneSweep(opts)
+		check(err)
+		fmt.Println(bench.RenderTuneSweep(rows, opts))
+		if *jsonPath != "" {
+			data, err := bench.TuneSweepJSON(rows, opts)
+			check(err)
+			check(os.WriteFile(*jsonPath, append(data, '\n'), 0o644))
+			fmt.Printf("(wrote %s)\n", *jsonPath)
+		}
+		if *bestOut != "" && len(rows) > 0 {
+			check(os.WriteFile(*bestOut, []byte(rows[0].BestSpec+"\n"), 0o644))
+			fmt.Printf("(wrote %s — replay with: symbex -passes @%s -prog %s)\n",
+				*bestOut, *bestOut, rows[0].Program)
+		}
+	}
+
 	if !(*t1 || *t2 || *t3 || *f4 || *scaling || *all) {
-		if strategies || *solverBench || *verdictSweep || *daemonSweep || *slicingSweep {
+		if strategies || *solverBench || *verdictSweep || *daemonSweep || *slicingSweep || *tuneSweep {
 			return
 		}
 		flag.Usage()

@@ -30,6 +30,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"overify/internal/core"
@@ -93,6 +94,15 @@ func main() {
 
 	var pipeSpec *pipeline.PipelineSpec
 	if *passSpec != "" {
+		if strings.HasPrefix(*passSpec, "@") {
+			// @FILE: load the spec text from a file — the replay path for
+			// overify-bench -tune -best-out winners.
+			data, err := os.ReadFile(strings.TrimPrefix(*passSpec, "@"))
+			if err != nil {
+				fatal(err)
+			}
+			*passSpec = strings.TrimSpace(string(data))
+		}
 		spec, err := pipeline.ParsePipeline(*passSpec)
 		if err != nil {
 			fatal(err)

@@ -1,0 +1,165 @@
+package autotune
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"overify/internal/coreutils"
+	"overify/internal/pipeline"
+)
+
+// A schedule that changes the verification verdict must be discarded,
+// never ranked. The program below has a dead out-of-bounds load: the
+// -OVERIFY baseline's dce deletes it (no bug), while a schedule without
+// dce keeps it and verification reports the OOB — a verdict change the
+// parity gate must reject.
+const deadOOBLoad = `
+int umain(unsigned char *s, int n) {
+  int x;
+  x = s[100];
+  return 0;
+}
+`
+
+func TestParityGateRejectsVerdictChangingSchedule(t *testing.T) {
+	spec, err := pipeline.ParsePipeline("mem2reg,checks,annotate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cand, base, err := Evaluate(Options{
+		Name:    "dead-oob",
+		Source:  deadOOBLoad,
+		Timeout: 10 * time.Second,
+	}, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !base.Valid() {
+		t.Fatalf("baseline rejected: %s", base.Rejected)
+	}
+	if base.Bugs != 0 {
+		t.Fatalf("baseline should report no bugs (dce deletes the dead load), got %d", base.Bugs)
+	}
+	if cand.Valid() {
+		t.Fatalf("verdict-changing candidate was accepted: spec=%s bugs=%d (baseline bugs=%d)",
+			cand.Spec, cand.Bugs, base.Bugs)
+	}
+	if cand.Rejected != "parity" {
+		t.Fatalf("candidate rejected for %q, want \"parity\"", cand.Rejected)
+	}
+	if cand.Bugs == 0 {
+		t.Fatalf("candidate was expected to surface the dead OOB load as a bug")
+	}
+}
+
+// The solver-assignment budget is the deterministic stand-in for a
+// wall-clock timeout: it must stop the engine at the same point on
+// every run, so a budget-rejected candidate is rejected identically on
+// any machine at any load.
+func TestSolverBudgetRejectsDeterministically(t *testing.T) {
+	p, ok := coreutils.Get("basename")
+	if !ok {
+		t.Fatal("basename missing from corpus")
+	}
+	ec := evalConfig{
+		name: p.Name, src: p.Src, inputBytes: 4,
+		timeout:    2 * time.Minute,
+		maxAssigns: 4096,
+	}
+	a := evaluate(pipeline.PipelineSpec{}, ec)
+	b := evaluate(pipeline.PipelineSpec{}, ec)
+	if a.Rejected != "verify-budget" {
+		t.Fatalf("capped run rejected for %q, want \"verify-budget\"", a.Rejected)
+	}
+	if a.Assignments < 4096 {
+		t.Fatalf("budget did not engage: %d assignments measured", a.Assignments)
+	}
+	if a.Rejected != b.Rejected || a.Assignments != b.Assignments || a.Instrs != b.Instrs || a.Paths != b.Paths {
+		t.Fatalf("budget stop diverged between identical runs:\n  a: rejected=%q assigns=%d instrs=%d paths=%d\n  b: rejected=%q assigns=%d instrs=%d paths=%d",
+			a.Rejected, a.Assignments, a.Instrs, a.Paths,
+			b.Rejected, b.Assignments, b.Instrs, b.Paths)
+	}
+}
+
+func tuneOpts(name string, budget int) Options {
+	p, ok := coreutils.Get(name)
+	if !ok {
+		panic("unknown corpus program " + name)
+	}
+	return Options{
+		Name:    p.Name,
+		Source:  p.Src,
+		Budget:  budget,
+		Seed:    1,
+		Jobs:    2,
+		Timeout: 10 * time.Second,
+	}
+}
+
+// Same seed, same program, same budget: the search must retrace the
+// same trajectory — identical candidate sequence and identical winner.
+func TestTuneDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full double search in -short mode")
+	}
+	run := func() *Result {
+		res, err := Tune(tuneOpts("true", 10))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Best.Spec != b.Best.Spec {
+		t.Fatalf("same seed found different winners:\n  %s\n  %s", a.Best.Spec, b.Best.Spec)
+	}
+	if a.Best.Work != b.Best.Work {
+		t.Fatalf("same winner scored differently: %d vs %d work units", a.Best.Work, b.Best.Work)
+	}
+	if a.Evaluated != b.Evaluated || a.Restarts != b.Restarts || a.MemoHits != b.MemoHits {
+		t.Fatalf("search shape diverged: evaluated %d/%d restarts %d/%d memo %d/%d",
+			a.Evaluated, b.Evaluated, a.Restarts, b.Restarts, a.MemoHits, b.MemoHits)
+	}
+	specsOf := func(r *Result) []string {
+		out := make([]string, len(r.Candidates))
+		for i, c := range r.Candidates {
+			out[i] = c.Spec
+		}
+		return out
+	}
+	if !reflect.DeepEqual(specsOf(a), specsOf(b)) {
+		t.Fatalf("same seed evaluated different candidate sequences")
+	}
+}
+
+// The tuner's basic contract: the winner is never worse than the
+// -OVERIFY baseline, holds bug parity, and its spec replays.
+func TestTuneSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full search in -short mode")
+	}
+	res, err := Tune(tuneOpts("wc-c", 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Best.Valid() {
+		t.Fatalf("winner is a rejected candidate: %s", res.Best.Rejected)
+	}
+	if res.Best.Work > res.Baseline.Work {
+		t.Fatalf("winner (%d work units) is worse than baseline (%d)", res.Best.Work, res.Baseline.Work)
+	}
+	if res.Best.Bugs != res.Baseline.Bugs {
+		t.Fatalf("winner bug count %d != baseline %d", res.Best.Bugs, res.Baseline.Bugs)
+	}
+	rt, err := pipeline.ParsePipeline(res.Best.Spec)
+	if err != nil {
+		t.Fatalf("winning spec does not parse: %v", err)
+	}
+	if rt.String() != res.Best.Spec {
+		t.Fatalf("winning spec does not round-trip: %q -> %q", res.Best.Spec, rt.String())
+	}
+	if res.Evaluated == 0 || len(res.Candidates) != res.Evaluated {
+		t.Fatalf("bookkeeping: evaluated=%d candidates=%d", res.Evaluated, len(res.Candidates))
+	}
+}

@@ -1,0 +1,337 @@
+package autotune
+
+import (
+	"math/rand"
+
+	"overify/internal/pipeline"
+)
+
+// Candidate layout invariant: every spec the tuner builds is
+//
+//	prefix... , checks , annotate , post...
+//
+// The prefix is the optimization schedule proper (any registered pass
+// except the instrumentation and slicing ones, fixpoints included).
+// The checks/annotate suffix is fixed — deleting the checks pass would
+// "win" the search by verifying a weaker property, so it is not part
+// of the space. The post region runs after instrumentation, which is
+// where slicing is sound (the check roots exist in the IR); it holds
+// the slice/loopsummary stages and their cleanup.
+//
+// All mutation operators preserve this layout, so every mutant both
+// parses back through ParsePipeline (the round-trip fuzz target) and
+// verifies the same property as the baseline.
+
+// optPool is the prefix-region pass pool: the registered optimization
+// passes, minus instrumentation (checks/annotate — fixed suffix) and
+// slicing (slice/loopsummary — post region only, via toggleSlice).
+var optPool = []string{
+	"mem2reg", "simplify", "cse", "simplifycfg", "dce",
+	"jumpthread", "licm", "unswitch", "unroll", "ifconvert", "inline",
+}
+
+// postPool is the post-region cleanup pool. dce is deliberately
+// absent, mirroring the slicing stages' cleanup: dce would delete dead
+// trapping instructions that are exactly the roots the slice promised
+// to keep. (The parity gate would catch the resulting bug loss on a
+// buggy program, but only per-program; keeping dce out makes post
+// schedules safe by construction.)
+var postPool = []string{"simplify", "cse", "simplifycfg"}
+
+// roundsPool is the fixpoint round-cap choices.
+var roundsPool = []int{2, 4, 6, 8, 12}
+
+const maxFixpointBody = 10
+
+// seedSpecs returns the five stock levels' optimization stages, each
+// re-fitted with the fixed checks/annotate suffix — the search's
+// starting points.
+func seedSpecs() []pipeline.PipelineSpec {
+	levels := []pipeline.Level{
+		pipeline.O0, pipeline.O1, pipeline.O2, pipeline.O3, pipeline.OVerify,
+	}
+	out := make([]pipeline.PipelineSpec, 0, len(levels))
+	for _, lvl := range levels {
+		var spec pipeline.PipelineSpec
+		for _, st := range pipeline.Passes(pipeline.LevelConfig(lvl)).Stages {
+			if st.Pass == "checks" || st.Pass == "annotate" {
+				continue
+			}
+			spec.Stages = append(spec.Stages, st)
+		}
+		spec.Stages = append(spec.Stages,
+			pipeline.Stage{Pass: "checks"}, pipeline.Stage{Pass: "annotate"})
+		out = append(out, spec)
+	}
+	return out
+}
+
+// cloneSpec deep-copies a spec so mutation never aliases a candidate
+// already in the memo.
+func cloneSpec(s pipeline.PipelineSpec) pipeline.PipelineSpec {
+	out := pipeline.PipelineSpec{Stages: make([]pipeline.Stage, len(s.Stages))}
+	copy(out.Stages, s.Stages)
+	for i := range out.Stages {
+		if len(out.Stages[i].Fixpoint) > 0 {
+			out.Stages[i].Fixpoint = append([]string(nil), out.Stages[i].Fixpoint...)
+		}
+	}
+	return out
+}
+
+// regions splits a candidate into its three layout regions. The suffix
+// is always [checks, annotate]; specs the tuner did not build itself
+// go through seedSpecs/mutate only, so the invariant holds.
+func regions(s pipeline.PipelineSpec) (pre, post []pipeline.Stage, ok bool) {
+	ci := -1
+	for i, st := range s.Stages {
+		if st.Pass == "checks" {
+			ci = i
+			break
+		}
+	}
+	if ci < 0 || ci+1 >= len(s.Stages) || s.Stages[ci+1].Pass != "annotate" {
+		return nil, nil, false
+	}
+	return s.Stages[:ci], s.Stages[ci+2:], true
+}
+
+func assemble(pre, post []pipeline.Stage) pipeline.PipelineSpec {
+	stages := make([]pipeline.Stage, 0, len(pre)+2+len(post))
+	stages = append(stages, pre...)
+	stages = append(stages, pipeline.Stage{Pass: "checks"}, pipeline.Stage{Pass: "annotate"})
+	stages = append(stages, post...)
+	return pipeline.PipelineSpec{Stages: stages}
+}
+
+// mutate returns one mutated deep copy of s. It retries operator draws
+// until one applies, so the result always differs structurally from
+// the input (modulo the rare self-inverse coincidence, which the
+// fingerprint memo absorbs). Deterministic per rng state.
+func mutate(s pipeline.PipelineSpec, rng *rand.Rand, maxStages int) pipeline.PipelineSpec {
+	c := cloneSpec(s)
+	pre, post, ok := regions(c)
+	if !ok {
+		// Defensive: refit the suffix rather than mutate blind.
+		return assemble(c.Stages, nil)
+	}
+	for tries := 0; tries < 32; tries++ {
+		np, npost, applied := applyOp(rng.Intn(10), pre, post, rng)
+		if !applied {
+			continue
+		}
+		if len(np)+2+len(npost) > maxStages {
+			continue
+		}
+		return assemble(np, npost)
+	}
+	// Every operator failed to apply (tiny degenerate spec): fall back
+	// to inserting one pass, which always applies.
+	np := insertAt(pre, rng.Intn(len(pre)+1), pipeline.Stage{Pass: optPool[rng.Intn(len(optPool))]})
+	return assemble(np, post)
+}
+
+// applyOp attempts one mutation operator; reports false when the
+// operator does not apply to this candidate (empty region, no
+// fixpoint, ...). pre/post are never mutated in place.
+func applyOp(op int, pre, post []pipeline.Stage, rng *rand.Rand) (npre, npost []pipeline.Stage, ok bool) {
+	// Generic ops pick a region: mostly the prefix, the post region a
+	// quarter of the time once it exists.
+	pickPost := len(post) > 0 && rng.Intn(4) == 0
+	region, pool := pre, optPool
+	if pickPost {
+		region, pool = post, postPool
+	}
+	put := func(r []pipeline.Stage) ([]pipeline.Stage, []pipeline.Stage) {
+		if pickPost {
+			return copyStages(pre), r
+		}
+		return r, copyStages(post)
+	}
+
+	switch op {
+	case 0: // insert a pass
+		st := pipeline.Stage{Pass: pool[rng.Intn(len(pool))]}
+		a, b := put(insertAt(region, rng.Intn(len(region)+1), st))
+		return a, b, true
+	case 1: // delete a stage
+		if len(region) == 0 {
+			return nil, nil, false
+		}
+		a, b := put(deleteAt(region, rng.Intn(len(region))))
+		return a, b, true
+	case 2: // swap two stages
+		if len(region) < 2 {
+			return nil, nil, false
+		}
+		i, j := rng.Intn(len(region)), rng.Intn(len(region))
+		if i == j {
+			j = (j + 1) % len(region)
+		}
+		r := copyStages(region)
+		r[i], r[j] = r[j], r[i]
+		a, b := put(r)
+		return a, b, true
+	case 3: // duplicate a stage
+		if len(region) == 0 {
+			return nil, nil, false
+		}
+		i := rng.Intn(len(region))
+		a, b := put(insertAt(region, i, region[i]))
+		return a, b, true
+	case 4: // grow a fixpoint body (prefix only: fixpoints live there)
+		fi := fixpointIndexes(pre)
+		if len(fi) == 0 {
+			return nil, nil, false
+		}
+		r := copyStages(pre)
+		i := fi[rng.Intn(len(fi))]
+		body := r[i].Fixpoint
+		if len(body) >= maxFixpointBody {
+			return nil, nil, false
+		}
+		pos := rng.Intn(len(body) + 1)
+		nb := append(append(append([]string(nil), body[:pos]...), optPool[rng.Intn(len(optPool))]), body[pos:]...)
+		r[i].Fixpoint = nb
+		return r, copyStages(post), true
+	case 5: // shrink a fixpoint body (empty body deletes the stage)
+		fi := fixpointIndexes(pre)
+		if len(fi) == 0 {
+			return nil, nil, false
+		}
+		r := copyStages(pre)
+		i := fi[rng.Intn(len(fi))]
+		body := r[i].Fixpoint
+		if len(body) <= 1 {
+			return deleteAt(pre, i), copyStages(post), true
+		}
+		pos := rng.Intn(len(body))
+		r[i].Fixpoint = append(append([]string(nil), body[:pos]...), body[pos+1:]...)
+		return r, copyStages(post), true
+	case 6: // retune a fixpoint's round cap
+		fi := fixpointIndexes(pre)
+		if len(fi) == 0 {
+			return nil, nil, false
+		}
+		r := copyStages(pre)
+		i := fi[rng.Intn(len(fi))]
+		rounds := roundsPool[rng.Intn(len(roundsPool))]
+		if rounds == r[i].MaxRounds {
+			return nil, nil, false
+		}
+		r[i].MaxRounds = rounds
+		return r, copyStages(post), true
+	case 7: // wrap a run of single passes into a fixpoint
+		runs := singleRuns(pre)
+		if len(runs) == 0 {
+			return nil, nil, false
+		}
+		run := runs[rng.Intn(len(runs))]
+		span := 2 + rng.Intn(3) // 2..4 stages
+		if span > run.n {
+			span = run.n
+		}
+		if span < 2 {
+			return nil, nil, false
+		}
+		start := run.i + rng.Intn(run.n-span+1)
+		body := make([]string, 0, span)
+		for _, st := range pre[start : start+span] {
+			body = append(body, st.Pass)
+		}
+		fx := pipeline.Stage{MaxRounds: roundsPool[rng.Intn(len(roundsPool))], Fixpoint: body}
+		r := append(append(append([]pipeline.Stage(nil), pre[:start]...), fx), pre[start+span:]...)
+		return r, copyStages(post), true
+	case 8: // unwrap a fixpoint into its body
+		fi := fixpointIndexes(pre)
+		if len(fi) == 0 {
+			return nil, nil, false
+		}
+		i := fi[rng.Intn(len(fi))]
+		var flat []pipeline.Stage
+		for _, name := range pre[i].Fixpoint {
+			flat = append(flat, pipeline.Stage{Pass: name})
+		}
+		r := append(append(append([]pipeline.Stage(nil), pre[:i]...), flat...), pre[i+1:]...)
+		return r, copyStages(post), true
+	case 9: // toggle slice/loopsummary placement
+		return copyStages(pre), toggleSlice(post), true
+	}
+	return nil, nil, false
+}
+
+// toggleSlice cycles the post region through the three slicing
+// placements: none -> slice+cleanup -> slice+cleanup+loopsummary+
+// cleanup -> none. Cleanup mirrors the canonical -OVERIFY slicing
+// stages (no dce; see postPool).
+func toggleSlice(post []pipeline.Stage) []pipeline.Stage {
+	hasSlice, hasSummary := false, false
+	for _, st := range post {
+		switch st.Pass {
+		case "slice":
+			hasSlice = true
+		case "loopsummary":
+			hasSummary = true
+		}
+	}
+	cleanup := []pipeline.Stage{{Pass: "simplify"}, {Pass: "cse"}, {Pass: "simplifycfg"}}
+	switch {
+	case !hasSlice:
+		return append([]pipeline.Stage{{Pass: "slice"}}, cleanup...)
+	case !hasSummary:
+		return append(append(copyStages(post), pipeline.Stage{Pass: "loopsummary"}), cleanup...)
+	default:
+		return nil
+	}
+}
+
+func copyStages(s []pipeline.Stage) []pipeline.Stage {
+	return append([]pipeline.Stage(nil), s...)
+}
+
+func insertAt(s []pipeline.Stage, i int, st pipeline.Stage) []pipeline.Stage {
+	out := make([]pipeline.Stage, 0, len(s)+1)
+	out = append(out, s[:i]...)
+	out = append(out, st)
+	return append(out, s[i:]...)
+}
+
+func deleteAt(s []pipeline.Stage, i int) []pipeline.Stage {
+	out := make([]pipeline.Stage, 0, len(s)-1)
+	out = append(out, s[:i]...)
+	return append(out, s[i+1:]...)
+}
+
+func fixpointIndexes(s []pipeline.Stage) []int {
+	var out []int
+	for i, st := range s {
+		if st.Pass == "" {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// singleRuns finds maximal runs of consecutive single-pass stages
+// (fixpoints cannot nest, so only these are wrappable).
+type run struct{ i, n int }
+
+func singleRuns(s []pipeline.Stage) []run {
+	var out []run
+	i := 0
+	for i < len(s) {
+		if s[i].Pass == "" {
+			i++
+			continue
+		}
+		j := i
+		for j < len(s) && s[j].Pass != "" {
+			j++
+		}
+		if j-i >= 2 {
+			out = append(out, run{i: i, n: j - i})
+		}
+		i = j
+	}
+	return out
+}

@@ -1,0 +1,76 @@
+package autotune
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"overify/internal/pipeline"
+)
+
+// Every mutant must keep the fixed [checks, annotate] suffix layout and
+// round-trip through ParsePipeline — the search relies on both.
+func TestMutateKeepsLayoutAndRoundTrips(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for si, seed := range seedSpecs() {
+		s := seed
+		for step := 0; step < 200; step++ {
+			s = mutate(s, rng, 24)
+			if _, _, ok := regions(s); !ok {
+				t.Fatalf("seed %d step %d: mutant lost the checks/annotate suffix: %s", si, step, s.String())
+			}
+			if len(s.Stages) > 24 {
+				t.Fatalf("seed %d step %d: mutant exceeds MaxStages: %d stages", si, step, len(s.Stages))
+			}
+			rendered := s.String()
+			rt, err := pipeline.ParsePipeline(rendered)
+			if err != nil {
+				t.Fatalf("seed %d step %d: mutant does not parse: %v\n  spec: %s", si, step, err, rendered)
+			}
+			if !reflect.DeepEqual(rt, s) {
+				t.Fatalf("seed %d step %d: parse(render) != spec\n  spec: %s\n  got:  %s", si, step, rendered, rt.String())
+			}
+			for _, st := range s.Stages {
+				for _, name := range st.Fixpoint {
+					if name == "checks" || name == "annotate" {
+						t.Fatalf("seed %d step %d: instrumentation pass inside a fixpoint: %s", si, step, rendered)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Mutation must never alias its input: the memo holds candidates by
+// fingerprint of their rendered string, so in-place edits would corrupt
+// already-recorded specs.
+func TestMutateDoesNotAliasInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	orig := seedSpecs()[4] // -OVERIFY: has fixpoints to share bodies with
+	before := orig.String()
+	for i := 0; i < 300; i++ {
+		mutate(orig, rng, 24)
+		if orig.String() != before {
+			t.Fatalf("mutation %d modified its input:\n  before: %s\n  after:  %s", i, before, orig.String())
+		}
+	}
+}
+
+// The same rng seed must produce the same mutation sequence — the
+// search's determinism rests on it.
+func TestMutateDeterministic(t *testing.T) {
+	render := func(seed int64) []string {
+		rng := rand.New(rand.NewSource(seed))
+		s := seedSpecs()[4]
+		out := make([]string, 0, 50)
+		for i := 0; i < 50; i++ {
+			s = mutate(s, rng, 24)
+			out = append(out, s.String())
+		}
+		return out
+	}
+	a, b := render(99), render(99)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed produced different mutation trajectories")
+	}
+}

@@ -1,0 +1,226 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"overify/internal/autotune"
+	"overify/internal/coreutils"
+	"overify/internal/passes"
+	"overify/internal/pipeline"
+)
+
+// TuneSweepOptions configure the autotuner study: one schedule search
+// per program, each reported against its -OVERIFY baseline.
+type TuneSweepOptions struct {
+	// Programs restricts the corpus (default: a representative subset —
+	// a full-corpus sweep is Budget x corpus evaluations).
+	Programs []string
+	// InputBytes is the symbolic input size (default 4).
+	InputBytes int
+	// Budget caps candidate evaluations per program (default 64).
+	Budget int
+	// Seed fixes every program's search PRNG; the whole sweep is
+	// reproducible from it.
+	Seed int64
+	// Timeout is the per-candidate wall-clock backstop (default 2m —
+	// far above what the deterministic instruction/assignment caps
+	// allow, so load cannot perturb the deterministic search).
+	Timeout time.Duration
+	// Jobs bounds concurrent candidate evaluations per search.
+	Jobs int
+}
+
+// tuneDefaultPrograms is the default sweep subset: small enough that a
+// Budget-64 search per program stays in CI time, varied enough to show
+// schedule sensitivity (loop-heavy, branch-heavy, and trivial shapes).
+var tuneDefaultPrograms = []string{
+	"basename", "cat", "cksum", "dirname", "echo",
+	"false", "sum", "tr", "true", "uniq", "wc-c", "wc-l",
+}
+
+func (o TuneSweepOptions) withDefaults() TuneSweepOptions {
+	if len(o.Programs) == 0 {
+		o.Programs = append([]string(nil), tuneDefaultPrograms...)
+	}
+	if o.InputBytes == 0 {
+		o.InputBytes = 4
+	}
+	if o.Budget == 0 {
+		o.Budget = 64
+	}
+	if o.Timeout == 0 {
+		o.Timeout = 2 * time.Minute
+	}
+	return o
+}
+
+// PassTimingJSON is one pass's cumulative compile-side counters, the
+// per-pass breakdown the -json output carries for baseline and winner.
+type PassTimingJSON struct {
+	Pass        string  `json:"pass"`
+	Invocations int     `json:"invocations"`
+	Changed     int     `json:"changed"`
+	Skipped     int     `json:"skipped"`
+	WallMS      float64 `json:"wall_ms"`
+}
+
+func passTimingsJSON(ms []passes.PassMetric) []PassTimingJSON {
+	out := make([]PassTimingJSON, 0, len(ms))
+	for _, m := range ms {
+		out = append(out, PassTimingJSON{
+			Pass: m.Name, Invocations: m.Invocations,
+			Changed: m.Changed, Skipped: m.Skipped, WallMS: durMs(m.Wall),
+		})
+	}
+	return out
+}
+
+// TuneRow is one program's search outcome.
+type TuneRow struct {
+	Program string `json:"program"`
+	Seed    int64  `json:"seed"`
+
+	// Work units = solver assignments + instructions executed, the
+	// deterministic t_verify currency.
+	BaseWork int64 `json:"work_base"`
+	BestWork int64 `json:"work_best"`
+	// Compile work in the deterministic currency (pass invocations).
+	BaseInvocations int `json:"invocations_base"`
+	BestInvocations int `json:"invocations_best"`
+
+	BaseVerifyMS float64 `json:"t_verify_base_ms"`
+	BestVerifyMS float64 `json:"t_verify_best_ms"`
+	BaseBugs     int     `json:"bugs_base"`
+	BestBugs     int     `json:"bugs_best"`
+
+	ImprovementPct float64 `json:"improvement_pct"`
+	BestIsBaseline bool    `json:"best_is_baseline"`
+	BestSpec       string  `json:"best_spec"`
+	// SlicePlacement says where (if anywhere) the search put the slice
+	// stages — part of the headline result.
+	SlicePlacement string `json:"slice_placement"`
+
+	Evaluated int `json:"evaluated"`
+	MemoHits  int `json:"memo_hits"`
+	Restarts  int `json:"restarts"`
+
+	// Per-pass cumulative compile counters for both schedules.
+	BasePassTimings []PassTimingJSON `json:"pass_timings_base"`
+	BestPassTimings []PassTimingJSON `json:"pass_timings_best"`
+}
+
+// slicePlacement describes where the winning schedule put the slicing
+// stages, in stage coordinates.
+func slicePlacement(spec string) string {
+	parsed, err := pipeline.ParsePipeline(spec)
+	if err != nil {
+		return "unparsed"
+	}
+	var where []string
+	for i, st := range parsed.Stages {
+		if st.Pass == "slice" || st.Pass == "loopsummary" {
+			where = append(where, fmt.Sprintf("%s@%d", st.Pass, i+1))
+		}
+	}
+	if len(where) == 0 {
+		return "none"
+	}
+	return strings.Join(where, ",")
+}
+
+// TuneSweep runs one schedule search per program.
+func TuneSweep(opts TuneSweepOptions) ([]TuneRow, error) {
+	opts = opts.withDefaults()
+	var rows []TuneRow
+	for _, name := range opts.Programs {
+		p, ok := coreutils.Get(name)
+		if !ok {
+			return nil, fmt.Errorf("autotune: unknown corpus program %q", name)
+		}
+		res, err := autotune.Tune(autotune.Options{
+			Name: p.Name, Source: p.Src,
+			InputBytes: opts.InputBytes,
+			Budget:     opts.Budget,
+			Seed:       opts.Seed,
+			Timeout:    opts.Timeout,
+			Jobs:       opts.Jobs,
+		})
+		if err != nil {
+			return nil, err
+		}
+		base, best := res.Baseline, res.Best
+		rows = append(rows, TuneRow{
+			Program: p.Name, Seed: opts.Seed,
+			BaseWork: base.Work, BestWork: best.Work,
+			BaseInvocations: base.CompileInvocations, BestInvocations: best.CompileInvocations,
+			BaseVerifyMS: durMs(base.VerifyWall), BestVerifyMS: durMs(best.VerifyWall),
+			BaseBugs: base.Bugs, BestBugs: best.Bugs,
+			ImprovementPct: res.ImprovementPct,
+			BestIsBaseline: res.BestIsBaseline,
+			BestSpec:       best.Spec,
+			SlicePlacement: slicePlacement(best.Spec),
+			Evaluated:      res.Evaluated,
+			MemoHits:       res.MemoHits,
+			Restarts:       res.Restarts,
+			BasePassTimings: passTimingsJSON(base.PassTimings),
+			BestPassTimings: passTimingsJSON(best.PassTimings),
+		})
+	}
+	return rows, nil
+}
+
+// RenderTuneSweep renders the study as the text recorded in
+// EXPERIMENTS.md. Work units order the comparison; wall times are shown
+// as the (machine-dependent) tiebreaker only.
+func RenderTuneSweep(rows []TuneRow, opts TuneSweepOptions) string {
+	opts = opts.withDefaults()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Pass-ordering autotuner: %d symbolic bytes, budget %d candidates/program, seed %d\n",
+		opts.InputBytes, opts.Budget, opts.Seed)
+	fmt.Fprintf(&sb, "  %-12s %14s %14s %7s %11s %11s %6s %s\n",
+		"program", "work(-OVERIFY)", "work(best)", "gain", "invocations", "t_vfy[ms]", "evals", "best schedule")
+	improved := 0
+	for _, r := range rows {
+		if !r.BestIsBaseline && r.BestWork < r.BaseWork {
+			improved++
+		}
+		sched := r.BestSpec
+		if r.BestIsBaseline {
+			sched = "(baseline wins)"
+		}
+		fmt.Fprintf(&sb, "  %-12s %14d %14d %6.1f%% %5d→%-5d %5.1f→%-5.1f %6d %s\n",
+			r.Program, r.BaseWork, r.BestWork, r.ImprovementPct,
+			r.BaseInvocations, r.BestInvocations,
+			r.BaseVerifyMS, r.BestVerifyMS, r.Evaluated, sched)
+		if r.SlicePlacement != "none" {
+			fmt.Fprintf(&sb, "  %-12s %s\n", "", "slice placement: "+r.SlicePlacement)
+		}
+	}
+	fmt.Fprintf(&sb, "  (searched schedules beat -OVERIFY on %d of %d programs, bug parity held on all)\n",
+		improved, len(rows))
+	return sb.String()
+}
+
+// TuneSweepJSON marshals the study for BENCH_autotune.json.
+func TuneSweepJSON(rows []TuneRow, opts TuneSweepOptions) ([]byte, error) {
+	opts = opts.withDefaults()
+	doc := struct {
+		Experiment string    `json:"experiment"`
+		InputBytes int       `json:"input_bytes"`
+		Budget     int       `json:"budget"`
+		Seed       int64     `json:"seed"`
+		Objective  string    `json:"objective"`
+		Rows       []TuneRow `json:"rows"`
+	}{
+		Experiment: "pass-ordering autotuner: hill-climbed schedule vs stock -OVERIFY per program",
+		InputBytes: opts.InputBytes,
+		Budget:     opts.Budget,
+		Seed:       opts.Seed,
+		Objective:  "verify work units (solver assignments + instructions executed); compile bounded by pass invocations <= baseline",
+		Rows:       rows,
+	}
+	return json.MarshalIndent(doc, "", "  ")
+}

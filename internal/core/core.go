@@ -72,8 +72,11 @@ func CompileWithConfig(name, src string, cfg pipeline.Config, lk libc.Kind) (*Co
 	if err != nil {
 		return nil, fmt.Errorf("optimize %s at %s: %w", name, cfg.Level, err)
 	}
-	desc := fmt.Sprintf("level=%s|pipeline=%s|checks=%v|ranges=%v|libc=%s|slice=%v|slicechecks=%s",
-		cfg.Level, res.Spec, cfg.Checks, cfg.AnnotateRanges, lk, cfg.Slice, cfg.SliceChecks)
+	// The slice configuration needs no fields of its own: the rendered
+	// spec contains the slice/loopsummary stages, annotated with the
+	// kept-check subset when it is not "all".
+	desc := fmt.Sprintf("level=%s|pipeline=%s|checks=%v|ranges=%v|libc=%s",
+		cfg.Level, res.Spec, cfg.Checks, cfg.AnnotateRanges, lk)
 	return &Compiled{Name: name, Mod: mod, Level: cfg.Level, Libc: lk, Result: res, PipelineDesc: desc}, nil
 }
 

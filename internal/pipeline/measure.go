@@ -22,6 +22,10 @@ type VerifySpec struct {
 	Strategy   symex.SearchKind // exploration order (default DFS)
 	Seed       int64            // random-path seed (0 = fixed default)
 	MaxPaths   int64            // optional path cap
+	MaxInstrs  int64            // optional deterministic instruction cap (0 = engine default)
+	// MaxAssignments bounds total solver assignments tried (0 = off) —
+	// the deterministic counterpart of Timeout for solver-heavy runs.
+	MaxAssignments int64
 }
 
 // VerifyMeasurement is one timed verification run.
@@ -36,6 +40,20 @@ type VerifyMeasurement struct {
 	Queries  int64 // solver queries across all workers
 	TimedOut bool
 	Bugs     int
+
+	// Assignments counts candidate values the solver's backtracking
+	// search tried — the solver-budget currency, deterministic for a
+	// serial run on any machine. Assignments + Instrs is the
+	// autotuner's machine-independent "verify work units" objective.
+	Assignments int64
+	// Truncated counts paths killed by limits (MaxInstrs/MaxStates/
+	// MaxPaths); a nonzero count means the run's bug set is not to be
+	// trusted as the program's full verdict.
+	Truncated int64
+	// Report is the underlying engine report, kept so callers (the
+	// autotuner's bug-parity gate in particular) can inspect the bug
+	// list without re-running.
+	Report *symex.Report
 }
 
 // MeasureVerify runs one symbolic verification of mod and reports the
@@ -48,11 +66,13 @@ func MeasureVerify(mod *ir.Module, spec VerifySpec) (*VerifyMeasurement, error) 
 		spec.InputBytes = 4
 	}
 	eng := symex.NewEngine(mod, symex.Options{
-		Timeout:  spec.Timeout,
-		Workers:  spec.Workers,
-		Strategy: spec.Strategy,
-		Seed:     spec.Seed,
-		MaxPaths: spec.MaxPaths,
+		Timeout:   spec.Timeout,
+		Workers:   spec.Workers,
+		Strategy:  spec.Strategy,
+		Seed:      spec.Seed,
+		MaxPaths:       spec.MaxPaths,
+		MaxInstrs:      spec.MaxInstrs,
+		MaxAssignments: spec.MaxAssignments,
 	})
 	buf := eng.SymbolicBuffer("input", spec.InputBytes, true)
 	length := eng.IntArg(ir.I32, uint64(spec.InputBytes))
@@ -61,16 +81,19 @@ func MeasureVerify(mod *ir.Module, spec VerifySpec) (*VerifyMeasurement, error) 
 		return nil, fmt.Errorf("measure %s: %w", spec.Entry, err)
 	}
 	return &VerifyMeasurement{
-		Workers:  rep.Stats.Workers,
-		Strategy: rep.Stats.Strategy,
-		Elapsed:  rep.Stats.Elapsed,
-		Paths:    rep.Stats.TotalPaths(),
-		States:   rep.Stats.StatesExplored,
-		Covered:  rep.Stats.CoveredBlocks,
-		Instrs:   rep.Stats.Instrs,
-		Queries:  rep.Stats.SolverStats.Queries,
-		TimedOut: rep.Stats.TimedOut,
-		Bugs:     len(rep.Bugs),
+		Workers:     rep.Stats.Workers,
+		Strategy:    rep.Stats.Strategy,
+		Elapsed:     rep.Stats.Elapsed,
+		Paths:       rep.Stats.TotalPaths(),
+		States:      rep.Stats.StatesExplored,
+		Covered:     rep.Stats.CoveredBlocks,
+		Instrs:      rep.Stats.Instrs,
+		Queries:     rep.Stats.SolverStats.Queries,
+		TimedOut:    rep.Stats.TimedOut,
+		Bugs:        len(rep.Bugs),
+		Assignments: rep.Stats.SolverStats.Assignments,
+		Truncated:   rep.Stats.TruncatedPaths,
+		Report:      rep,
 	}, nil
 }
 

@@ -240,9 +240,9 @@ func Passes(cfg Config) PipelineSpec {
 		sliceCleanup := []Stage{
 			{Pass: "simplify"}, {Pass: "cse"}, {Pass: "simplifycfg"},
 		}
-		add(Stage{Pass: "slice"})
+		add(Stage{Pass: "slice", Checks: cfg.SliceChecks})
 		add(sliceCleanup...)
-		add(Stage{Pass: "loopsummary"})
+		add(Stage{Pass: "loopsummary", Checks: cfg.SliceChecks})
 		add(sliceCleanup...)
 	}
 	return spec
@@ -286,6 +286,15 @@ func Optimize(m *ir.Module, cfg Config) (*Result, error) {
 	if cfg.Pipeline != nil {
 		spec = *cfg.Pipeline
 	}
+	// Canonicalize the slice configuration into the spec itself: the
+	// rendered Result.Spec (and hence the verdict-store key) must
+	// capture the kept-check subset, whether it arrived annotated on
+	// the stages (-passes=...,slice:bounds,...) or on the legacy
+	// Config.SliceChecks field.
+	spec, sliceChecks, err := spec.withSliceChecks(cfg.SliceChecks)
+	if err != nil {
+		return nil, err
+	}
 	seq, err := spec.Build()
 	if err != nil {
 		return nil, err
@@ -293,7 +302,7 @@ func Optimize(m *ir.Module, cfg Config) (*Result, error) {
 	start := time.Now()
 	cx := &passes.Context{
 		Cost:        cfg.Cost,
-		SliceChecks: cfg.SliceChecks,
+		SliceChecks: sliceChecks,
 		SliceEntry:  cfg.SliceEntry,
 	}
 	if !cfg.NoAnalysisCache {

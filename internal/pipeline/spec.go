@@ -5,6 +5,7 @@ import (
 	"strconv"
 	"strings"
 
+	"overify/internal/ir"
 	"overify/internal/passes"
 )
 
@@ -24,6 +25,13 @@ type Stage struct {
 	Fixpoint []string
 	// MaxRounds caps the fixpoint's rounds (fixpoint stages only).
 	MaxRounds int
+	// Checks is the kept-check subset a slice/loopsummary stage
+	// targets (zero: all checks). It renders as a ':'-annotation —
+	// "slice:div-by-zero+bounds" — so the spec string, and therefore
+	// the verdict-store key and any spec fingerprint, captures the
+	// slice configuration instead of leaving it to ride Config fields
+	// outside the rendered pipeline.
+	Checks ir.CheckSet
 }
 
 // PipelineSpec is an optimization pipeline as data. pipeline.Passes
@@ -42,6 +50,11 @@ func (s PipelineSpec) String() string {
 		}
 		if st.Pass != "" {
 			sb.WriteString(st.Pass)
+			if st.Checks != ir.AllChecks {
+				sb.WriteByte(':')
+				// '+' joins kinds because ',' separates stages.
+				sb.WriteString(strings.ReplaceAll(st.Checks.String(), ",", "+"))
+			}
 			continue
 		}
 		fmt.Fprintf(&sb, "fixpoint:%d(%s)", st.MaxRounds, strings.Join(st.Fixpoint, ","))
@@ -97,6 +110,19 @@ func parseStage(stage string) (Stage, error) {
 		return Stage{}, fmt.Errorf("pipeline: empty stage (double comma?)")
 	}
 	if !strings.HasPrefix(stage, "fixpoint") {
+		if name, annot, ok := strings.Cut(stage, ":"); ok {
+			if name != "slice" && name != "loopsummary" {
+				return Stage{}, fmt.Errorf("pipeline: only slice/loopsummary stages take a check-set annotation, not %q", stage)
+			}
+			if annot == "" {
+				return Stage{}, fmt.Errorf("pipeline: empty check-set annotation in %q", stage)
+			}
+			set, err := ir.ParseCheckSet(strings.ReplaceAll(annot, "+", ","))
+			if err != nil {
+				return Stage{}, fmt.Errorf("pipeline: %q: %w", stage, err)
+			}
+			return Stage{Pass: name, Checks: set}, nil
+		}
 		if err := checkPassName(stage); err != nil {
 			return Stage{}, err
 		}
@@ -135,6 +161,49 @@ func parseStage(stage string) (Stage, error) {
 func checkPassName(name string) error {
 	_, err := passes.ByName(name)
 	return err
+}
+
+// isSliceStage reports whether the stage runs the check-relevance
+// machinery (and so is annotated with the kept-check subset).
+func isSliceStage(st Stage) bool {
+	return st.Pass == "slice" || st.Pass == "loopsummary"
+}
+
+// withSliceChecks resolves the effective kept-check subset of the
+// spec's slice/loopsummary stages and canonicalizes: every such stage
+// is annotated with the effective set, so the rendered spec — the
+// verdict key's pipeline field and the autotuner's fingerprint — fully
+// determines the slice configuration. Annotated stages win over the
+// fallback (the legacy Config.SliceChecks field); stages that disagree
+// with each other are an error, since the relevance analysis is
+// computed once per module.
+func (s PipelineSpec) withSliceChecks(fallback ir.CheckSet) (PipelineSpec, ir.CheckSet, error) {
+	eff := ir.AllChecks
+	found := false
+	for _, st := range s.Stages {
+		if !isSliceStage(st) || st.Checks == ir.AllChecks {
+			continue
+		}
+		if found && eff != st.Checks {
+			return s, 0, fmt.Errorf("pipeline: slice stages disagree on the kept-check subset (%s vs %s)", eff, st.Checks)
+		}
+		eff, found = st.Checks, true
+	}
+	if !found {
+		eff = fallback
+	}
+	out := s
+	copied := false
+	for i, st := range s.Stages {
+		if isSliceStage(st) && st.Checks != eff {
+			if !copied {
+				out.Stages = append([]Stage(nil), s.Stages...)
+				copied = true
+			}
+			out.Stages[i].Checks = eff
+		}
+	}
+	return out, eff, nil
 }
 
 // Build instantiates the spec into runnable passes.

@@ -20,6 +20,11 @@ type Options struct {
 	MaxInstrs int64         // 0 = default 100M
 	MaxStates int           // live states cap; 0 = default 1M
 	Timeout   time.Duration // 0 = none
+	// MaxAssignments bounds total solver assignments tried across the
+	// run (0 = unlimited), checked after every solver query. A serial
+	// run stops at the same query on every machine — a deterministic
+	// work budget where Timeout is a load-dependent one.
+	MaxAssignments int64
 	// Strategy selects the exploration order (see SearchKind). Every
 	// strategy yields the same verdicts on an exhaustive run; they
 	// differ in how fast they reach coverage — and so in t_verify when
@@ -176,6 +181,7 @@ type Engine struct {
 	truncated     atomic.Int64
 	forks         atomic.Int64
 	instrs        atomic.Int64
+	assigns       atomic.Int64 // solver assignments flushed so far (MaxAssignments accounting)
 	checksSkipped atomic.Int64
 	explored      atomic.Int64 // states whose execution began
 	timedOut      atomic.Bool

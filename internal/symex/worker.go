@@ -29,6 +29,7 @@ type worker struct {
 
 	bugs        []Bug
 	localInstrs int64     // not yet flushed to e.instrs
+	lastAssigns int64     // solver assignments already flushed to e.assigns
 	lastBlock   *ir.Block // last block fed to the coverage map
 }
 
@@ -208,8 +209,31 @@ func (w *worker) satTriPair(st *State, a, b *expr.Expr) (resA, resB satResult, p
 	return resA, resB, pa, pb
 }
 
+// checkAssignBudget flushes this worker's solver-assignment count into
+// the engine total after a query and requests a stop once the
+// MaxAssignments budget is spent. Queries are the enforcement boundary:
+// assignments accrue thousands-per-instruction inside the solver, far
+// below the instruction-flush stride overLimit polls at, so a
+// stride-based check could miss the whole budget inside one hot query
+// burst. Serial runs stop at the same query on every machine.
+func (w *worker) checkAssignBudget() {
+	max := w.e.opts.MaxAssignments
+	if max <= 0 {
+		return
+	}
+	if d := w.sol.Stats.Assignments - w.lastAssigns; d != 0 {
+		w.e.assigns.Add(d)
+		w.lastAssigns = w.sol.Stats.Assignments
+	}
+	if w.e.assigns.Load() >= max {
+		w.e.timedOut.Store(true)
+		w.e.requestStop()
+	}
+}
+
 // satP maps a partitioned solver query onto the three-valued result.
 func (w *worker) satP(p *solver.Partition) (satResult, map[*expr.Var]uint64) {
+	defer w.checkAssignBudget()
 	ok, model, err := w.sol.SatPartition(p)
 	if err != nil {
 		return satUnknown, nil

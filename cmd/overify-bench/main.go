@@ -9,6 +9,7 @@
 //	overify-bench -solver [-json BENCH_solver.json]
 //	overify-bench -verdicts [-n 3] [-j workers] [-json BENCH_verdicts.json]
 //	overify-bench -daemon [-n 3] [-json BENCH_daemon.json]
+//	overify-bench -distributed [-n 4] [-prog wc,cksum] [-json BENCH_distributed.json]
 //	overify-bench -tune [-tune-budget 64] [-seed S] [-prog wc-c,tr] [-j workers] [-best-out FILE] [-json BENCH_autotune.json]
 //	overify-bench -all
 //
@@ -29,6 +30,16 @@
 // content-addressed store, asserting the warm pass reproduces every
 // cold report byte-identically. Output is the text rendering recorded
 // in EXPERIMENTS.md.
+//
+// -distributed runs the distributed-frontier sweep: each corpus
+// program verified serially, then split across in-process worker
+// clusters of size 1/2/4 over the daemon's distExplore frames, cold
+// and warm, asserting every merged report renders byte-identical
+// (modulo schedule-dependent bug witness bytes) to the serial
+// baseline. It also records the solver portfolio's fixed-order vs
+// racing assignment counters on the hard groups (cksum as control,
+// basename as the stalling case) — counters, not wall clock, so the
+// comparison reproduces on any machine.
 //
 // -tune runs the pass-ordering autotuner: one hill-climbing schedule
 // search per program (comma-separated -prog restricts the set), each
@@ -87,6 +98,7 @@ func main() {
 	solverBench := flag.Bool("solver", false, "run the solver microbenchmarks on a captured corpus query stream")
 	verdictSweep := flag.Bool("verdicts", false, "run the warm-vs-cold verdict-store sweep over the corpus")
 	daemonSweep := flag.Bool("daemon", false, "run the warm-vs-cold daemon sweep: cold CLI path vs repeat requests against one warm in-process server")
+	distSweep := flag.Bool("distributed", false, "run the distributed-frontier sweep: serial baseline vs worker clusters of 1/2/4, plus the solver-portfolio comparison on hard groups")
 	slicingSweep := flag.Bool("slicing", false, "run the verification-aware slicing study: baseline vs sliced exploration per program x level")
 	tuneSweep := flag.Bool("tune", false, "run the pass-ordering autotuner: search schedules that beat -OVERIFY on verify work units")
 	tuneBudget := flag.Int("tune-budget", 64, "candidate evaluations per program for -tune")
@@ -172,6 +184,22 @@ func main() {
 		}
 	}
 
+	if *distSweep {
+		opts := bench.DistributedSweepOptions{InputBytes: *n}
+		if *prog != "" {
+			opts.Programs = strings.Split(*prog, ",")
+		}
+		res, err := bench.DistributedSweep(opts)
+		check(err)
+		fmt.Println(bench.RenderDistributedSweep(res, opts))
+		if *jsonPath != "" {
+			data, err := bench.DistributedSweepJSON(res, opts)
+			check(err)
+			check(os.WriteFile(*jsonPath, append(data, '\n'), 0o644))
+			fmt.Printf("(wrote %s)\n", *jsonPath)
+		}
+	}
+
 	if *slicingSweep {
 		opts := bench.SliceSweepOptions{InputBytes: *n, Timeout: *timeout}
 		if *prog != "" {
@@ -213,7 +241,7 @@ func main() {
 	}
 
 	if !(*t1 || *t2 || *t3 || *f4 || *scaling || *all) {
-		if strategies || *solverBench || *verdictSweep || *daemonSweep || *slicingSweep || *tuneSweep {
+		if strategies || *solverBench || *verdictSweep || *daemonSweep || *distSweep || *slicingSweep || *tuneSweep {
 			return
 		}
 		flag.Usage()

@@ -9,6 +9,7 @@
 //	symbex [-O level] [-n bytes] [-j workers] -prog tr
 //	symbex -check div-by-zero,bounds -slice file.c
 //	symbex -daemon /tmp/overifyd.sock file.c
+//	symbex -cluster /tmp/w1.sock,/tmp/w2.sock -prog uniq
 //
 // -check verifies only the named check kinds; -slice additionally
 // deletes, before exploration, everything no kept check (or native
@@ -24,6 +25,17 @@
 // caches (compiled modules, solver cache, verdict store), which makes
 // repeat verifies of unchanged content near-instant. -watch composes
 // with it: each edit becomes one daemon request.
+//
+// -cluster turns symbex into a distributed-frontier coordinator: it
+// explores a breadth-first prefix locally, serializes the pending
+// frontier, ships one shard to each listed overifyd worker over the
+// packet protocol, and merges the workers' reports into totals equal
+// to a serial run's. -split sets the frontier width the prefix aims
+// for; -normalized prints the schedule-invariant conformance render
+// (counters + bug identities, witness bytes elided) instead of the
+// human report, so a serial and a cluster run of the same program can
+// be diffed byte-for-byte — the CI distributed-smoke job does exactly
+// that.
 package main
 
 import (
@@ -36,6 +48,7 @@ import (
 	"overify/internal/core"
 	"overify/internal/coreutils"
 	"overify/internal/daemon"
+	"overify/internal/dist"
 	"overify/internal/ir"
 	"overify/internal/pipeline"
 	"overify/internal/symex"
@@ -58,6 +71,11 @@ func main() {
 	sliceFlag := flag.Bool("slice", false, "verification-aware slicing: delete whatever the kept checks cannot observe before exploring")
 	verdictDir := flag.String("verdict-cache", "", "content-addressed verdict store directory (e.g. .overify-cache); unchanged content skips exploration")
 	daemonAddr := flag.String("daemon", "", "verify through a running overifyd at this unix socket instead of in-process")
+	clusterAddrs := flag.String("cluster", "", "comma-separated overifyd unix sockets: coordinate a distributed-frontier verification across these workers")
+	splitStates := flag.Int("split", 0, "with -cluster: frontier states the split prefix aims for before sharding (default 8 per worker)")
+	normalized := flag.Bool("normalized", false, "print the normalized conformance render (schedule-invariant) instead of the human report")
+	portfolio := flag.Int("portfolio", 0, "race this many solver configurations once a group stalls, first answer wins (0 = fixed order)")
+	portfolioStall := flag.Int64("portfolio-stall", 0, "assignments a group may burn before the portfolio races (default 4096)")
 	watchFlag := flag.Bool("watch", false, "poll the source file for changes and re-verify on each edit (file input only; implies -verdict-cache unless -daemon)")
 	watchCount := flag.Int("watch-count", 0, "with -watch: exit after this many verifies, with a failing exit code if the final one found bugs (0 = watch forever)")
 	flag.Parse()
@@ -118,8 +136,57 @@ func main() {
 		fatal(err)
 	}
 
+	if *clusterAddrs != "" {
+		// Coordinator mode: split the frontier here, farm shards to the
+		// listed workers, merge. One-shot — no watch loop.
+		switch {
+		case *daemonAddr != "":
+			fatal(fmt.Errorf("-cluster and -daemon are mutually exclusive"))
+		case *watchFlag:
+			fatal(fmt.Errorf("-cluster does not compose with -watch"))
+		}
+		var clients []*daemon.Client
+		for _, addr := range strings.Split(*clusterAddrs, ",") {
+			client, err := daemon.Dial(strings.TrimSpace(addr))
+			if err != nil {
+				fatal(err)
+			}
+			defer client.Close()
+			clients = append(clients, client)
+		}
+		res, err := dist.Verify(clients, dist.Options{
+			Name: name, Source: src,
+			Level: *level, Passes: *passSpec,
+			Slice: *sliceFlag, Checks: *checkSpec,
+			Entry: *entry, InputBytes: *n,
+			SplitStates: *splitStates,
+			Search:      *search, Seed: *seed, Workers: *workers,
+			TimeoutMS: timeout.Milliseconds(),
+			Portfolio: *portfolio, PortfolioStall: *portfolioStall,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		// Provenance goes to stderr so stdout stays diffable against a
+		// serial -normalized run.
+		fmt.Fprintf(os.Stderr, "cluster: %d workers, %d frontier states split, %d shards shipped\n",
+			res.Cluster, res.SplitStates, res.ShardsSent)
+		if *normalized {
+			fmt.Print(dist.NormalizedRender(res.Report))
+		} else {
+			reportCluster(name, *level, *n, res)
+		}
+		if len(res.Report.Bugs) > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+
 	var run func(src string) bool
 	if *daemonAddr != "" {
+		if *normalized {
+			fatal(fmt.Errorf("-normalized needs the full report; the daemon returns its canonical render (drop -daemon, or use -cluster)"))
+		}
 		// Thin-client mode: all caching lives daemon-side.
 		client, err := daemon.Dial(*daemonAddr)
 		if err != nil {
@@ -159,6 +226,8 @@ func main() {
 		opts.Engine.Strategy = strat
 		opts.Engine.Seed = *seed
 		opts.Engine.CoverTarget = *coverTarget
+		opts.Engine.Solver.Portfolio = *portfolio
+		opts.Engine.Solver.PortfolioStall = *portfolioStall
 		run = func(src string) bool {
 			cfg := pipeline.LevelConfig(lvl)
 			cfg.Jobs = *workers
@@ -181,7 +250,11 @@ func main() {
 				}
 				fatal(err)
 			}
-			report(name, lvl, *n, c, rep, store)
+			if *normalized {
+				fmt.Print(dist.NormalizedRender(rep))
+			} else {
+				report(name, lvl, *n, c, rep, store)
+			}
 			return len(rep.Bugs) == 0
 		}
 	}
@@ -256,6 +329,36 @@ func reportDaemon(server string, r *daemon.VerifyReply, n int) {
 	}
 	fmt.Println()
 	fmt.Print(indent(r.Render, "  "))
+}
+
+// reportCluster prints a merged distributed report: the coordinator
+// has no single compile/verify wall-clock story to tell (each worker
+// timed its own shard), so it reports the schedule-invariant totals
+// plus the cluster shape.
+func reportCluster(name, level string, n int, res *dist.Result) {
+	s := res.Report.Stats
+	fmt.Printf("%s at %s, %d symbolic input bytes (cluster of %d workers)\n", name, level, n, res.Cluster)
+	fmt.Printf("  frontier:       %d states split, %d shards shipped\n", res.SplitStates, res.ShardsSent)
+	fmt.Printf("  paths:          %d completed, %d errored, %d truncated\n", s.Paths, s.ErrorPaths, s.TruncatedPaths)
+	fmt.Printf("  instructions:   %d\n", s.Instrs)
+	fmt.Printf("  blocks:         %d covered (cluster union)\n", s.CoveredBlocks)
+	fmt.Printf("  solver:         %d queries, %d sat, %d unsat", s.SolverStats.Queries, s.SolverStats.Sat, s.SolverStats.Unsat)
+	if s.SolverStats.PortfolioRaces > 0 {
+		fmt.Printf(", %d portfolio races (%d won by a non-default order)",
+			s.SolverStats.PortfolioRaces, s.SolverStats.PortfolioWins)
+	}
+	fmt.Println()
+	if len(res.Report.Bugs) == 0 {
+		fmt.Printf("  bugs:           none — all %d paths verified\n", s.Paths)
+		return
+	}
+	fmt.Printf("  bugs:           %d\n", len(res.Report.Bugs))
+	for _, b := range res.Report.Bugs {
+		fmt.Printf("    [%s] %s\n", b.Kind, b.Msg)
+		if b.Input != nil {
+			fmt.Printf("      reproducing input: %q\n", string(b.Input))
+		}
+	}
 }
 
 func indent(s, pad string) string {

@@ -193,6 +193,12 @@ func Tune(opts Options) (*Result, error) {
 	}
 
 	rng := rand.New(rand.NewSource(o.Seed ^ 0x07e1f1ed5eed))
+	// Proposal weighting: the baseline compile's per-pass attribution
+	// biases which pass an insert/grow mutation draws — passes that
+	// actually rewrote this program propose more often. The attribution
+	// is deterministic (Changed counts, not wall clock), so a fixed seed
+	// still yields a fixed candidate sequence.
+	weights := weightsFromMetrics(base.PassTimings)
 	seeds := seedSpecs()
 	best := base
 	seedIdx := 0
@@ -206,7 +212,7 @@ func Tune(opts Options) (*Result, error) {
 			kicks := seedIdx / len(seeds)
 			seedIdx++
 			for k := 0; k < kicks; k++ {
-				s = mutate(s, rng, o.MaxStages)
+				s = mutate(s, rng, o.MaxStages, weights)
 			}
 			if !seen(s) {
 				return s, true
@@ -234,7 +240,7 @@ func Tune(opts Options) (*Result, error) {
 		}
 		var neighbors []pipeline.PipelineSpec
 		for tries := 0; len(neighbors) < k && tries < 16*k; tries++ {
-			m := mutate(cur.spec, rng, o.MaxStages)
+			m := mutate(cur.spec, rng, o.MaxStages, weights)
 			if !seen(m) {
 				neighbors = append(neighbors, m)
 			}

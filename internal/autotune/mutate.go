@@ -3,8 +3,59 @@ package autotune
 import (
 	"math/rand"
 
+	"overify/internal/passes"
 	"overify/internal/pipeline"
 )
+
+// passWeights biases pass-pool draws by what the baseline compile
+// attributed to each pass. The attribution currency is PassMetric's
+// Changed count — invocations that actually rewrote the IR — which is
+// deterministic across machines, unlike the wall-clock column. (Using
+// Wall here would fork the candidate sequence between two runs of the
+// same seed on a loaded machine, breaking the search's reproducibility
+// contract.) A nil map degrades every draw to uniform.
+type passWeights map[string]int64
+
+// weightsFromMetrics sums per-pass Changed counts. Fixpoint stages
+// report their member passes individually, so the attribution lands on
+// the pass name regardless of how the schedule grouped it.
+func weightsFromMetrics(metrics []passes.PassMetric) passWeights {
+	if len(metrics) == 0 {
+		return nil
+	}
+	w := make(passWeights, len(metrics))
+	for _, m := range metrics {
+		w[m.Name] += int64(m.Changed)
+	}
+	return w
+}
+
+// of returns the draw weight for one pass: 1 (so unattributed passes
+// stay reachable) plus the baseline attribution.
+func (w passWeights) of(pass string) int64 {
+	if w == nil {
+		return 1
+	}
+	return 1 + w[pass]
+}
+
+// pick draws one pass from pool, proportionally to weight.
+func (w passWeights) pick(pool []string, rng *rand.Rand) string {
+	if w == nil {
+		return pool[rng.Intn(len(pool))]
+	}
+	var total int64
+	for _, p := range pool {
+		total += w.of(p)
+	}
+	r := rng.Int63n(total)
+	for _, p := range pool {
+		if r -= w.of(p); r < 0 {
+			return p
+		}
+	}
+	return pool[len(pool)-1]
+}
 
 // Candidate layout invariant: every spec the tuner builds is
 //
@@ -108,7 +159,7 @@ func assemble(pre, post []pipeline.Stage) pipeline.PipelineSpec {
 // until one applies, so the result always differs structurally from
 // the input (modulo the rare self-inverse coincidence, which the
 // fingerprint memo absorbs). Deterministic per rng state.
-func mutate(s pipeline.PipelineSpec, rng *rand.Rand, maxStages int) pipeline.PipelineSpec {
+func mutate(s pipeline.PipelineSpec, rng *rand.Rand, maxStages int, w passWeights) pipeline.PipelineSpec {
 	c := cloneSpec(s)
 	pre, post, ok := regions(c)
 	if !ok {
@@ -116,7 +167,7 @@ func mutate(s pipeline.PipelineSpec, rng *rand.Rand, maxStages int) pipeline.Pip
 		return assemble(c.Stages, nil)
 	}
 	for tries := 0; tries < 32; tries++ {
-		np, npost, applied := applyOp(rng.Intn(10), pre, post, rng)
+		np, npost, applied := applyOp(rng.Intn(10), pre, post, rng, w)
 		if !applied {
 			continue
 		}
@@ -127,14 +178,14 @@ func mutate(s pipeline.PipelineSpec, rng *rand.Rand, maxStages int) pipeline.Pip
 	}
 	// Every operator failed to apply (tiny degenerate spec): fall back
 	// to inserting one pass, which always applies.
-	np := insertAt(pre, rng.Intn(len(pre)+1), pipeline.Stage{Pass: optPool[rng.Intn(len(optPool))]})
+	np := insertAt(pre, rng.Intn(len(pre)+1), pipeline.Stage{Pass: w.pick(optPool, rng)})
 	return assemble(np, post)
 }
 
 // applyOp attempts one mutation operator; reports false when the
 // operator does not apply to this candidate (empty region, no
 // fixpoint, ...). pre/post are never mutated in place.
-func applyOp(op int, pre, post []pipeline.Stage, rng *rand.Rand) (npre, npost []pipeline.Stage, ok bool) {
+func applyOp(op int, pre, post []pipeline.Stage, rng *rand.Rand, w passWeights) (npre, npost []pipeline.Stage, ok bool) {
 	// Generic ops pick a region: mostly the prefix, the post region a
 	// quarter of the time once it exists.
 	pickPost := len(post) > 0 && rng.Intn(4) == 0
@@ -150,8 +201,8 @@ func applyOp(op int, pre, post []pipeline.Stage, rng *rand.Rand) (npre, npost []
 	}
 
 	switch op {
-	case 0: // insert a pass
-		st := pipeline.Stage{Pass: pool[rng.Intn(len(pool))]}
+	case 0: // insert a pass (weighted by baseline attribution)
+		st := pipeline.Stage{Pass: w.pick(pool, rng)}
 		a, b := put(insertAt(region, rng.Intn(len(region)+1), st))
 		return a, b, true
 	case 1: // delete a stage
@@ -191,7 +242,7 @@ func applyOp(op int, pre, post []pipeline.Stage, rng *rand.Rand) (npre, npost []
 			return nil, nil, false
 		}
 		pos := rng.Intn(len(body) + 1)
-		nb := append(append(append([]string(nil), body[:pos]...), optPool[rng.Intn(len(optPool))]), body[pos:]...)
+		nb := append(append(append([]string(nil), body[:pos]...), w.pick(optPool, rng)), body[pos:]...)
 		r[i].Fixpoint = nb
 		return r, copyStages(post), true
 	case 5: // shrink a fixpoint body (empty body deletes the stage)

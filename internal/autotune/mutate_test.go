@@ -15,7 +15,7 @@ func TestMutateKeepsLayoutAndRoundTrips(t *testing.T) {
 	for si, seed := range seedSpecs() {
 		s := seed
 		for step := 0; step < 200; step++ {
-			s = mutate(s, rng, 24)
+			s = mutate(s, rng, 24, nil)
 			if _, _, ok := regions(s); !ok {
 				t.Fatalf("seed %d step %d: mutant lost the checks/annotate suffix: %s", si, step, s.String())
 			}
@@ -49,10 +49,61 @@ func TestMutateDoesNotAliasInput(t *testing.T) {
 	orig := seedSpecs()[4] // -OVERIFY: has fixpoints to share bodies with
 	before := orig.String()
 	for i := 0; i < 300; i++ {
-		mutate(orig, rng, 24)
+		mutate(orig, rng, 24, nil)
 		if orig.String() != before {
 			t.Fatalf("mutation %d modified its input:\n  before: %s\n  after:  %s", i, before, orig.String())
 		}
+	}
+}
+
+// Weighted proposals must preserve the determinism contract: the same
+// rng seed and the same attribution weights produce the same mutation
+// sequence. (This is why weights are built from PassMetric's Changed
+// counts and never from the wall-clock column.)
+func TestWeightedProposalsDeterministic(t *testing.T) {
+	w := passWeights{"cse": 50, "simplify": 12, "dce": 3}
+	render := func() []string {
+		rng := rand.New(rand.NewSource(7))
+		s := seedSpecs()[4]
+		out := make([]string, 0, 50)
+		for i := 0; i < 50; i++ {
+			s = mutate(s, rng, 24, w)
+			out = append(out, s.String())
+		}
+		return out
+	}
+	a, b := render(), render()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed + same weights produced different mutation trajectories")
+	}
+}
+
+// Weighted draws bias toward attributed passes without making any pass
+// unreachable: the floor weight of 1 keeps unattributed passes in the
+// pool, and heavy attribution dominates the draw distribution.
+func TestWeightedPickBiasAndFloor(t *testing.T) {
+	w := passWeights{"cse": 1000}
+	if w.of("cse") != 1001 {
+		t.Fatalf("attributed weight: got %d, want 1001", w.of("cse"))
+	}
+	if w.of("mem2reg") != 1 {
+		t.Fatalf("unattributed floor: got %d, want 1", w.of("mem2reg"))
+	}
+	var nilW passWeights
+	if nilW.of("cse") != 1 {
+		t.Fatalf("nil weights floor: got %d, want 1", nilW.of("cse"))
+	}
+	rng := rand.New(rand.NewSource(1))
+	hits := 0
+	for i := 0; i < 2000; i++ {
+		if w.pick(optPool, rng) == "cse" {
+			hits++
+		}
+	}
+	// cse carries 1001 of 1011 total weight; even a generous slack bound
+	// on 2000 draws leaves it far above half.
+	if hits < 1800 {
+		t.Fatalf("cse drawn %d/2000 times despite ~99%% of the weight", hits)
 	}
 }
 
@@ -64,7 +115,7 @@ func TestMutateDeterministic(t *testing.T) {
 		s := seedSpecs()[4]
 		out := make([]string, 0, 50)
 		for i := 0; i < 50; i++ {
-			s = mutate(s, rng, 24)
+			s = mutate(s, rng, 24, nil)
 			out = append(out, s.String())
 		}
 		return out

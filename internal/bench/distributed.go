@@ -1,0 +1,313 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"strings"
+	"time"
+
+	"overify/internal/core"
+	"overify/internal/coreutils"
+	"overify/internal/daemon"
+	"overify/internal/dist"
+	"overify/internal/pipeline"
+)
+
+// DistributedSweepOptions configure the distributed-frontier study:
+// per corpus program and cluster size, one serial baseline against a
+// cold and a warm coordinator + N-worker run, plus the solver
+// portfolio's counter-based comparison on the hard groups.
+type DistributedSweepOptions struct {
+	// Programs restricts the sweep (default: a structural mix plus the
+	// portfolio's hard targets).
+	Programs []string
+	// HardPrograms are measured fixed-order vs portfolio (default
+	// cksum, basename — cksum's groups fall to value-set propagation
+	// and act as the control; basename's path-prefix disjunctions stall
+	// the fixed order and are where the portfolio pays).
+	HardPrograms []string
+	// ClusterSizes are the worker counts swept (default 1, 2, 4).
+	ClusterSizes []int
+	// InputBytes is the symbolic input size (default 4).
+	InputBytes int
+	// MaxInstrs caps each exploration (default 4,000,000).
+	MaxInstrs int64
+	// Level is the optimization level (default -OVERIFY).
+	Level pipeline.Level
+	// LevelSet marks Level as explicitly chosen (lets O0 be selected).
+	LevelSet bool
+	// Portfolio is the race width for worker solvers (default 4).
+	Portfolio int
+	// PortfolioStall is the assignment stall threshold (default 4096).
+	PortfolioStall int64
+	// SplitTarget is the frontier width the coordinator's split phase
+	// aims for (default 4). It is deliberately NOT scaled with cluster
+	// size: the corpus programs' breadth-first frontiers peak at 2-15
+	// states, and a target past the peak exhausts the program locally
+	// and ships nothing.
+	SplitTarget int
+}
+
+func (o DistributedSweepOptions) withDefaults() DistributedSweepOptions {
+	if len(o.Programs) == 0 {
+		o.Programs = []string{"wc", "tr", "uniq", "cksum", "basename"}
+	}
+	if len(o.HardPrograms) == 0 {
+		o.HardPrograms = []string{"cksum", "basename"}
+	}
+	if len(o.ClusterSizes) == 0 {
+		o.ClusterSizes = []int{1, 2, 4}
+	}
+	if o.InputBytes == 0 {
+		o.InputBytes = 4
+	}
+	if o.MaxInstrs == 0 {
+		o.MaxInstrs = 4_000_000
+	}
+	if !o.LevelSet {
+		o.Level = pipeline.OVerify
+	}
+	if o.Portfolio == 0 {
+		o.Portfolio = 4
+	}
+	if o.PortfolioStall == 0 {
+		o.PortfolioStall = 4096
+	}
+	if o.SplitTarget == 0 {
+		o.SplitTarget = 4
+	}
+	return o
+}
+
+// DistributedRow is one (program, cluster size) measurement.
+type DistributedRow struct {
+	Program     string  `json:"program"`
+	Cluster     int     `json:"cluster"`
+	SerialMs    float64 `json:"t_serial_ms"`     // one process, one engine
+	ColdMs      float64 `json:"t_cold_ms"`       // split + ship to cold workers + merge
+	WarmMs      float64 `json:"t_warm_ms"`       // repeat against warm worker caches
+	SplitStates int     `json:"split_states"`    // frontier states shipped
+	ShardsSent  int     `json:"shards_sent"`     // workers that received a shard
+	WarmHits    int     `json:"warm_compile_hits"` // warm-run workers serving from the compile cache
+	Assignments int64   `json:"assignments"`     // distributed total (portfolio enabled)
+	Races       int64   `json:"portfolio_races"`
+	Wins        int64   `json:"portfolio_wins"`
+	Identical   bool    `json:"identical"` // normalized render == serial baseline
+}
+
+// PortfolioRow is one hard group's fixed-order vs portfolio
+// comparison. Both assignment columns are counters — pure functions of
+// the program, identical on every machine. The failure columns record
+// solver budget exhaustions: on basename the fixed order burns its
+// work cap on one stalled group and drops the path, while the
+// portfolio's reordered search answers it — the portfolio is not just
+// faster, it settles a query the fixed order gives up on.
+type PortfolioRow struct {
+	Program              string  `json:"program"`
+	FixedAssignments     int64   `json:"fixed_assignments"`
+	PortfolioAssignments int64   `json:"portfolio_assignments"`
+	FixedFailures        int64   `json:"fixed_failures"`
+	PortfolioFailures    int64   `json:"portfolio_failures"`
+	Races                int64   `json:"portfolio_races"`
+	Wins                 int64   `json:"portfolio_wins"`
+	SpeedupX             float64 `json:"speedup_x"` // fixed / portfolio
+}
+
+// DistributedResult is the whole study.
+type DistributedResult struct {
+	Rows      []DistributedRow `json:"rows"`
+	Portfolio []PortfolioRow   `json:"portfolio"`
+}
+
+// pipeCluster starts n in-process worker daemons over in-memory pipes
+// — the same Server code path overifyd serves, minus socket setup.
+// close tears every connection down.
+func pipeCluster(n int) (clients []*daemon.Client, close func(), err error) {
+	var conns []*daemon.Client
+	close = func() {
+		for _, c := range conns {
+			c.Close()
+		}
+	}
+	for i := 0; i < n; i++ {
+		s := daemon.NewServer(daemon.Config{Name: fmt.Sprintf("bench-worker-%d", i)})
+		clientEnd, serverEnd := net.Pipe()
+		go s.ServeConn(serverEnd)
+		c, err := daemon.NewClient(clientEnd, clientEnd)
+		if err != nil {
+			close()
+			return nil, nil, fmt.Errorf("worker %d handshake: %w", i, err)
+		}
+		conns = append(conns, c)
+	}
+	return conns, close, nil
+}
+
+// DistributedSweep runs the study.
+func DistributedSweep(opts DistributedSweepOptions) (*DistributedResult, error) {
+	opts = opts.withDefaults()
+	res := &DistributedResult{}
+
+	serialVerify := func(name string, portfolio int) (*core.Compiled, *coreResult, error) {
+		p, ok := coreutils.Get(name)
+		if !ok {
+			return nil, nil, fmt.Errorf("distributed sweep: unknown corpus program %q", name)
+		}
+		start := time.Now()
+		c, err := core.CompileProgram(p, opts.Level)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s: %w", name, err)
+		}
+		vo := core.VerifyOptions{InputBytes: opts.InputBytes}
+		vo.Engine.MaxInstrs = opts.MaxInstrs
+		vo.Engine.Solver.Portfolio = portfolio
+		vo.Engine.Solver.PortfolioStall = opts.PortfolioStall
+		rep, err := c.Verify("umain", vo)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s: verify: %w", name, err)
+		}
+		return c, &coreResult{
+			elapsedMs: durMs(time.Since(start)),
+			render:    dist.NormalizedRender(rep),
+			assigns:   rep.Stats.SolverStats.Assignments,
+			failures:  rep.Stats.SolverStats.Failures,
+			races:     rep.Stats.SolverStats.PortfolioRaces,
+			wins:      rep.Stats.SolverStats.PortfolioWins,
+		}, nil
+	}
+
+	for _, name := range opts.Programs {
+		// The conformance baseline runs the same solver configuration as
+		// the cluster (portfolio included): what the sharding must not
+		// change is the exploration outcome, so the solver must be held
+		// equal on both sides. (The portfolio's own effect vs the fixed
+		// order is the separate comparison below.)
+		_, serial, err := serialVerify(name, opts.Portfolio)
+		if err != nil {
+			return nil, err
+		}
+		for _, k := range opts.ClusterSizes {
+			clients, closeCluster, err := pipeCluster(k)
+			if err != nil {
+				return nil, err
+			}
+			do := func() (*dist.Result, float64, error) {
+				start := time.Now()
+				r, err := dist.Verify(clients, dist.Options{
+					Prog: name, Level: opts.Level.String(),
+					InputBytes: opts.InputBytes, MaxInstrs: opts.MaxInstrs,
+					SplitStates:    opts.SplitTarget,
+					Portfolio:      opts.Portfolio,
+					PortfolioStall: opts.PortfolioStall,
+				})
+				return r, durMs(time.Since(start)), err
+			}
+			cold, coldMs, err := do()
+			if err != nil {
+				closeCluster()
+				return nil, fmt.Errorf("%s cluster=%d cold: %w", name, k, err)
+			}
+			warm, warmMs, err := do()
+			closeCluster()
+			if err != nil {
+				return nil, fmt.Errorf("%s cluster=%d warm: %w", name, k, err)
+			}
+			row := DistributedRow{
+				Program: name, Cluster: k,
+				SerialMs: serial.elapsedMs, ColdMs: coldMs, WarmMs: warmMs,
+				SplitStates: cold.SplitStates, ShardsSent: cold.ShardsSent,
+				Assignments: cold.Report.Stats.SolverStats.Assignments,
+				Races:       cold.Report.Stats.SolverStats.PortfolioRaces,
+				Wins:        cold.Report.Stats.SolverStats.PortfolioWins,
+				Identical: dist.NormalizedRender(cold.Report) == serial.render &&
+					dist.NormalizedRender(warm.Report) == serial.render,
+			}
+			// Warm-run compile hits are not in the merged report; infer
+			// from the warm run being a repeat against the same servers.
+			row.WarmHits = warm.ShardsSent
+			res.Rows = append(res.Rows, row)
+		}
+	}
+
+	for _, name := range opts.HardPrograms {
+		_, fixed, err := serialVerify(name, 0)
+		if err != nil {
+			return nil, err
+		}
+		_, port, err := serialVerify(name, opts.Portfolio)
+		if err != nil {
+			return nil, err
+		}
+		row := PortfolioRow{
+			Program:              name,
+			FixedAssignments:     fixed.assigns,
+			PortfolioAssignments: port.assigns,
+			FixedFailures:        fixed.failures,
+			PortfolioFailures:    port.failures,
+			Races:                port.races,
+			Wins:                 port.wins,
+		}
+		if port.assigns > 0 {
+			row.SpeedupX = float64(fixed.assigns) / float64(port.assigns)
+		}
+		res.Portfolio = append(res.Portfolio, row)
+	}
+	return res, nil
+}
+
+// coreResult is one serial measurement.
+type coreResult struct {
+	elapsedMs float64
+	render    string
+	assigns   int64
+	failures  int64
+	races     int64
+	wins      int64
+}
+
+// RenderDistributedSweep renders the study as the text recorded in
+// EXPERIMENTS.md.
+func RenderDistributedSweep(res *DistributedResult, opts DistributedSweepOptions) string {
+	opts = opts.withDefaults()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Distributed frontier sweep at %s, %d symbolic bytes (portfolio %d, stall %d)\n",
+		opts.Level, opts.InputBytes, opts.Portfolio, opts.PortfolioStall)
+	fmt.Fprintf(&sb, "  %-10s %8s %12s %11s %11s %7s %7s %6s %6s %10s\n",
+		"program", "cluster", "t_serial[ms]", "t_cold[ms]", "t_warm[ms]", "states", "shards", "races", "wins", "identical")
+	identical := true
+	for _, r := range res.Rows {
+		fmt.Fprintf(&sb, "  %-10s %8d %12.1f %11.1f %11.1f %7d %7d %6d %6d %10v\n",
+			r.Program, r.Cluster, r.SerialMs, r.ColdMs, r.WarmMs,
+			r.SplitStates, r.ShardsSent, r.Races, r.Wins, r.Identical)
+		identical = identical && r.Identical
+	}
+	fmt.Fprintf(&sb, "  all renders identical to serial: %v\n", identical)
+	fmt.Fprintf(&sb, "  Solver portfolio on hard groups (assignment counters, machine-independent):\n")
+	fmt.Fprintf(&sb, "  %-10s %14s %16s %9s %9s %6s %6s %9s\n",
+		"program", "fixed", "portfolio", "fix.fail", "pf.fail", "races", "wins", "speedup")
+	for _, r := range res.Portfolio {
+		fmt.Fprintf(&sb, "  %-10s %14d %16d %9d %9d %6d %6d %8.2fx\n",
+			r.Program, r.FixedAssignments, r.PortfolioAssignments,
+			r.FixedFailures, r.PortfolioFailures, r.Races, r.Wins, r.SpeedupX)
+	}
+	return sb.String()
+}
+
+// DistributedSweepJSON is the machine-readable form
+// (BENCH_distributed.json).
+func DistributedSweepJSON(res *DistributedResult, opts DistributedSweepOptions) ([]byte, error) {
+	opts = opts.withDefaults()
+	doc := struct {
+		InputBytes     int              `json:"input_bytes"`
+		MaxInstrs      int64            `json:"max_instrs"`
+		Level          string           `json:"level"`
+		ClusterSizes   []int            `json:"cluster_sizes"`
+		Portfolio      int              `json:"portfolio"`
+		PortfolioStall int64            `json:"portfolio_stall"`
+		Rows           []DistributedRow `json:"rows"`
+		PortfolioRows  []PortfolioRow   `json:"portfolio_rows"`
+	}{opts.InputBytes, opts.MaxInstrs, opts.Level.String(), opts.ClusterSizes,
+		opts.Portfolio, opts.PortfolioStall, res.Rows, res.Portfolio}
+	return json.MarshalIndent(doc, "", "  ")
+}

@@ -1,0 +1,63 @@
+package bench
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// A small sweep must produce one row per (program, cluster size), every
+// row conformant with its serial baseline, real shards shipped for a
+// program whose frontier actually splits, and valid JSON with the
+// portfolio comparison attached.
+func TestDistributedSweepSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real cluster verifications")
+	}
+	opts := DistributedSweepOptions{
+		Programs:     []string{"tr"},
+		HardPrograms: []string{"cksum"},
+		ClusterSizes: []int{1, 2},
+	}
+	res, err := DistributedSweep(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows: got %d, want 2", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if !r.Identical {
+			t.Errorf("%s cluster=%d: cluster render diverged from serial", r.Program, r.Cluster)
+		}
+		if r.SplitStates == 0 || r.ShardsSent == 0 {
+			t.Errorf("%s cluster=%d: nothing shipped (states=%d shards=%d) — tr splits at the default target",
+				r.Program, r.Cluster, r.SplitStates, r.ShardsSent)
+		}
+	}
+	if len(res.Portfolio) != 1 || res.Portfolio[0].Program != "cksum" {
+		t.Fatalf("portfolio rows: %+v", res.Portfolio)
+	}
+	if res.Portfolio[0].FixedAssignments <= 0 {
+		t.Fatalf("portfolio row has no assignment counter: %+v", res.Portfolio[0])
+	}
+
+	text := RenderDistributedSweep(res, opts)
+	if !strings.Contains(text, "all renders identical to serial: true") {
+		t.Fatalf("render lacks the conformance line:\n%s", text)
+	}
+	data, err := DistributedSweepJSON(res, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Rows          []DistributedRow `json:"rows"`
+		PortfolioRows []PortfolioRow   `json:"portfolio_rows"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Rows) != 2 || len(doc.PortfolioRows) != 1 {
+		t.Fatalf("JSON shape: %d rows, %d portfolio rows", len(doc.Rows), len(doc.PortfolioRows))
+	}
+}

@@ -1,0 +1,166 @@
+package daemon
+
+import (
+	"sync"
+	"time"
+)
+
+// admission is the daemon's job-slot dispatcher. The old design was a
+// single FIFO semaphore shared by every connection, which let one
+// chatty client pipeline enough requests to starve everyone else: with
+// N slots and one client holding a queue of M requests, a second
+// client's first request waited behind all M. This version keeps the
+// same slot count but dispatches round-robin *across connections*:
+// each connection holds a private FIFO of waiters, and a freed slot
+// goes to the next connection in rotation, so a client's latency
+// depends on how many clients are competing, not on how deep any one
+// client's pipeline is. Within a connection, FIFO order is preserved.
+type admission struct {
+	mu    sync.Mutex
+	slots int // free slots
+
+	ring   []*connQueue // connections with at least one waiter, rotation order
+	rr     int          // next ring index to grant
+	byConn map[*conn]*connQueue
+}
+
+// connQueue is one connection's FIFO of waiters.
+type connQueue struct {
+	c       *conn
+	waiters []*waiter
+}
+
+// waiter is one queued request. granted is written under admission.mu;
+// the channel is closed exactly once, on grant.
+type waiter struct {
+	ch      chan struct{}
+	granted bool
+}
+
+func newAdmission(slots int) *admission {
+	return &admission{slots: slots, byConn: make(map[*conn]*connQueue)}
+}
+
+// grantResult reports how an acquire attempt ended.
+type grantResult int
+
+const (
+	granted grantResult = iota
+	timedOut
+	drained
+)
+
+// acquire blocks until the request owns a job slot, the deadline
+// passes, or the daemon drains. On granted the caller must release().
+func (a *admission) acquire(c *conn, wait time.Duration, drainCh <-chan struct{}) grantResult {
+	w := &waiter{ch: make(chan struct{})}
+	a.mu.Lock()
+	q := a.byConn[c]
+	if q == nil {
+		q = &connQueue{c: c}
+		a.byConn[c] = q
+		a.ring = append(a.ring, q)
+	}
+	q.waiters = append(q.waiters, w)
+	a.dispatch()
+	a.mu.Unlock()
+
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+	select {
+	case <-w.ch:
+		return granted
+	case <-timer.C:
+		if a.abandon(c, w) {
+			return timedOut
+		}
+		// Lost the race: the slot was granted as the timer fired. Hand
+		// it back and still report the timeout — the reply already says
+		// overloaded, and the slot should go to a live waiter.
+		a.release()
+		return timedOut
+	case <-drainCh:
+		if a.abandon(c, w) {
+			return drained
+		}
+		a.release()
+		return drained
+	}
+}
+
+// release frees the caller's slot and hands it to the next waiter in
+// rotation.
+func (a *admission) release() {
+	a.mu.Lock()
+	a.slots++
+	a.dispatch()
+	a.mu.Unlock()
+}
+
+// dispatch hands free slots to waiters, one connection per step of the
+// rotation. Caller holds a.mu.
+func (a *admission) dispatch() {
+	for a.slots > 0 && len(a.ring) > 0 {
+		if a.rr >= len(a.ring) {
+			a.rr = 0
+		}
+		q := a.ring[a.rr]
+		w := q.waiters[0]
+		q.waiters = q.waiters[1:]
+		a.slots--
+		w.granted = true
+		close(w.ch)
+		if len(q.waiters) == 0 {
+			// Drop the emptied connection from the ring; the next one
+			// slides into this slot, so rr stays put.
+			a.ring = append(a.ring[:a.rr], a.ring[a.rr+1:]...)
+			delete(a.byConn, q.c)
+		} else {
+			a.rr++
+		}
+	}
+}
+
+// abandon removes w from c's queue if it has not been granted yet.
+// Returns false when the grant already happened — the caller then owns
+// a slot it no longer wants and must release it.
+func (a *admission) abandon(c *conn, w *waiter) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if w.granted {
+		return false
+	}
+	q := a.byConn[c]
+	for i, x := range q.waiters {
+		if x == w {
+			q.waiters = append(q.waiters[:i], q.waiters[i+1:]...)
+			break
+		}
+	}
+	if len(q.waiters) == 0 {
+		for i, x := range a.ring {
+			if x == q {
+				a.ring = append(a.ring[:i], a.ring[i+1:]...)
+				if a.rr > i {
+					a.rr--
+				}
+				break
+			}
+		}
+		delete(a.byConn, c)
+	}
+	return true
+}
+
+// totalQueued reports how many requests are waiting for a slot across
+// all connections (tests poll this to sequence fairness scenarios
+// deterministically).
+func (a *admission) totalQueued() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	n := 0
+	for _, q := range a.ring {
+		n += len(q.waiters)
+	}
+	return n
+}

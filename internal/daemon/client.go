@@ -6,6 +6,8 @@ import (
 	"io"
 	"net"
 	"sync"
+
+	"overify/internal/verdicts"
 )
 
 // Client is the thin side of the protocol: it frames requests, demuxes
@@ -189,6 +191,55 @@ func (c *Client) Compile(req *CompileRequest) (*CompileReply, error) {
 		return nil, err
 	}
 	return &reply, nil
+}
+
+// DistExplore ships one encoded frontier shard to the daemon and
+// blocks until the shard is drained.
+func (c *Client) DistExplore(req *DistExploreRequest) (*DistExploreReply, error) {
+	var reply DistExploreReply
+	if err := c.call(KindDistExplore, req, &reply); err != nil {
+		return nil, err
+	}
+	return &reply, nil
+}
+
+// VerdictGet probes the daemon's verdict cache service.
+func (c *Client) VerdictGet(key verdicts.Key) (*verdicts.Entry, bool, error) {
+	var reply VerdictGetReply
+	if err := c.call(KindVerdictGet, VerdictGetRequest{Key: key}, &reply); err != nil {
+		return nil, false, err
+	}
+	return reply.Entry, reply.Found && reply.Entry != nil, nil
+}
+
+// VerdictPut publishes an entry into the daemon's verdict cache
+// service. Stored is false when the daemon runs without a store.
+func (c *Client) VerdictPut(key verdicts.Key, e *verdicts.Entry) (bool, error) {
+	var reply VerdictPutReply
+	if err := c.call(KindVerdictPut, VerdictPutRequest{Key: key, Entry: e}, &reply); err != nil {
+		return false, err
+	}
+	return reply.Stored, nil
+}
+
+// RemoteStore adapts a client's verdict frames to the store shape the
+// verification layers expect: Get/Put over the wire, errors swallowed
+// into misses (a dead cache peer must never fail a verify).
+type RemoteStore struct{ C *Client }
+
+// Get probes the remote cache; transport errors read as misses.
+func (r *RemoteStore) Get(k verdicts.Key) (*verdicts.Entry, bool) {
+	e, ok, err := r.C.VerdictGet(k)
+	if err != nil {
+		return nil, false
+	}
+	return e, ok
+}
+
+// Put publishes best-effort.
+func (r *RemoteStore) Put(k verdicts.Key, e *verdicts.Entry) error {
+	_, err := r.C.VerdictPut(k, e)
+	return err
 }
 
 // Stats fetches the daemon's counter snapshot.

@@ -24,6 +24,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+
+	"overify/internal/symex"
+	"overify/internal/verdicts"
 )
 
 // ProtocolVersion gates the handshake: client and server must agree
@@ -33,7 +36,9 @@ import (
 //
 //	1: initial protocol (verify/compile/stats).
 //	2: VerifyRequest gains slice/checks, VerifyReply gains tapeReuses.
-const ProtocolVersion = 2
+//	3: distExplore/verdictGet/verdictPut frames for the distributed
+//	   frontier and the shared verdict cache service.
+const ProtocolVersion = 3
 
 // MaxPacket bounds a single packet's payload (16 MiB): large enough
 // for any source file plus headroom, small enough that a corrupt
@@ -48,6 +53,17 @@ const (
 	KindStats   = "stats"   // client request: daemon-wide cache/job counters
 	KindReply   = "reply"   // server response carrying a request-specific body
 	KindError   = "error"   // server response: request failed (body: ErrorBody)
+
+	// Distributed-frontier frames (protocol 3). A coordinator splits an
+	// exploration into frontier shards, encodes each shard with the
+	// symex state codec, and offers the shards to worker daemons as
+	// distExplore requests; workers drain their shard to exhaustion and
+	// reply with schedule-invariant counters plus the bugs and covered
+	// blocks they saw. verdictGet/verdictPut expose the worker's verdict
+	// store over the same connection so a cluster shares one cache.
+	KindDistExplore = "distExplore" // client request: drain an encoded frontier shard
+	KindVerdictGet  = "verdictGet"  // client request: probe the shared verdict cache
+	KindVerdictPut  = "verdictPut"  // client request: publish into the shared verdict cache
 )
 
 // Packet is the wire unit. Body holds the kind-specific payload,
@@ -144,6 +160,79 @@ type VerifyReply struct {
 
 	CompileMS float64 `json:"compileMs"`
 	VerifyMS  float64 `json:"verifyMs"`
+}
+
+// DistExploreRequest ships one frontier shard to a worker daemon. The
+// compile identity fields (source/prog, level, passes, slice, checks)
+// must match the coordinator's compile exactly — the state codec names
+// functions, blocks, and instructions by position, so a divergent
+// module would decode garbage (and be rejected by the codec's bounds
+// checks, not silently accepted). States is the symex state-codec
+// frame produced by Engine.EncodeStates; JSON transports it as base64.
+type DistExploreRequest struct {
+	Name   string `json:"name,omitempty"`
+	Source string `json:"source,omitempty"`
+	Prog   string `json:"prog,omitempty"`
+	Level  string `json:"level,omitempty"`
+	Passes string `json:"passes,omitempty"`
+	Slice  bool   `json:"slice,omitempty"`
+	Checks string `json:"checks,omitempty"`
+
+	Search    string `json:"search,omitempty"`  // exploration order (default dfs)
+	Seed      int64  `json:"seed,omitempty"`
+	Workers   int    `json:"workers,omitempty"` // engine workers inside this daemon
+	TimeoutMS int64  `json:"timeoutMs,omitempty"`
+	MaxInstrs int64  `json:"maxInstrs,omitempty"`
+
+	// Portfolio/PortfolioStall configure the solver portfolio for this
+	// shard (0 = fixed-order solving, the historical behavior).
+	Portfolio      int   `json:"portfolio,omitempty"`
+	PortfolioStall int64 `json:"portfolioStall,omitempty"`
+
+	States []byte `json:"states"` // Engine.EncodeStates frame
+}
+
+// DistExploreReply reports one drained shard. Stats and Bugs are the
+// engine's native types so the coordinator's MergeReports sees exactly
+// what a local worker would have contributed; Covered carries the
+// shard's covered-block names ("fn/block") because block *counts*
+// cannot be summed across processes — the coordinator unions names.
+type DistExploreReply struct {
+	Stats   symex.Stats `json:"stats"`
+	Bugs    []symex.Bug `json:"bugs,omitempty"`
+	Covered []string    `json:"covered,omitempty"`
+
+	NStates         int     `json:"nStates"` // states decoded from the frame
+	Generation      int64   `json:"generation"`
+	CompileCacheHit bool    `json:"compileCacheHit,omitempty"`
+	ExploreMS       float64 `json:"exploreMs"`
+}
+
+// VerdictGetRequest probes the daemon's verdict store; the shared
+// verdict cache service lets every worker in a cluster reuse any
+// worker's published outcome.
+type VerdictGetRequest struct {
+	Key verdicts.Key `json:"key"`
+}
+
+// VerdictGetReply answers a probe. Entry is nil when Found is false.
+type VerdictGetReply struct {
+	Found bool            `json:"found"`
+	Entry *verdicts.Entry `json:"entry,omitempty"`
+}
+
+// VerdictPutRequest publishes an entry into the daemon's verdict
+// store.
+type VerdictPutRequest struct {
+	Key   verdicts.Key    `json:"key"`
+	Entry *verdicts.Entry `json:"entry"`
+}
+
+// VerdictPutReply acknowledges a publish. Stored is false when the
+// daemon runs without a verdict store (the put is a no-op, not an
+// error — caching is best-effort everywhere else too).
+type VerdictPutReply struct {
+	Stored bool `json:"stored"`
 }
 
 // CompileRequest asks the daemon to compile only. Same source/prog

@@ -33,7 +33,10 @@ type Config struct {
 
 	// MaxJobs bounds concurrently executing verify/compile jobs
 	// (admission control; default NumCPU). Requests beyond the bound
-	// queue up to QueueWait before being rejected as overloaded.
+	// queue up to QueueWait before being rejected as overloaded; queued
+	// requests are granted round-robin across connections (FIFO within
+	// a connection), so one deeply pipelined client cannot starve the
+	// rest.
 	MaxJobs int
 	// QueueWait is how long an admitted connection's request may wait
 	// for a job slot (default 30s).
@@ -55,6 +58,14 @@ type Config struct {
 	// Verdicts, when non-nil, is the shared verdict store. Nil disables
 	// verdict caching daemon-wide.
 	Verdicts *verdicts.Store
+
+	// RemoteVerdicts, when non-nil, is a connection to another daemon's
+	// verdict cache service (verdictGet/verdictPut frames): before a
+	// verify runs cold, the remote cache is probed and a hit is adopted
+	// into the local store; a cold cacheable outcome is published back.
+	// This is how a worker cluster shares one verdict cache. Remote IO
+	// is best-effort — a dead peer degrades to local-only caching.
+	RemoteVerdicts *Client
 
 	// CompileCacheCap bounds the compiled-module cache (default 64
 	// modules; negative = unbounded). A hit skips parse + lower +
@@ -118,7 +129,7 @@ type Server struct {
 
 	compiles *compileCache
 
-	sem      chan struct{} // admission slots
+	adm      *admission // job-slot dispatcher, round-robin across connections
 	draining atomic.Bool
 	drainCh  chan struct{}
 
@@ -145,7 +156,7 @@ func NewServer(cfg Config) *Server {
 	s := &Server{
 		cfg:      cfg,
 		compiles: newCompileCache(cfg.CompileCacheCap),
-		sem:      make(chan struct{}, cfg.MaxJobs),
+		adm:      newAdmission(cfg.MaxJobs),
 		drainCh:  make(chan struct{}),
 		conns:    make(map[io.Closer]struct{}),
 	}
@@ -293,7 +304,12 @@ func (s *Server) ServeConn(rw io.ReadWriter) {
 		switch p.Kind {
 		case KindStats:
 			c.reply(&Packet{ID: p.ID, Kind: KindReply, Body: body(s.statsReply())})
-		case KindVerify, KindCompile:
+		case KindVerdictGet, KindVerdictPut:
+			// Cache traffic answers inline, outside admission control: a
+			// worker mid-explore probing the shared verdict cache must
+			// never queue behind the very explore jobs it is serving.
+			s.verdictFrame(c, p)
+		case KindVerify, KindCompile, KindDistExplore:
 			jobs.Add(1)
 			go func(p *Packet) {
 				defer jobs.Done()
@@ -312,15 +328,12 @@ func (s *Server) runJob(c *conn, p *Packet) {
 		c.replyErr(p.ID, true, "daemon is draining")
 		return
 	}
-	timer := time.NewTimer(s.cfg.QueueWait)
-	defer timer.Stop()
-	select {
-	case s.sem <- struct{}{}:
-	case <-timer.C:
+	switch s.adm.acquire(c, s.cfg.QueueWait, s.drainCh) {
+	case timedOut:
 		s.rejected.Add(1)
 		c.replyErr(p.ID, true, "daemon overloaded: no job slot within %s (max %d jobs)", s.cfg.QueueWait, s.cfg.MaxJobs)
 		return
-	case <-s.drainCh:
+	case drained:
 		s.rejected.Add(1)
 		c.replyErr(p.ID, true, "daemon is draining")
 		return
@@ -328,7 +341,7 @@ func (s *Server) runJob(c *conn, p *Packet) {
 	s.jobsWG.Add(1)
 	s.active.Add(1)
 	defer func() {
-		<-s.sem
+		s.adm.release()
 		s.active.Add(-1)
 		s.jobsWG.Done()
 	}()
@@ -362,6 +375,51 @@ func (s *Server) runJob(c *conn, p *Packet) {
 			return
 		}
 		s.served.Add(1)
+		c.reply(&Packet{ID: p.ID, Kind: KindReply, Body: body(reply)})
+	case KindDistExplore:
+		var req DistExploreRequest
+		if err := decode(p.Body, &req); err != nil {
+			c.replyErr(p.ID, false, "distExplore: bad request body: %v", err)
+			return
+		}
+		reply, err := s.DistExplore(&req)
+		if err != nil {
+			c.replyErr(p.ID, false, "distExplore: %v", err)
+			return
+		}
+		s.served.Add(1)
+		c.reply(&Packet{ID: p.ID, Kind: KindReply, Body: body(reply)})
+	}
+}
+
+// verdictFrame answers one verdictGet/verdictPut inline.
+func (s *Server) verdictFrame(c *conn, p *Packet) {
+	switch p.Kind {
+	case KindVerdictGet:
+		var req VerdictGetRequest
+		if err := decode(p.Body, &req); err != nil {
+			c.replyErr(p.ID, false, "verdictGet: bad request body: %v", err)
+			return
+		}
+		reply := &VerdictGetReply{}
+		if s.cfg.Verdicts != nil {
+			reply.Entry, reply.Found = s.cfg.Verdicts.Get(req.Key)
+		}
+		c.reply(&Packet{ID: p.ID, Kind: KindReply, Body: body(reply)})
+	case KindVerdictPut:
+		var req VerdictPutRequest
+		if err := decode(p.Body, &req); err != nil {
+			c.replyErr(p.ID, false, "verdictPut: bad request body: %v", err)
+			return
+		}
+		reply := &VerdictPutReply{}
+		if s.cfg.Verdicts != nil && req.Entry != nil && req.Key != "" {
+			if err := s.cfg.Verdicts.Put(req.Key, req.Entry); err != nil {
+				c.replyErr(p.ID, false, "verdictPut: %v", err)
+				return
+			}
+			reply.Stored = true
+		}
 		c.reply(&Packet{ID: p.ID, Kind: KindReply, Body: body(reply)})
 	}
 }
@@ -483,12 +541,34 @@ func (s *Server) Verify(req *VerifyRequest) (*VerifyReply, error) {
 	opts.Engine.Cache = gen.cache
 	opts.Engine.Tapes = gen.tapes
 
+	// Shared verdict cache: adopt a remote hit into the local store so
+	// the verify below is served warm; remember the key when the remote
+	// missed too, to publish a cold cacheable outcome back. Remote IO is
+	// best-effort — errors degrade to local-only caching.
+	var remoteKey verdicts.Key
+	if !req.NoVerdicts && s.cfg.RemoteVerdicts != nil && s.cfg.Verdicts != nil {
+		if key, ok := c.VerdictKey(entry, opts); ok {
+			if _, hit := s.cfg.Verdicts.Get(key); !hit {
+				if e, found, err := s.cfg.RemoteVerdicts.VerdictGet(key); err == nil && found {
+					_ = s.cfg.Verdicts.Put(key, e)
+				} else if err == nil {
+					remoteKey = key
+				}
+			}
+		}
+	}
+
 	verifyStart := time.Now()
 	rep, err := c.Verify(entry, opts)
 	if err != nil {
 		return nil, err
 	}
 	verifyMS := float64(time.Since(verifyStart)) / float64(time.Millisecond)
+
+	if remoteKey != "" && rep.Stats.VerdictCacheHits == 0 && verdicts.Cacheable(rep) {
+		_, _ = s.cfg.RemoteVerdicts.VerdictPut(remoteKey,
+			verdicts.FromReport(remoteKey, name, entry, c.Level.String(), rep))
+	}
 
 	reply := &VerifyReply{
 		Render:          verdicts.Render(rep),
@@ -524,6 +604,62 @@ func searchOrDefault(s string) string {
 		return "dfs"
 	}
 	return s
+}
+
+// DistExplore drains one encoded frontier shard: compile (or cache-hit)
+// the coordinator's exact module, decode the states against this
+// generation's builder, run them to exhaustion, and report the
+// schedule-invariant outcome. Exported for the in-process harnesses;
+// the normal entry is a KindDistExplore packet.
+func (s *Server) DistExplore(req *DistExploreRequest) (*DistExploreReply, error) {
+	name, src, err := resolveSource(req.Name, req.Source, req.Prog)
+	if err != nil {
+		return nil, err
+	}
+	strat, err := symex.ParseSearch(searchOrDefault(req.Search))
+	if err != nil {
+		return nil, err
+	}
+	checks, err := ir.ParseCheckSet(req.Checks)
+	if err != nil {
+		return nil, err
+	}
+	c, compileHit, err := s.compileFor(name, src, req.Level, req.Passes, req.Workers, req.Slice, checks)
+	if err != nil {
+		return nil, err
+	}
+
+	gen := s.currentGen()
+	opts := symex.Options{
+		Timeout:   time.Duration(req.TimeoutMS) * time.Millisecond,
+		MaxInstrs: req.MaxInstrs,
+		Strategy:  strat,
+		Seed:      req.Seed,
+		Workers:   req.Workers,
+		Builder:   gen.builder,
+		Cache:     gen.cache,
+		Tapes:     gen.tapes,
+		Checks:    checks,
+	}
+	opts.Solver.Portfolio = req.Portfolio
+	opts.Solver.PortfolioStall = req.PortfolioStall
+
+	eng := symex.NewEngine(c.Mod, opts)
+	states, err := eng.DecodeStates(req.States)
+	if err != nil {
+		return nil, fmt.Errorf("decode shard: %w", err)
+	}
+	start := time.Now()
+	rep := eng.RunStates(states)
+	return &DistExploreReply{
+		Stats:           rep.Stats,
+		Bugs:            rep.Bugs,
+		Covered:         eng.CoveredBlockNames(),
+		NStates:         len(states),
+		Generation:      gen.id,
+		CompileCacheHit: compileHit,
+		ExploreMS:       float64(time.Since(start)) / float64(time.Millisecond),
+	}, nil
 }
 
 // Compile executes one compile-only request.

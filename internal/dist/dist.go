@@ -1,0 +1,280 @@
+// Package dist is the distributed-frontier coordinator: it splits one
+// verification's exploration into frontier shards, ships each shard to
+// a worker daemon over the packet protocol (KindDistExplore), and
+// merges the workers' schedule-invariant outcomes into a single report
+// that matches what a serial run of the same program would produce.
+//
+// The division of labor mirrors the in-process worker pool, one level
+// up: Engine.Split drives a breadth-first prefix of the exploration
+// until the frontier is wide enough, the state codec serializes the
+// pending states, and each worker drains its shard to exhaustion with
+// its own engine (and, optionally, its own solver portfolio). Because
+// every branch decision still happens exactly once in exactly one
+// process, the merged counters — paths, instructions, solver verdicts,
+// covered-block union, bug identities — are invariant under the
+// sharding, which is the conformance property the tests and the CI
+// distributed-smoke job pin.
+package dist
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"overify/internal/core"
+	"overify/internal/coreutils"
+	"overify/internal/daemon"
+	"overify/internal/ir"
+	"overify/internal/pipeline"
+	"overify/internal/symex"
+	"overify/internal/verdicts"
+)
+
+// Options configures one distributed verification. The compile
+// identity fields must reach every worker verbatim — the state codec
+// names IR by position, so coordinator and workers must compile the
+// exact same module.
+type Options struct {
+	Name   string // display name for Source
+	Source string // MiniC source text (exclusive with Prog)
+	Prog   string // corpus program name
+
+	Level  string // optimization level (default -OVERIFY)
+	Passes string // explicit pipeline (must match workers)
+	Slice  bool
+	Checks string
+
+	Entry      string // entry function (default umain)
+	InputBytes int    // symbolic input size (default 4)
+
+	// SplitStates is how many pending states the coordinator's
+	// breadth-first prefix aims for before sharding (default 8 per
+	// worker). Small programs may exhaust during the split; the
+	// degenerate one-process run is still a valid cluster run.
+	SplitStates int
+
+	Search    string
+	Seed      int64
+	Workers   int // engine workers inside each worker daemon
+	TimeoutMS int64
+	MaxInstrs int64
+
+	// Portfolio/PortfolioStall enable the solver portfolio on workers
+	// and on the coordinator's split phase (0 = fixed-order).
+	Portfolio      int
+	PortfolioStall int64
+}
+
+// Result is one distributed verification's outcome plus cluster-shape
+// provenance.
+type Result struct {
+	Report  *symex.Report
+	Covered []string // sorted covered-block union ("fn/block")
+
+	SplitStates int // frontier states shipped
+	ShardsSent  int // DistExplore requests issued (empty shards skipped)
+	Cluster     int // workers offered shards
+}
+
+// resolveSource mirrors the daemon's source/prog convention.
+func resolveSource(name, source, prog string) (string, string, error) {
+	switch {
+	case prog != "" && source != "":
+		return "", "", fmt.Errorf("dist: both source and corpus program %q given", prog)
+	case prog != "":
+		p, ok := coreutils.Get(prog)
+		if !ok {
+			return "", "", fmt.Errorf("dist: unknown corpus program %q", prog)
+		}
+		return p.Name, p.Src, nil
+	case source != "":
+		if name == "" {
+			name = "<source>"
+		}
+		return name, source, nil
+	default:
+		return "", "", fmt.Errorf("dist: neither source nor a corpus program given")
+	}
+}
+
+// compileLocal compiles the coordinator's copy of the module with the
+// exact configuration workers derive from the same request fields.
+func compileLocal(name, src string, o Options, checks ir.CheckSet) (*core.Compiled, error) {
+	level := o.Level
+	if level == "" {
+		level = "-OVERIFY"
+	}
+	lvl, err := pipeline.ParseLevel(level)
+	if err != nil {
+		return nil, err
+	}
+	cfg := pipeline.LevelConfig(lvl)
+	if o.Passes != "" {
+		spec, err := pipeline.ParsePipeline(o.Passes)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Pipeline = &spec
+	}
+	cfg.Slice = o.Slice
+	cfg.SliceChecks = checks
+	return core.CompileWithConfig(name, src, cfg, core.DefaultLibc(lvl))
+}
+
+// Verify runs one distributed verification across the given worker
+// clients. At least one client is required; the coordinator itself
+// only drives the split prefix and the merge.
+func Verify(clients []*daemon.Client, o Options) (*Result, error) {
+	if len(clients) == 0 {
+		return nil, fmt.Errorf("dist: no worker clients")
+	}
+	name, src, err := resolveSource(o.Name, o.Source, o.Prog)
+	if err != nil {
+		return nil, err
+	}
+	checks, err := ir.ParseCheckSet(o.Checks)
+	if err != nil {
+		return nil, err
+	}
+	strat, err := symex.ParseSearch(searchOrDefault(o.Search))
+	if err != nil {
+		return nil, err
+	}
+	entry := o.Entry
+	if entry == "" {
+		entry = "umain"
+	}
+	n := o.InputBytes
+	if n <= 0 {
+		n = 4
+	}
+	want := o.SplitStates
+	if want <= 0 {
+		want = 8 * len(clients)
+	}
+
+	c, err := compileLocal(name, src, o, checks)
+	if err != nil {
+		return nil, err
+	}
+	engOpts := symex.Options{
+		Strategy:  strat,
+		Seed:      o.Seed,
+		MaxInstrs: o.MaxInstrs,
+		Checks:    checks,
+	}
+	engOpts.Solver.Portfolio = o.Portfolio
+	engOpts.Solver.PortfolioStall = o.PortfolioStall
+	eng := symex.NewEngine(c.Mod, engOpts)
+	buf := eng.SymbolicBuffer("input", n, true)
+	length := eng.IntArg(ir.I32, uint64(n))
+
+	states, err := eng.Split(entry, []symex.SymVal{buf, length}, nil, want)
+	if err != nil {
+		return nil, err
+	}
+
+	// Deterministic round-robin sharding: state i goes to worker
+	// i mod len(clients). The merge is order-invariant, so which worker
+	// gets which shard never shows in the outcome.
+	shards := make([][]*symex.State, len(clients))
+	for i, st := range states {
+		w := i % len(clients)
+		shards[w] = append(shards[w], st)
+	}
+
+	covered := make(map[string]bool)
+	for _, bn := range eng.CoveredBlockNames() {
+		covered[bn] = true
+	}
+	reports := []*symex.Report{eng.PartialReport()}
+
+	var (
+		mu      sync.Mutex
+		wg      sync.WaitGroup
+		sent    int
+		farmErr error
+	)
+	for w, shard := range shards {
+		if len(shard) == 0 {
+			continue
+		}
+		data, err := eng.EncodeStates(shard)
+		if err != nil {
+			return nil, fmt.Errorf("dist: encode shard for worker %d: %w", w, err)
+		}
+		sent++
+		req := &daemon.DistExploreRequest{
+			Name: name, Source: src,
+			Level: o.Level, Passes: o.Passes,
+			Slice: o.Slice, Checks: o.Checks,
+			Search: o.Search, Seed: o.Seed, Workers: o.Workers,
+			TimeoutMS: o.TimeoutMS, MaxInstrs: o.MaxInstrs,
+			Portfolio: o.Portfolio, PortfolioStall: o.PortfolioStall,
+			States: data,
+		}
+		wg.Add(1)
+		go func(w int, nStates int, req *daemon.DistExploreRequest) {
+			defer wg.Done()
+			reply, err := clients[w].DistExplore(req)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if farmErr == nil {
+					farmErr = fmt.Errorf("dist: worker %d: %w", w, err)
+				}
+				return
+			}
+			if reply.NStates != nStates {
+				if farmErr == nil {
+					farmErr = fmt.Errorf("dist: worker %d decoded %d states, sent %d", w, reply.NStates, nStates)
+				}
+				return
+			}
+			reports = append(reports, &symex.Report{Stats: reply.Stats, Bugs: reply.Bugs})
+			for _, bn := range reply.Covered {
+				covered[bn] = true
+			}
+		}(w, len(shard), req)
+	}
+	wg.Wait()
+	if farmErr != nil {
+		return nil, farmErr
+	}
+
+	merged := symex.MergeReports(reports...)
+	merged.Stats.CoveredBlocks = len(covered)
+	names := make([]string, 0, len(covered))
+	for bn := range covered {
+		names = append(names, bn)
+	}
+	sort.Strings(names)
+	return &Result{
+		Report:      merged,
+		Covered:     names,
+		SplitStates: len(states),
+		ShardsSent:  sent,
+		Cluster:     len(clients),
+	}, nil
+}
+
+func searchOrDefault(s string) string {
+	if s == "" {
+		return "dfs"
+	}
+	return s
+}
+
+// NormalizedRender is the conformance rendering: verdicts.Render with
+// the reproducing input bytes elided. Bug *identities* (kind, message,
+// site) and every counter are schedule-invariant, but which concrete
+// model witnesses a bug depends on solver history, which differs
+// across schedules and cluster shapes — any model reproduces, so the
+// normalized form drops only the witness, nothing the verdict states.
+func NormalizedRender(rep *symex.Report) string {
+	cp := &symex.Report{Stats: rep.Stats}
+	for _, b := range rep.Bugs {
+		cp.Bugs = append(cp.Bugs, symex.Bug{Kind: b.Kind, Msg: b.Msg, Where: b.Where})
+	}
+	return verdicts.Render(cp)
+}

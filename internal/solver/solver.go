@@ -40,6 +40,18 @@ type Options struct {
 	// ModelHistory is how many recent models are tried for reuse
 	// (default 8).
 	ModelHistory int
+	// Portfolio, when > 1, races that many diverse search configurations
+	// (distinct value orders and variable tie-breaks, portfolio.go) on
+	// any group whose default-configuration search stalls past
+	// PortfolioStall assignments. The race is time-sliced by assignment
+	// budget in a fixed rotation, so the winner — and every counter — is
+	// a pure function of the group, identical on every machine. 0 or 1
+	// disables the portfolio (the default): single fixed-order search.
+	Portfolio int
+	// PortfolioStall is the assignment budget the default configuration
+	// gets before the portfolio race starts (default 4096). Groups that
+	// decide within the stall budget never pay for a race.
+	PortfolioStall int64
 }
 
 // Stats counts solver work across a run; t_verify is dominated by these.
@@ -56,6 +68,8 @@ type Stats struct {
 	TapeCompiles   int64 // groups compiled to evaluation tapes (searches run)
 	TapeReuses     int64 // searches that reused a cached tape instead of compiling
 	TapeSlots      int64 // total slots across compiled tapes
+	PortfolioRaces int64 // groups that stalled past PortfolioStall and entered a race
+	PortfolioWins  int64 // races a non-default configuration answered first
 	MaxGroupVars   int
 }
 
@@ -74,6 +88,8 @@ func (s *Stats) Add(o Stats) {
 	s.TapeCompiles += o.TapeCompiles
 	s.TapeReuses += o.TapeReuses
 	s.TapeSlots += o.TapeSlots
+	s.PortfolioRaces += o.PortfolioRaces
+	s.PortfolioWins += o.PortfolioWins
 	if o.MaxGroupVars > s.MaxGroupVars {
 		s.MaxGroupVars = o.MaxGroupVars
 	}
@@ -368,7 +384,10 @@ func (d *domain) count() int {
 }
 
 // search runs backtracking with forward checking over the group,
-// evaluating constraints on the group's compiled tape.
+// evaluating constraints on the group's compiled tape. With a portfolio
+// configured, a group that stalls past the stall budget is raced across
+// diverse configurations (portfolio.go); otherwise the default
+// configuration runs alone with the full work budget.
 func (s *Solver) search(g *Group) (bool, map[*expr.Var]uint64, error) {
 	for _, v := range g.vs.Vars() {
 		if v.Bits > 8 {
@@ -389,13 +408,12 @@ func (s *Solver) search(g *Group) (bool, map[*expr.Var]uint64, error) {
 			s.tapes.put(g.fp, t)
 		}
 	}
-	vars := t.vars
-	if len(vars) > s.Stats.MaxGroupVars {
-		s.Stats.MaxGroupVars = len(vars)
+	if len(t.vars) > s.Stats.MaxGroupVars {
+		s.Stats.MaxGroupVars = len(t.vars)
 	}
 
-	domains := make([]domain, len(vars))
-	for i, v := range vars {
+	domains := make([]domain, len(t.vars))
+	for i, v := range t.vars {
 		domains[i] = fullDomain(v.Bits)
 	}
 
@@ -406,6 +424,18 @@ func (s *Solver) search(g *Group) (bool, map[*expr.Var]uint64, error) {
 		return false, nil, nil
 	}
 
+	if s.opts.Portfolio > 1 {
+		return s.searchPortfolio(t, domains)
+	}
+	return s.searchTape(t, domains, searchConfig{}, s.opts.MaxWork)
+}
+
+// searchTape is one backtracking attempt over a compiled tape: the
+// given configuration's value order and tie-break, at most maxAssigns
+// assignments. domains is consumed (filtering mutates it); callers
+// re-running attempts must pass a fresh copy.
+func (s *Solver) searchTape(t *tape, domains []domain, cfg searchConfig, maxAssigns int64) (bool, map[*expr.Var]uint64, error) {
+	vars := t.vars
 	ts := tapeStateFrom(&s.scratch, t)
 	// The budget is counted in assignments tried — one unit per
 	// candidate value probed by the unary filter or bound by the DFS —
@@ -415,7 +445,7 @@ func (s *Solver) search(g *Group) (bool, map[*expr.Var]uint64, error) {
 	var nodes, assigns int64
 	defer func() { s.Stats.Assignments += assigns }()
 	checkBudget := func() error {
-		if nodes > s.opts.MaxNodes || assigns > s.opts.MaxWork {
+		if nodes > s.opts.MaxNodes || assigns > maxAssigns {
 			return ErrBudget
 		}
 		if !s.deadline.IsZero() && assigns&1023 == 0 && time.Now().After(s.deadline) {
@@ -486,11 +516,12 @@ func (s *Solver) search(g *Group) (bool, map[*expr.Var]uint64, error) {
 		if len(remaining) == 0 {
 			return complete(), nil
 		}
-		// Choose the unassigned variable with the smallest domain.
+		// Choose the unassigned variable with the smallest domain; the
+		// configuration picks which of several equal minima to take.
 		best := 0
 		bestCount := domains[remaining[0]].count()
 		for i := 1; i < len(remaining); i++ {
-			if c := domains[remaining[i]].count(); c < bestCount {
+			if c := domains[remaining[i]].count(); c < bestCount || (cfg.tieLast && c == bestCount) {
 				best, bestCount = i, c
 			}
 		}
@@ -500,7 +531,9 @@ func (s *Solver) search(g *Group) (bool, map[*expr.Var]uint64, error) {
 		rest = append(rest, remaining[best+1:]...)
 
 		d := domains[vi] // snapshot: restored by value semantics
-		for val := uint64(0); val < uint64(1)<<uint(vars[vi].Bits); val++ {
+		n := uint64(1) << uint(vars[vi].Bits)
+		for k := uint64(0); k < n; k++ {
+			val := cfg.value(k, n)
 			if !d.has(val) {
 				continue
 			}

@@ -1,0 +1,1048 @@
+package symex
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"overify/internal/expr"
+	"overify/internal/ir"
+	"overify/internal/solver"
+)
+
+// State wire codec: EncodeStates flattens a batch of frontier states
+// into a compact, self-contained byte frame; DecodeStates re-interns it
+// into another process's engine so exploration continues identically.
+//
+// The format leans on the same structure the solver's constant-factor
+// work does. The constraint DAG is emitted as one batch-wide node table
+// in ascending builder-id order — children always precede parents, so
+// the table is its own topological order and the decoder rebuilds each
+// node with a single Builder call, re-interning it (and re-firing the
+// canonical simplifications) in the receiver's DAG. Memory objects go
+// through a batch-wide object table in two phases (headers, then
+// cells), which preserves aliasing within a state and read-only sharing
+// across states, and tolerates self-referential pointer cells. IR
+// references cross the wire by stable identity: functions and globals
+// by name, blocks by index, instructions by (block, index) — the
+// receiving process compiled the same module, so the shapes match.
+// Carried partitions are not serialized: group fingerprints are
+// builder-local, so the decoder rebuilds each state's partition from
+// its re-interned path condition.
+//
+// Everything is length-checked: corrupted or truncated frames produce
+// errors, never panics. Encoding visits each distinct DAG node exactly
+// once per batch — cheaper than once per state — which
+// CodecExprVisits() exposes for the walk-counter guard tests.
+
+const (
+	codecMagic   = "OVSX"
+	codecVersion = 1
+)
+
+// codecExprVisits counts DAG-node expansions performed by encoders, the
+// codec's analogue of expr.VarSetWalks: tests pin it to exactly one
+// visit per distinct reachable node per encoded batch.
+var codecExprVisits atomic.Int64
+
+// CodecExprVisits returns the total DAG-node expansions encoders have
+// performed in this process.
+func CodecExprVisits() int64 { return codecExprVisits.Load() }
+
+// SymVal wire tags.
+const (
+	svAbsent = 0 // zero SymVal (void results)
+	svInt    = 1 // integer expression
+	svPtr    = 2 // pointer: object reference + offset expression
+)
+
+// ---------------------------------------------------------------------
+// Encoder
+
+type encWriter struct{ buf []byte }
+
+func (w *encWriter) u(v uint64)   { w.buf = binary.AppendUvarint(w.buf, v) }
+func (w *encWriter) b(v byte)     { w.buf = append(w.buf, v) }
+func (w *encWriter) s(s string)   { w.u(uint64(len(s))); w.buf = append(w.buf, s...) }
+func (w *encWriter) raw(p []byte) { w.buf = append(w.buf, p...) }
+
+type encoder struct {
+	w       encWriter
+	vars    map[*expr.Var]int
+	varList []*expr.Var
+	nodes   map[*expr.Expr]int
+	objs    map[*MemObject]int
+	objList []*MemObject
+	instrIx map[*ir.Function]map[*ir.Instr][2]int
+	err     error
+}
+
+// EncodeStates serializes a batch of states from this engine into one
+// wire frame. The engine's ordered input variables lead the frame so
+// the decoding engine concretizes bug inputs identically.
+func (e *Engine) EncodeStates(states []*State) ([]byte, error) {
+	enc := &encoder{
+		vars:    make(map[*expr.Var]int),
+		nodes:   make(map[*expr.Expr]int),
+		objs:    make(map[*MemObject]int),
+		instrIx: make(map[*ir.Function]map[*ir.Instr][2]int),
+	}
+	for _, v := range e.inputVars {
+		enc.vars[v] = len(enc.varList)
+		enc.varList = append(enc.varList, v)
+	}
+	nInput := len(enc.varList)
+
+	// Single pass over everything reachable: collect expression nodes
+	// (memoized batch-wide) and memory objects in deterministic order.
+	table := enc.collect(states)
+	if enc.err != nil {
+		return nil, enc.err
+	}
+
+	enc.w.raw([]byte(codecMagic))
+	enc.w.b(codecVersion)
+	enc.w.u(uint64(nInput))
+	enc.w.u(uint64(len(enc.varList)))
+	for _, v := range enc.varList {
+		enc.w.s(v.Name)
+		enc.w.u(uint64(v.Bits))
+		enc.w.u(uint64(v.Idx))
+	}
+
+	enc.w.u(uint64(len(table)))
+	for _, x := range table {
+		enc.emitNode(x)
+	}
+
+	enc.w.u(uint64(len(enc.objList)))
+	for _, o := range enc.objList {
+		enc.w.s(o.Name)
+		enc.emitType(o.Elem)
+		enc.w.u(uint64(o.Count))
+		if o.ReadOnly {
+			enc.w.b(1)
+		} else {
+			enc.w.b(0)
+		}
+		enc.w.u(uint64(len(o.Cells)))
+	}
+	for _, o := range enc.objList {
+		for _, c := range o.Cells {
+			enc.emitSymVal(c)
+		}
+	}
+
+	enc.w.u(uint64(len(states)))
+	for _, st := range states {
+		enc.emitState(st)
+	}
+	if enc.err != nil {
+		return nil, enc.err
+	}
+	return enc.w.buf, nil
+}
+
+// collect walks the batch once: every reachable expression node lands
+// in the memo (and is counted by codecExprVisits), every reachable
+// memory object joins the object table in first-encounter order. The
+// node table is then the memo's keys sorted by builder id — children
+// have smaller ids than parents, so ascending id is a topological
+// order and the decoder needs no second walk.
+func (enc *encoder) collect(states []*State) []*expr.Expr {
+	for _, st := range states {
+		for _, c := range st.PC {
+			enc.visitExpr(c)
+		}
+		for _, g := range sortedGlobals(st.Globals) {
+			enc.visitObj(st.Globals[g])
+		}
+		for _, f := range st.Frames {
+			for _, k := range sortedLocalKeys(enc, f) {
+				sv := f.Locals[k]
+				enc.visitSymVal(sv)
+			}
+		}
+	}
+	table := make([]*expr.Expr, 0, len(enc.nodes))
+	for x := range enc.nodes {
+		table = append(table, x)
+	}
+	sort.Slice(table, func(i, j int) bool { return table[i].ID() < table[j].ID() })
+	for i, x := range table {
+		enc.nodes[x] = i
+	}
+	return table
+}
+
+func (enc *encoder) visitExpr(x *expr.Expr) {
+	if x == nil {
+		return
+	}
+	if _, ok := enc.nodes[x]; ok {
+		return
+	}
+	enc.nodes[x] = -1 // placeholder; final index assigned after the sort
+	codecExprVisits.Add(1)
+	if x.Kind == expr.KVar {
+		if _, ok := enc.vars[x.V]; !ok {
+			enc.vars[x.V] = len(enc.varList)
+			enc.varList = append(enc.varList, x.V)
+		}
+		return
+	}
+	for _, a := range x.Args {
+		enc.visitExpr(a)
+	}
+}
+
+func (enc *encoder) visitSymVal(v SymVal) {
+	enc.visitExpr(v.E)
+	enc.visitExpr(v.Off)
+	if v.Obj != nil {
+		enc.visitObj(v.Obj)
+	}
+}
+
+func (enc *encoder) visitObj(o *MemObject) {
+	if o == nil {
+		return
+	}
+	if _, ok := enc.objs[o]; ok {
+		return
+	}
+	enc.objs[o] = len(enc.objList)
+	enc.objList = append(enc.objList, o)
+	for _, c := range o.Cells {
+		enc.visitSymVal(c)
+	}
+}
+
+func (enc *encoder) emitNode(x *expr.Expr) {
+	enc.w.b(byte(x.Kind))
+	enc.w.u(uint64(x.Bits))
+	switch x.Kind {
+	case expr.KConst:
+		enc.w.u(x.Val)
+	case expr.KVar:
+		enc.w.u(uint64(enc.vars[x.V]))
+	case expr.KBin, expr.KCmp:
+		enc.w.u(uint64(x.Op))
+		enc.w.u(uint64(enc.nodes[x.Args[0]]))
+		enc.w.u(uint64(enc.nodes[x.Args[1]]))
+	case expr.KSelect:
+		enc.w.u(uint64(enc.nodes[x.Args[0]]))
+		enc.w.u(uint64(enc.nodes[x.Args[1]]))
+		enc.w.u(uint64(enc.nodes[x.Args[2]]))
+	case expr.KCast:
+		enc.w.u(uint64(x.Op))
+		enc.w.u(uint64(enc.nodes[x.Args[0]]))
+	case expr.KRead:
+		enc.w.u(uint64(len(x.Table)))
+		for _, v := range x.Table {
+			enc.w.u(v)
+		}
+		enc.w.u(uint64(enc.nodes[x.Args[0]]))
+	default:
+		enc.fail(fmt.Errorf("symex: codec: unknown expr kind %d", x.Kind))
+	}
+}
+
+func (enc *encoder) emitType(t ir.Type) {
+	switch t := t.(type) {
+	case ir.IntType:
+		enc.w.b(0)
+		enc.w.u(uint64(t.Bits))
+	case ir.PtrType:
+		enc.w.b(1)
+		enc.emitType(t.Elem)
+	case ir.ArrayType:
+		enc.w.b(2)
+		enc.emitType(t.Elem)
+		enc.w.u(uint64(t.Len))
+	case ir.VoidType:
+		enc.w.b(3)
+	default:
+		enc.fail(fmt.Errorf("symex: codec: unencodable type %v", t))
+	}
+}
+
+func (enc *encoder) emitSymVal(v SymVal) {
+	switch {
+	case v.IsPtr:
+		enc.w.b(svPtr)
+		if v.Obj == nil {
+			enc.w.u(0)
+		} else {
+			enc.w.u(uint64(enc.objs[v.Obj]) + 1)
+		}
+		enc.emitExprRef(v.Off)
+	case v.E != nil:
+		enc.w.b(svInt)
+		enc.w.u(uint64(enc.nodes[v.E]))
+	default:
+		enc.w.b(svAbsent)
+	}
+}
+
+// emitExprRef writes an optional expression reference (index+1, 0=nil).
+func (enc *encoder) emitExprRef(x *expr.Expr) {
+	if x == nil {
+		enc.w.u(0)
+		return
+	}
+	enc.w.u(uint64(enc.nodes[x]) + 1)
+}
+
+func (enc *encoder) emitState(st *State) {
+	enc.w.u(uint64(st.ID))
+	enc.w.u(uint64(st.Forks))
+	enc.w.u(uint64(len(st.PC)))
+	for _, c := range st.PC {
+		enc.w.u(uint64(enc.nodes[c]))
+	}
+
+	globals := sortedGlobals(st.Globals)
+	enc.w.u(uint64(len(globals)))
+	for _, g := range globals {
+		enc.w.s(g.Name)
+		enc.w.u(uint64(enc.objs[st.Globals[g]]))
+	}
+
+	enc.w.u(uint64(len(st.Frames)))
+	for _, f := range st.Frames {
+		enc.emitFrame(st, f)
+	}
+}
+
+func (enc *encoder) emitFrame(st *State, f *Frame) {
+	enc.w.s(f.Fn.Name)
+	enc.w.u(uint64(blockIndex(f.Fn, f.Block, enc)))
+	if f.Prev == nil {
+		enc.w.u(0)
+	} else {
+		enc.w.u(uint64(blockIndex(f.Fn, f.Prev, enc)) + 1)
+	}
+	enc.w.u(uint64(f.Idx))
+	if f.Caller == nil {
+		enc.w.b(0)
+	} else {
+		// The awaiting call instruction lives in the *caller's* function;
+		// the decoder resolves it against the previous frame.
+		bi, ii, ok := enc.instrIndex(f.Caller)
+		if !ok {
+			enc.fail(fmt.Errorf("symex: codec: caller instruction not found in %s", f.Fn.Name))
+			return
+		}
+		enc.w.b(1)
+		enc.w.u(uint64(bi))
+		enc.w.u(uint64(ii))
+	}
+
+	keys := sortedLocalKeys(enc, f)
+	enc.w.u(uint64(len(keys)))
+	for _, k := range keys {
+		switch k := k.(type) {
+		case *ir.Param:
+			enc.w.b(0)
+			enc.w.u(uint64(k.Idx))
+		case *ir.Instr:
+			bi, ii, ok := enc.instrIndex(k)
+			if !ok {
+				enc.fail(fmt.Errorf("symex: codec: local key instruction not in %s", f.Fn.Name))
+				return
+			}
+			enc.w.b(1)
+			enc.w.u(uint64(bi))
+			enc.w.u(uint64(ii))
+		default:
+			enc.fail(fmt.Errorf("symex: codec: unencodable local key %T", k))
+			return
+		}
+		enc.emitSymVal(f.Locals[k])
+	}
+}
+
+func (enc *encoder) fail(err error) {
+	if enc.err == nil {
+		enc.err = err
+	}
+}
+
+// instrIndex locates in within its owning function, via a lazily built
+// per-function index.
+func (enc *encoder) instrIndex(in *ir.Instr) (block, idx int, ok bool) {
+	fn := in.Blk.Fn
+	ix := enc.instrIx[fn]
+	if ix == nil {
+		ix = make(map[*ir.Instr][2]int)
+		for bi, b := range fn.Blocks {
+			for ii, x := range b.Instrs {
+				ix[x] = [2]int{bi, ii}
+			}
+		}
+		enc.instrIx[fn] = ix
+	}
+	pos, ok := ix[in]
+	return pos[0], pos[1], ok
+}
+
+func blockIndex(fn *ir.Function, b *ir.Block, enc *encoder) int {
+	for i, x := range fn.Blocks {
+		if x == b {
+			return i
+		}
+	}
+	enc.fail(fmt.Errorf("symex: codec: block %s not in %s", b.Name, fn.Name))
+	return 0
+}
+
+// sortedGlobals orders a state's globals map by name so the encoding
+// is deterministic.
+func sortedGlobals(m map[*ir.Global]*MemObject) []*ir.Global {
+	out := make([]*ir.Global, 0, len(m))
+	for g := range m {
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// sortedLocalKeys orders a frame's locals deterministically: params by
+// position, then instructions by (block, index).
+func sortedLocalKeys(enc *encoder, f *Frame) []ir.Value {
+	keys := make([]ir.Value, 0, len(f.Locals))
+	for k := range f.Locals {
+		keys = append(keys, k)
+	}
+	rank := func(v ir.Value) (int, int, int) {
+		switch v := v.(type) {
+		case *ir.Param:
+			return 0, v.Idx, 0
+		case *ir.Instr:
+			bi, ii, _ := enc.instrIndex(v)
+			return 1, bi, ii
+		default:
+			return 2, 0, 0
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a0, a1, a2 := rank(keys[i])
+		b0, b1, b2 := rank(keys[j])
+		if a0 != b0 {
+			return a0 < b0
+		}
+		if a1 != b1 {
+			return a1 < b1
+		}
+		return a2 < b2
+	})
+	return keys
+}
+
+// ---------------------------------------------------------------------
+// Decoder
+
+type decReader struct {
+	data []byte
+	pos  int
+}
+
+func (r *decReader) remaining() int { return len(r.data) - r.pos }
+
+func (r *decReader) u() (uint64, error) {
+	v, n := binary.Uvarint(r.data[r.pos:])
+	if n <= 0 {
+		return 0, fmt.Errorf("symex: codec: truncated varint at %d", r.pos)
+	}
+	r.pos += n
+	return v, nil
+}
+
+// count reads a length whose elements occupy at least min bytes each,
+// rejecting counts the remaining frame cannot possibly hold (the
+// corrupted-frame allocation guard).
+func (r *decReader) count(min int) (int, error) {
+	v, err := r.u()
+	if err != nil {
+		return 0, err
+	}
+	if min < 1 {
+		min = 1
+	}
+	if v > uint64(r.remaining()/min)+1 {
+		return 0, fmt.Errorf("symex: codec: implausible count %d at %d", v, r.pos)
+	}
+	return int(v), nil
+}
+
+func (r *decReader) b() (byte, error) {
+	if r.pos >= len(r.data) {
+		return 0, fmt.Errorf("symex: codec: truncated frame at %d", r.pos)
+	}
+	c := r.data[r.pos]
+	r.pos++
+	return c, nil
+}
+
+func (r *decReader) s() (string, error) {
+	n, err := r.count(1)
+	if err != nil {
+		return "", err
+	}
+	if r.remaining() < n {
+		return "", fmt.Errorf("symex: codec: truncated string at %d", r.pos)
+	}
+	s := string(r.data[r.pos : r.pos+n])
+	r.pos += n
+	return s, nil
+}
+
+type decoder struct {
+	e     *Engine
+	r     decReader
+	vars  []*expr.Var
+	nodes []*expr.Expr
+	objs  []*MemObject
+}
+
+// DecodeStates rebuilds a wire frame produced by EncodeStates into
+// live states of this engine: expressions re-interned through the
+// engine's builder, memory objects reconstructed with their aliasing,
+// IR references resolved against the engine's module (which must be
+// the same compiled program), and partitions rebuilt from the decoded
+// path conditions. The frame's input-variable list is installed as the
+// engine's, so bug inputs concretize identically; the engine's state-id
+// counter advances past every decoded id so local forks never collide.
+// A corrupted or truncated frame yields an error, never a panic.
+func (e *Engine) DecodeStates(data []byte) (states []*State, err error) {
+	// The builder panics on malformed structure (width mismatches and
+	// the like); a corrupted frame must surface as an error instead.
+	defer func() {
+		if rec := recover(); rec != nil {
+			states, err = nil, fmt.Errorf("symex: codec: corrupt frame: %v", rec)
+		}
+	}()
+	d := &decoder{e: e, r: decReader{data: data}}
+	if len(data) < len(codecMagic)+1 || string(data[:len(codecMagic)]) != codecMagic {
+		return nil, fmt.Errorf("symex: codec: bad magic")
+	}
+	d.r.pos = len(codecMagic)
+	ver, err := d.r.b()
+	if err != nil {
+		return nil, err
+	}
+	if ver != codecVersion {
+		return nil, fmt.Errorf("symex: codec: version %d, want %d", ver, codecVersion)
+	}
+	if err := d.readVars(); err != nil {
+		return nil, err
+	}
+	if err := d.readNodes(); err != nil {
+		return nil, err
+	}
+	if err := d.readObjects(); err != nil {
+		return nil, err
+	}
+	n, err := d.r.count(4)
+	if err != nil {
+		return nil, err
+	}
+	states = make([]*State, 0, n)
+	maxID := int64(-1)
+	for i := 0; i < n; i++ {
+		st, err := d.readState()
+		if err != nil {
+			return nil, err
+		}
+		if st.ID > maxID {
+			maxID = st.ID
+		}
+		states = append(states, st)
+	}
+	if d.r.remaining() != 0 {
+		return nil, fmt.Errorf("symex: codec: %d trailing bytes", d.r.remaining())
+	}
+	for {
+		cur := e.nextState.Load()
+		if maxID < cur || e.nextState.CompareAndSwap(cur, maxID+1) {
+			break
+		}
+	}
+	return states, nil
+}
+
+func (d *decoder) readVars() error {
+	nInput, err := d.r.u()
+	if err != nil {
+		return err
+	}
+	n, err := d.r.count(3)
+	if err != nil {
+		return err
+	}
+	if nInput > uint64(n) {
+		return fmt.Errorf("symex: codec: %d input vars of %d", nInput, n)
+	}
+	d.vars = make([]*expr.Var, n)
+	inputs := make([]*expr.Var, 0, nInput)
+	for i := 0; i < n; i++ {
+		name, err := d.r.s()
+		if err != nil {
+			return err
+		}
+		bits, err := d.r.u()
+		if err != nil {
+			return err
+		}
+		idx, err := d.r.u()
+		if err != nil {
+			return err
+		}
+		if bits == 0 || bits > 64 {
+			return fmt.Errorf("symex: codec: var %q has %d bits", name, bits)
+		}
+		node := d.e.B.Var(&expr.Var{Name: name, Bits: int(bits), Idx: int(idx)})
+		d.vars[i] = node.V
+		if i < int(nInput) {
+			inputs = append(inputs, node.V)
+		}
+	}
+	d.e.inputVars = inputs
+	return nil
+}
+
+func (d *decoder) readNodes() error {
+	n, err := d.r.count(2)
+	if err != nil {
+		return err
+	}
+	d.nodes = make([]*expr.Expr, 0, n)
+	for i := 0; i < n; i++ {
+		x, err := d.readNode()
+		if err != nil {
+			return err
+		}
+		d.nodes = append(d.nodes, x)
+	}
+	return nil
+}
+
+// arg resolves a node-table reference; only already-decoded indices are
+// valid (the table is topologically ordered).
+func (d *decoder) arg() (*expr.Expr, error) {
+	i, err := d.r.u()
+	if err != nil {
+		return nil, err
+	}
+	if i >= uint64(len(d.nodes)) {
+		return nil, fmt.Errorf("symex: codec: forward node ref %d at %d", i, d.r.pos)
+	}
+	return d.nodes[i], nil
+}
+
+func (d *decoder) readNode() (*expr.Expr, error) {
+	kind, err := d.r.b()
+	if err != nil {
+		return nil, err
+	}
+	bits64, err := d.r.u()
+	if err != nil {
+		return nil, err
+	}
+	bits := int(bits64)
+	if bits <= 0 || bits > 64 {
+		return nil, fmt.Errorf("symex: codec: node with %d bits", bits)
+	}
+	B := d.e.B
+	switch expr.Kind(kind) {
+	case expr.KConst:
+		v, err := d.r.u()
+		if err != nil {
+			return nil, err
+		}
+		return B.Const(bits, v), nil
+	case expr.KVar:
+		i, err := d.r.u()
+		if err != nil {
+			return nil, err
+		}
+		if i >= uint64(len(d.vars)) {
+			return nil, fmt.Errorf("symex: codec: var ref %d of %d", i, len(d.vars))
+		}
+		return B.Var(d.vars[i]), nil
+	case expr.KBin, expr.KCmp:
+		op, err := d.r.u()
+		if err != nil {
+			return nil, err
+		}
+		x, err := d.arg()
+		if err != nil {
+			return nil, err
+		}
+		y, err := d.arg()
+		if err != nil {
+			return nil, err
+		}
+		if expr.Kind(kind) == expr.KBin {
+			return B.Bin(ir.Op(op), x, y), nil
+		}
+		return B.Cmp(ir.Op(op), x, y), nil
+	case expr.KSelect:
+		c, err := d.arg()
+		if err != nil {
+			return nil, err
+		}
+		t, err := d.arg()
+		if err != nil {
+			return nil, err
+		}
+		f, err := d.arg()
+		if err != nil {
+			return nil, err
+		}
+		return B.Select(c, t, f), nil
+	case expr.KCast:
+		op, err := d.r.u()
+		if err != nil {
+			return nil, err
+		}
+		x, err := d.arg()
+		if err != nil {
+			return nil, err
+		}
+		return B.Cast(ir.Op(op), x, bits), nil
+	case expr.KRead:
+		tn, err := d.r.count(1)
+		if err != nil {
+			return nil, err
+		}
+		table := make([]uint64, tn)
+		for i := range table {
+			if table[i], err = d.r.u(); err != nil {
+				return nil, err
+			}
+		}
+		idx, err := d.arg()
+		if err != nil {
+			return nil, err
+		}
+		return B.Read(table, bits, idx), nil
+	}
+	return nil, fmt.Errorf("symex: codec: unknown node kind %d", kind)
+}
+
+func (d *decoder) readType() (ir.Type, error) {
+	tag, err := d.r.b()
+	if err != nil {
+		return nil, err
+	}
+	switch tag {
+	case 0:
+		bits, err := d.r.u()
+		if err != nil {
+			return nil, err
+		}
+		if bits == 0 || bits > 64 {
+			return nil, fmt.Errorf("symex: codec: int type of %d bits", bits)
+		}
+		return ir.IntType{Bits: int(bits)}, nil
+	case 1:
+		elem, err := d.readType()
+		if err != nil {
+			return nil, err
+		}
+		return ir.PtrTo(elem), nil
+	case 2:
+		elem, err := d.readType()
+		if err != nil {
+			return nil, err
+		}
+		n, err := d.r.u()
+		if err != nil {
+			return nil, err
+		}
+		return ir.ArrayType{Elem: elem, Len: int64(n)}, nil
+	case 3:
+		return ir.Void, nil
+	}
+	return nil, fmt.Errorf("symex: codec: unknown type tag %d", tag)
+}
+
+func (d *decoder) readObjects() error {
+	n, err := d.r.count(5)
+	if err != nil {
+		return err
+	}
+	d.objs = make([]*MemObject, n)
+	// Phase one: allocate every object from its header so cell pointers
+	// can reference any object (aliasing, cycles, forward references).
+	cells := make([]int, n)
+	for i := 0; i < n; i++ {
+		name, err := d.r.s()
+		if err != nil {
+			return err
+		}
+		elem, err := d.readType()
+		if err != nil {
+			return err
+		}
+		count, err := d.r.u()
+		if err != nil {
+			return err
+		}
+		ro, err := d.r.b()
+		if err != nil {
+			return err
+		}
+		nc, err := d.r.count(1)
+		if err != nil {
+			return err
+		}
+		d.objs[i] = &MemObject{
+			Name:     name,
+			Elem:     elem,
+			Count:    int64(count),
+			ReadOnly: ro == 1,
+			Cells:    make([]SymVal, nc),
+		}
+		cells[i] = nc
+	}
+	// Phase two: fill the cells.
+	for i := 0; i < n; i++ {
+		for j := 0; j < cells[i]; j++ {
+			sv, err := d.readSymVal()
+			if err != nil {
+				return err
+			}
+			d.objs[i].Cells[j] = sv
+		}
+	}
+	return nil
+}
+
+func (d *decoder) readSymVal() (SymVal, error) {
+	tag, err := d.r.b()
+	if err != nil {
+		return SymVal{}, err
+	}
+	switch tag {
+	case svAbsent:
+		return SymVal{}, nil
+	case svInt:
+		x, err := d.arg()
+		if err != nil {
+			return SymVal{}, err
+		}
+		return SymVal{E: x}, nil
+	case svPtr:
+		oi, err := d.r.u()
+		if err != nil {
+			return SymVal{}, err
+		}
+		var obj *MemObject
+		if oi != 0 {
+			if oi-1 >= uint64(len(d.objs)) {
+				return SymVal{}, fmt.Errorf("symex: codec: object ref %d of %d", oi-1, len(d.objs))
+			}
+			obj = d.objs[oi-1]
+		}
+		off, err := d.exprRef()
+		if err != nil {
+			return SymVal{}, err
+		}
+		return SymVal{IsPtr: true, Obj: obj, Off: off}, nil
+	}
+	return SymVal{}, fmt.Errorf("symex: codec: unknown symval tag %d", tag)
+}
+
+func (d *decoder) exprRef() (*expr.Expr, error) {
+	i, err := d.r.u()
+	if err != nil {
+		return nil, err
+	}
+	if i == 0 {
+		return nil, nil
+	}
+	if i-1 >= uint64(len(d.nodes)) {
+		return nil, fmt.Errorf("symex: codec: node ref %d of %d", i-1, len(d.nodes))
+	}
+	return d.nodes[i-1], nil
+}
+
+func (d *decoder) readState() (*State, error) {
+	id, err := d.r.u()
+	if err != nil {
+		return nil, err
+	}
+	forks, err := d.r.u()
+	if err != nil {
+		return nil, err
+	}
+	st := &State{ID: int64(id), Forks: int(forks)}
+
+	npc, err := d.r.count(1)
+	if err != nil {
+		return nil, err
+	}
+	st.PC = make([]*expr.Expr, 0, npc)
+	for i := 0; i < npc; i++ {
+		c, err := d.arg()
+		if err != nil {
+			return nil, err
+		}
+		st.PC = append(st.PC, c)
+	}
+	// Group fingerprints are builder-local, so the carried partition is
+	// rebuilt here rather than shipped. Decided-verdict reuse restarts
+	// cold; correctness and query counts are unaffected.
+	st.Part = solver.PartitionOf(st.PC)
+
+	ng, err := d.r.count(2)
+	if err != nil {
+		return nil, err
+	}
+	st.Globals = make(map[*ir.Global]*MemObject, ng)
+	for i := 0; i < ng; i++ {
+		name, err := d.r.s()
+		if err != nil {
+			return nil, err
+		}
+		oi, err := d.r.u()
+		if err != nil {
+			return nil, err
+		}
+		g := d.e.Mod.Global(name)
+		if g == nil {
+			return nil, fmt.Errorf("symex: codec: no global %q in module", name)
+		}
+		if oi >= uint64(len(d.objs)) {
+			return nil, fmt.Errorf("symex: codec: global object ref %d of %d", oi, len(d.objs))
+		}
+		st.Globals[g] = d.objs[oi]
+	}
+
+	nf, err := d.r.count(4)
+	if err != nil {
+		return nil, err
+	}
+	st.Frames = make([]*Frame, 0, nf)
+	for i := 0; i < nf; i++ {
+		f, err := d.readFrame(st.Frames)
+		if err != nil {
+			return nil, err
+		}
+		st.Frames = append(st.Frames, f)
+	}
+	return st, nil
+}
+
+func (d *decoder) readFrame(outer []*Frame) (*Frame, error) {
+	fnName, err := d.r.s()
+	if err != nil {
+		return nil, err
+	}
+	fn := d.e.Mod.Func(fnName)
+	if fn == nil {
+		return nil, fmt.Errorf("symex: codec: no function %q in module", fnName)
+	}
+	bi, err := d.r.u()
+	if err != nil {
+		return nil, err
+	}
+	if bi >= uint64(len(fn.Blocks)) {
+		return nil, fmt.Errorf("symex: codec: block %d of %d in %s", bi, len(fn.Blocks), fnName)
+	}
+	f := &Frame{Fn: fn, Block: fn.Blocks[bi], Locals: make(map[ir.Value]SymVal)}
+	pi, err := d.r.u()
+	if err != nil {
+		return nil, err
+	}
+	if pi != 0 {
+		if pi-1 >= uint64(len(fn.Blocks)) {
+			return nil, fmt.Errorf("symex: codec: prev block %d of %d in %s", pi-1, len(fn.Blocks), fnName)
+		}
+		f.Prev = fn.Blocks[pi-1]
+	}
+	idx, err := d.r.u()
+	if err != nil {
+		return nil, err
+	}
+	if idx > uint64(len(f.Block.Instrs)) {
+		return nil, fmt.Errorf("symex: codec: instr index %d of %d in %s/%s", idx, len(f.Block.Instrs), fnName, f.Block.Name)
+	}
+	f.Idx = int(idx)
+
+	hasCaller, err := d.r.b()
+	if err != nil {
+		return nil, err
+	}
+	if hasCaller == 1 {
+		if len(outer) == 0 {
+			return nil, fmt.Errorf("symex: codec: caller on bottom frame")
+		}
+		callerFn := outer[len(outer)-1].Fn
+		in, err := d.readInstrRef(callerFn)
+		if err != nil {
+			return nil, err
+		}
+		f.Caller = in
+	}
+
+	nl, err := d.r.count(2)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < nl; i++ {
+		tag, err := d.r.b()
+		if err != nil {
+			return nil, err
+		}
+		var key ir.Value
+		switch tag {
+		case 0:
+			pidx, err := d.r.u()
+			if err != nil {
+				return nil, err
+			}
+			if pidx >= uint64(len(fn.Params)) {
+				return nil, fmt.Errorf("symex: codec: param %d of %d in %s", pidx, len(fn.Params), fnName)
+			}
+			key = fn.Params[pidx]
+		case 1:
+			in, err := d.readInstrRef(fn)
+			if err != nil {
+				return nil, err
+			}
+			key = in
+		default:
+			return nil, fmt.Errorf("symex: codec: unknown local key tag %d", tag)
+		}
+		sv, err := d.readSymVal()
+		if err != nil {
+			return nil, err
+		}
+		f.Locals[key] = sv
+	}
+	return f, nil
+}
+
+func (d *decoder) readInstrRef(fn *ir.Function) (*ir.Instr, error) {
+	bi, err := d.r.u()
+	if err != nil {
+		return nil, err
+	}
+	ii, err := d.r.u()
+	if err != nil {
+		return nil, err
+	}
+	if bi >= uint64(len(fn.Blocks)) {
+		return nil, fmt.Errorf("symex: codec: instr block %d of %d in %s", bi, len(fn.Blocks), fn.Name)
+	}
+	b := fn.Blocks[bi]
+	if ii >= uint64(len(b.Instrs)) {
+		return nil, fmt.Errorf("symex: codec: instr %d of %d in %s/%s", ii, len(b.Instrs), fn.Name, b.Name)
+	}
+	return b.Instrs[ii], nil
+}

@@ -1,0 +1,380 @@
+package symex_test
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"testing"
+
+	"overify/internal/core"
+	"overify/internal/coreutils"
+	"overify/internal/expr"
+	"overify/internal/ir"
+	"overify/internal/pipeline"
+	"overify/internal/symex"
+)
+
+// newVerifyEngine builds an engine + entry args exactly the way
+// core.Verify does, so codec tests exercise the production shape.
+func newVerifyEngine(c *core.Compiled, n int, opts symex.Options) (*symex.Engine, []symex.SymVal) {
+	eng := symex.NewEngine(c.Mod, opts)
+	buf := eng.SymbolicBuffer("input", n, true)
+	length := eng.IntArg(ir.I32, uint64(n))
+	return eng, []symex.SymVal{buf, length}
+}
+
+// distSim runs the split → encode → decode-in-other-process → explore →
+// merge pipeline against nWorkers freshly compiled module instances
+// (separate compiles stand in for separate processes: distinct module
+// pointers, distinct builders). It returns the merged report and the
+// covered-block union size.
+func distSim(t testing.TB, p coreutils.Program, level pipeline.Level, n, want, nWorkers int) (*symex.Report, int) {
+	cA, err := core.CompileProgram(p, level)
+	if err != nil {
+		t.Fatalf("%s at %s: %v", p.Name, level, err)
+	}
+	engA, args := newVerifyEngine(cA, n, symex.Options{})
+	states, err := engA.Split("umain", args, nil, want)
+	if err != nil {
+		t.Fatalf("split: %v", err)
+	}
+
+	// Deterministic round-robin sharding, like the coordinator.
+	shards := make([][]*symex.State, nWorkers)
+	for j, st := range states {
+		shards[j%nWorkers] = append(shards[j%nWorkers], st)
+	}
+
+	covered := make(map[string]bool)
+	reports := []*symex.Report{engA.PartialReport()}
+	for _, sh := range shards {
+		data, err := engA.EncodeStates(sh)
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		cW, err := core.CompileProgram(p, level)
+		if err != nil {
+			t.Fatalf("worker compile: %v", err)
+		}
+		engW := symex.NewEngine(cW.Mod, symex.Options{})
+		dec, err := engW.DecodeStates(data)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if len(dec) != len(sh) {
+			t.Fatalf("decoded %d states, sent %d", len(dec), len(sh))
+		}
+		reports = append(reports, engW.RunStates(dec))
+		for _, name := range engW.CoveredBlockNames() {
+			covered[name] = true
+		}
+	}
+	for _, name := range engA.CoveredBlockNames() {
+		covered[name] = true
+	}
+	merged := symex.MergeReports(reports...)
+	merged.Stats.CoveredBlocks = len(covered)
+	return merged, len(covered)
+}
+
+// assertEquivalent compares every schedule-invariant verdict field: the
+// counters, the covered-block set size, and the bug identities.
+// Concrete bug inputs may differ (any model reproduces; model-reuse
+// history is schedule-dependent), matching the parallel-determinism
+// suite's contract.
+func assertEquivalent(t *testing.T, label string, serial, dist *symex.Report) {
+	t.Helper()
+	s, d := serial.Stats, dist.Stats
+	type row struct {
+		name string
+		a, b int64
+	}
+	for _, r := range []row{
+		{"paths", s.Paths, d.Paths},
+		{"errorPaths", s.ErrorPaths, d.ErrorPaths},
+		{"truncated", s.TruncatedPaths, d.TruncatedPaths},
+		{"instrs", s.Instrs, d.Instrs},
+		{"checksSkipped", s.ChecksSkipped, d.ChecksSkipped},
+		{"covered", int64(s.CoveredBlocks), int64(d.CoveredBlocks)},
+		{"queries", s.SolverStats.Queries, d.SolverStats.Queries},
+		{"sat", s.SolverStats.Sat, d.SolverStats.Sat},
+		{"unsat", s.SolverStats.Unsat, d.SolverStats.Unsat},
+	} {
+		if r.a != r.b {
+			t.Errorf("%s: %s: serial %d != distributed %d", label, r.name, r.a, r.b)
+		}
+	}
+	sk, dk := bugKeys(serial), bugKeys(dist)
+	if fmt.Sprint(sk) != fmt.Sprint(dk) {
+		t.Errorf("%s: bug sets differ:\nserial      %v\ndistributed %v", label, sk, dk)
+	}
+}
+
+func serialBaseline(t testing.TB, p coreutils.Program, level pipeline.Level, n int) *symex.Report {
+	c, err := core.CompileProgram(p, level)
+	if err != nil {
+		t.Fatalf("%s at %s: %v", p.Name, level, err)
+	}
+	eng, args := newVerifyEngine(c, n, symex.Options{})
+	rep, err := eng.Run("umain", args, nil)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	rep.Stats.CoveredBlocks = len(eng.CoveredBlockNames())
+	return rep
+}
+
+// TestStateCodecRoundTripExploration is the codec's contract:
+// Decode(Encode(s)) explores identically. A serial baseline is compared
+// against split → ship to 2 simulated worker processes → merge, across
+// structurally diverse corpus programs.
+func TestStateCodecRoundTripExploration(t *testing.T) {
+	progs := []string{"echo", "wc", "tr", "rev", "uniq"}
+	if testing.Short() {
+		progs = progs[:3]
+	}
+	for _, name := range progs {
+		p, ok := coreutils.Get(name)
+		if !ok {
+			t.Fatalf("no corpus program %q", name)
+		}
+		for _, level := range []pipeline.Level{pipeline.O0, pipeline.OVerify} {
+			label := fmt.Sprintf("%s@%s", name, level)
+			serial := serialBaseline(t, p, level, 3)
+			dist, _ := distSim(t, p, level, 3, 8, 2)
+			assertEquivalent(t, label, serial, dist)
+		}
+	}
+}
+
+// TestStateCodecSingleWalk extends the PR 4 walk-counter guard to the
+// codec: encoding a batch expands each distinct reachable DAG node
+// exactly once — batch-wide, cheaper than once per state — and never
+// falls back to a var-set DAG walk.
+func TestStateCodecSingleWalk(t *testing.T) {
+	// Pick the first corpus program whose O0 exploration still has >= 2
+	// pending states after a 4-state split (unsliced O0 keeps all the
+	// branching around).
+	var states []*symex.State
+	var eng *symex.Engine
+	for _, name := range []string{"wc", "tr", "grep-v", "uniq", "cksum"} {
+		p, ok := coreutils.Get(name)
+		if !ok {
+			continue
+		}
+		c, err := core.CompileProgram(p, pipeline.O0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, args := newVerifyEngine(c, 3, symex.Options{})
+		s, err := e.Split("umain", args, nil, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(s) >= 2 {
+			eng, states = e, s
+			break
+		}
+	}
+	if eng == nil {
+		t.Fatal("no corpus program yielded >= 2 split states")
+	}
+
+	distinct := countReachableNodes(states)
+	vw0 := expr.VarSetWalks()
+	cv0 := symex.CodecExprVisits()
+	if _, err := eng.EncodeStates(states); err != nil {
+		t.Fatal(err)
+	}
+	if d := symex.CodecExprVisits() - cv0; d != int64(distinct) {
+		t.Errorf("encoder expanded %d nodes, batch has %d distinct reachable nodes", d, distinct)
+	}
+	if d := expr.VarSetWalks() - vw0; d != 0 {
+		t.Errorf("encoding performed %d var-set DAG walks, want 0", d)
+	}
+}
+
+// countReachableNodes replicates the encoder's reachability (PC, frame
+// locals, global objects, cells) with an independent walker.
+func countReachableNodes(states []*symex.State) int {
+	seenE := make(map[*expr.Expr]bool)
+	seenO := make(map[*symex.MemObject]bool)
+	var walkE func(x *expr.Expr)
+	var walkO func(o *symex.MemObject)
+	walkV := func(v symex.SymVal) {
+		if v.E != nil {
+			walkE(v.E)
+		}
+		if v.Off != nil {
+			walkE(v.Off)
+		}
+		if v.Obj != nil {
+			walkO(v.Obj)
+		}
+	}
+	walkE = func(x *expr.Expr) {
+		if seenE[x] {
+			return
+		}
+		seenE[x] = true
+		for _, a := range x.Args {
+			walkE(a)
+		}
+	}
+	walkO = func(o *symex.MemObject) {
+		if seenO[o] {
+			return
+		}
+		seenO[o] = true
+		for _, c := range o.Cells {
+			walkV(c)
+		}
+	}
+	for _, st := range states {
+		for _, c := range st.PC {
+			walkE(c)
+		}
+		for _, o := range st.Globals {
+			walkO(o)
+		}
+		for _, f := range st.Frames {
+			for _, v := range f.Locals {
+				walkV(v)
+			}
+		}
+	}
+	return len(seenE)
+}
+
+// TestStateCodecCorruptedFrames: truncations and flips must produce
+// errors (or at worst a clean decode of a coincidentally valid frame),
+// never a panic, and truncations must always be rejected.
+func TestStateCodecCorruptedFrames(t *testing.T) {
+	p, _ := coreutils.Get("tr")
+	c, err := core.CompileProgram(p, pipeline.OVerify)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, args := newVerifyEngine(c, 3, symex.Options{})
+	states, err := eng.Split("umain", args, nil, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := eng.EncodeStates(states)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fresh := func() *symex.Engine {
+		c2, err := core.CompileProgram(p, pipeline.OVerify)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return symex.NewEngine(c2.Mod, symex.Options{})
+	}
+
+	// Sanity: the pristine frame decodes.
+	if _, err := fresh().DecodeStates(data); err != nil {
+		t.Fatalf("pristine frame rejected: %v", err)
+	}
+	// Every truncation must be rejected.
+	for _, k := range []int{0, 1, 3, len(data) / 4, len(data) / 2, len(data) - 1} {
+		if _, err := fresh().DecodeStates(data[:k]); err == nil {
+			t.Errorf("truncation to %d bytes accepted", k)
+		}
+	}
+	// Trailing garbage must be rejected.
+	if _, err := fresh().DecodeStates(append(append([]byte(nil), data...), 0xff)); err == nil {
+		t.Errorf("trailing garbage accepted")
+	}
+	// Bit flips across the frame must never panic (DecodeStates converts
+	// builder panics to errors; a flip that still decodes cleanly is fine).
+	for pos := 0; pos < len(data); pos += 7 {
+		mut := append([]byte(nil), data...)
+		mut[pos] ^= 0x41
+		_, _ = fresh().DecodeStates(mut) // must not panic
+	}
+}
+
+// FuzzStateCodecRoundTrip is the differential fuzzer: for a fuzzed
+// (program, input size, split size) the split+ship+merge pipeline must
+// match the serial baseline's invariant counters and bug identities,
+// and fuzz-mutated frames must never panic the decoder.
+func FuzzStateCodecRoundTrip(f *testing.F) {
+	progs := []string{"echo", "wc", "tr", "rev", "seq"}
+	f.Add(uint8(0), uint8(3), uint8(4), []byte{})
+	f.Add(uint8(1), uint8(2), uint8(8), []byte{0x00, 0x41})
+	f.Add(uint8(2), uint8(3), uint8(1), []byte{0xff})
+	f.Add(uint8(3), uint8(4), uint8(16), []byte{0x10, 0x20, 0x30})
+	f.Fuzz(func(t *testing.T, pi, n, want uint8, corrupt []byte) {
+		p, ok := coreutils.Get(progs[int(pi)%len(progs)])
+		if !ok {
+			t.Skip()
+		}
+		nb := 2 + int(n)%3     // 2..4 symbolic bytes
+		ws := 1 + int(want)%12 // split size 1..12
+		serial := serialBaseline(t, p, pipeline.OVerify, nb)
+		dist, _ := distSim(t, p, pipeline.OVerify, nb, ws, 2)
+		assertEquivalent(t, fmt.Sprintf("%s n=%d want=%d", p.Name, nb, ws), serial, dist)
+
+		// Corruption leg: mutate a real frame with the fuzz bytes.
+		c, err := core.CompileProgram(p, pipeline.OVerify)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, args := newVerifyEngine(c, nb, symex.Options{})
+		states, err := eng.Split("umain", args, nil, ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := eng.EncodeStates(states)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mut := append([]byte(nil), data...)
+		for i, b := range corrupt {
+			if len(mut) == 0 {
+				break
+			}
+			mut[(i*131+int(b))%len(mut)] ^= b
+		}
+		c2, err := core.CompileProgram(p, pipeline.OVerify)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _ = symex.NewEngine(c2.Mod, symex.Options{}).DecodeStates(mut) // must not panic
+	})
+}
+
+// TestSplitExhaustsSmallPrograms: when the requested shard count
+// exceeds the whole exploration, Split finishes the program itself and
+// the merge still matches (the degenerate cluster).
+func TestSplitExhaustsSmallPrograms(t *testing.T) {
+	p, _ := coreutils.Get("echo")
+	serial := serialBaseline(t, p, pipeline.OVerify, 2)
+	dist, _ := distSim(t, p, pipeline.OVerify, 2, 1<<20, 2)
+	assertEquivalent(t, "echo exhaust", serial, dist)
+}
+
+// TestMergeBugsDeterministicOrder pins that MergeReports' bug list is
+// sorted and deduplicated regardless of input order.
+func TestMergeBugsDeterministicOrder(t *testing.T) {
+	a := &symex.Report{Bugs: []symex.Bug{{Kind: 1, Msg: "b", Where: "w2"}, {Kind: 0, Msg: "a", Where: "w1", Input: []byte{9}}}}
+	b := &symex.Report{Bugs: []symex.Bug{{Kind: 0, Msg: "a", Where: "w1", Input: []byte{3}}}}
+	m1 := symex.MergeReports(a, b)
+	m2 := symex.MergeReports(b, a)
+	if len(m1.Bugs) != 2 || len(m2.Bugs) != 2 {
+		t.Fatalf("merged bug counts: %d, %d (want 2)", len(m1.Bugs), len(m2.Bugs))
+	}
+	for i := range m1.Bugs {
+		x, y := m1.Bugs[i], m2.Bugs[i]
+		if x.Kind != y.Kind || x.Msg != y.Msg || x.Where != y.Where || !bytes.Equal(x.Input, y.Input) {
+			t.Fatalf("merge order-dependent: %+v vs %+v", m1.Bugs, m2.Bugs)
+		}
+	}
+	if !sort.SliceIsSorted(m1.Bugs, func(i, j int) bool {
+		return m1.Bugs[i].Kind < m1.Bugs[j].Kind
+	}) {
+		t.Fatalf("merged bugs unsorted: %+v", m1.Bugs)
+	}
+}

@@ -172,6 +172,14 @@ type Engine struct {
 	inputVars []*expr.Var   // ordered; used to concretize bug inputs
 	deadline  time.Time
 
+	// Split-phase residue: solver work and bugs accumulated by Split's
+	// breadth-first prefix driver, merged into the final report by
+	// RunStates (local continuation) or PartialReport (the distributed
+	// coordinator, whose frontier runs in other processes). Split runs
+	// single-threaded before any worker pool, so plain fields suffice.
+	splitStats solver.Stats
+	splitBugs  []Bug
+
 	// Cross-worker counters. Paths counters are updated at path
 	// granularity (cheap); instruction counts are batched per worker and
 	// flushed every instrFlushStride instructions.
@@ -298,6 +306,16 @@ func (e *Engine) ConcreteBuffer(name string, data []byte) SymVal {
 // counts, instruction count) are independent of the interleaving as
 // long as no budget limit fires mid-run.
 func (e *Engine) Run(fnName string, args []SymVal, init *State) (*Report, error) {
+	st, err := e.initialState(fnName, args, init)
+	if err != nil {
+		return nil, err
+	}
+	return e.RunStates([]*State{st}), nil
+}
+
+// initialState validates the entry function and builds the run's first
+// state: args bound to params, control at the entry block.
+func (e *Engine) initialState(fnName string, args []SymVal, init *State) (*State, error) {
 	fn := e.Mod.Func(fnName)
 	if fn == nil {
 		return nil, fmt.Errorf("symex: no function %q", fnName)
@@ -316,16 +334,30 @@ func (e *Engine) Run(fnName string, args []SymVal, init *State) (*Report, error)
 		frame.Locals[p] = args[i]
 	}
 	init.Frames = append(init.Frames, frame)
+	return init, nil
+}
 
-	start := time.Now()
-	if e.opts.Timeout > 0 {
-		e.deadline = start.Add(e.opts.Timeout)
+// armDeadline starts the wall-clock budget on first use; Split and
+// RunStates share one deadline however the run is phased.
+func (e *Engine) armDeadline() {
+	if e.opts.Timeout > 0 && e.deadline.IsZero() {
+		e.deadline = time.Now().Add(e.opts.Timeout)
 	}
+}
+
+// RunStates explores the given frontier states to completion with the
+// configured worker pool and returns the report, including any
+// split-phase work this engine accumulated earlier. It is Run's engine
+// room, and the entry point a distributed worker process feeds decoded
+// remote states into.
+func (e *Engine) RunStates(states []*State) *Report {
+	start := time.Now()
+	e.armDeadline()
 
 	n := e.opts.effectiveWorkers()
 	strat := newStrategy(e.opts.Strategy, n, e.opts.Seed, e.cov)
 	fr := newFrontier(n, strat, e.opts.MaxStates)
-	fr.put(0, []*State{init})
+	fr.put(0, states)
 
 	workers := make([]*worker, n)
 	var wg sync.WaitGroup
@@ -373,12 +405,150 @@ func (e *Engine) Run(fnName string, args []SymVal, init *State) (*Report, error)
 		Elapsed:        time.Since(start),
 		TimedOut:       e.timedOut.Load(),
 	}
-	var bugs []Bug
+	stats.SolverStats.Add(e.splitStats)
+	bugs := append([]Bug(nil), e.splitBugs...)
 	for _, w := range workers {
 		stats.SolverStats.Add(w.sol.Stats)
 		bugs = append(bugs, w.bugs...)
 	}
-	return &Report{Stats: stats, Bugs: mergeBugs(bugs)}, nil
+	return &Report{Stats: stats, Bugs: mergeBugs(bugs)}
+}
+
+// Split executes a bounded breadth-first prefix of fn(args)'s
+// exploration and returns the pending frontier once it holds at least
+// want states (or the program exhausts first, returning fewer). The
+// distributed coordinator uses it to shard one verification across
+// worker processes: the prefix's completed paths, bugs, and solver work
+// stay in this engine (PartialReport), and every returned state can be
+// shipped elsewhere (EncodeStates) — each branch decision still happens
+// exactly once somewhere, which is what keeps the merged totals equal
+// to a serial run's.
+func (e *Engine) Split(fnName string, args []SymVal, init *State, want int) ([]*State, error) {
+	st, err := e.initialState(fnName, args, init)
+	if err != nil {
+		return nil, err
+	}
+	e.armDeadline()
+	w := &worker{
+		e:     e,
+		id:    0,
+		B:     e.B,
+		strat: newStrategy(e.opts.Strategy, 1, e.opts.Seed, e.cov),
+		sol:   solver.NewWithCache(e.opts.Solver, e.cache),
+	}
+	if e.opts.Tapes != nil {
+		w.sol.SetTapeCache(e.opts.Tapes)
+	}
+	if !e.deadline.IsZero() {
+		w.sol.SetDeadline(e.deadline)
+	}
+	queue := []*State{st}
+	for len(queue) > 0 && len(queue) < want {
+		cur := queue[0]
+		queue = queue[1:]
+		e.explored.Add(1)
+		stop, forked := w.step(cur)
+		if stop {
+			// A global limit fired during the prefix: everything still
+			// queued is truncated, exactly as the worker pool would record.
+			e.requestStop()
+			e.truncated.Add(int64(len(queue)) + int64(len(forked)) + 1)
+			queue = nil
+			break
+		}
+		queue = append(queue, forked...)
+		if len(forked) == 0 {
+			if max := e.opts.MaxPaths; max > 0 && e.totalPaths() >= max {
+				e.requestStop()
+				e.truncated.Add(int64(len(queue)))
+				queue = nil
+				break
+			}
+		}
+	}
+	w.flushInstrs()
+	e.splitStats.Add(w.sol.Stats)
+	e.splitBugs = append(e.splitBugs, w.bugs...)
+	return queue, nil
+}
+
+// PartialReport snapshots the work this engine has done so far — the
+// split-phase prefix — without running a frontier. The distributed
+// coordinator merges it with the worker processes' reports; the sum
+// equals a serial run because every path is finished exactly once,
+// either here or remotely.
+func (e *Engine) PartialReport() *Report {
+	stats := Stats{
+		Paths:          e.paths.Load(),
+		ErrorPaths:     e.errorPaths.Load(),
+		TruncatedPaths: e.truncated.Load(),
+		Forks:          e.forks.Load(),
+		Instrs:         e.instrs.Load(),
+		ChecksSkipped:  e.checksSkipped.Load(),
+		StatesExplored: e.explored.Load(),
+		CoveredBlocks:  int(e.cov.count()),
+		Workers:        e.opts.effectiveWorkers(),
+		Strategy:       e.opts.Strategy.String(),
+		SolverStats:    e.splitStats,
+		SharedCache:    e.cache.Snapshot(),
+		TimedOut:       e.timedOut.Load(),
+	}
+	return &Report{Stats: stats, Bugs: mergeBugs(append([]Bug(nil), e.splitBugs...))}
+}
+
+// CoveredBlockNames returns the sorted "function/block" names of every
+// covered block. Coverage is process-local state keyed by *ir.Block
+// pointers, so distributed runs union these names across processes to
+// recover the serial run's distinct-block count.
+func (e *Engine) CoveredBlockNames() []string {
+	var names []string
+	e.cov.blocks.Range(func(k, _ any) bool {
+		b := k.(*ir.Block)
+		names = append(names, b.Fn.Name+"/"+b.Name)
+		return true
+	})
+	sort.Strings(names)
+	return names
+}
+
+// MergeReports combines the per-process reports of one sharded run:
+// counters sum (each path, instruction and query happened exactly once
+// in exactly one process), bug lists go through the same deterministic
+// sorted/deduped merge a single process uses, and TimedOut is sticky.
+// CoveredBlocks is summed naively — processes can cover the same block
+// — so callers that track coverage across processes must overwrite it
+// with the size of the CoveredBlockNames union.
+func MergeReports(parts ...*Report) *Report {
+	var out Report
+	var bugs []Bug
+	for _, r := range parts {
+		if r == nil {
+			continue
+		}
+		out.Stats.Paths += r.Stats.Paths
+		out.Stats.ErrorPaths += r.Stats.ErrorPaths
+		out.Stats.TruncatedPaths += r.Stats.TruncatedPaths
+		out.Stats.Forks += r.Stats.Forks
+		out.Stats.Instrs += r.Stats.Instrs
+		out.Stats.ChecksSkipped += r.Stats.ChecksSkipped
+		out.Stats.StatesExplored += r.Stats.StatesExplored
+		out.Stats.CoveredBlocks += r.Stats.CoveredBlocks
+		out.Stats.SolverStats.Add(r.Stats.SolverStats)
+		if r.Stats.MaxLiveStates > out.Stats.MaxLiveStates {
+			out.Stats.MaxLiveStates = r.Stats.MaxLiveStates
+		}
+		if r.Stats.Elapsed > out.Stats.Elapsed {
+			out.Stats.Elapsed = r.Stats.Elapsed
+		}
+		out.Stats.Workers += r.Stats.Workers
+		if out.Stats.Strategy == "" {
+			out.Stats.Strategy = r.Stats.Strategy
+		}
+		out.Stats.TimedOut = out.Stats.TimedOut || r.Stats.TimedOut
+		bugs = append(bugs, r.Bugs...)
+	}
+	out.Bugs = mergeBugs(bugs)
+	return &out
 }
 
 // mergeBugs produces the deterministic, deduplicated bug list: sorted
